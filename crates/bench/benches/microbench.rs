@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! wavelet transforms, RBF training/prediction, the timing simulator and
+//! design sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynawave_neural::{RbfNetwork, RbfParams};
+use dynawave_numeric::Matrix;
+use dynawave_sampling::{lhs, DesignSpace};
+use dynawave_sim::{MachineConfig, SimOptions, Simulator};
+use dynawave_wavelet::{wavedec, waverec, Wavelet};
+use dynawave_workloads::{Benchmark, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_wavelet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wavelet");
+    for &n in &[128usize, 1024] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() + 2.0).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("wavedec_haar", n), &signal, |b, s| {
+            b.iter(|| wavedec(black_box(s), Wavelet::Haar).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wavedec_db4", n), &signal, |b, s| {
+            b.iter(|| wavedec(black_box(s), Wavelet::Daubechies4).unwrap())
+        });
+        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
+        group.bench_with_input(BenchmarkId::new("waverec_haar", n), &dec, |b, d| {
+            b.iter(|| waverec(black_box(d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbf");
+    let space = DesignSpace::micro2007();
+    let points = lhs::sample(&space, 200, 1);
+    let x = Matrix::from_vec(
+        points.len(),
+        9,
+        points.iter().flat_map(|p| p.values().to_vec()).collect(),
+    )
+    .unwrap();
+    let y: Vec<f64> = points
+        .iter()
+        .map(|p| p.values().iter().map(|v| v.ln()).sum::<f64>())
+        .collect();
+    group.bench_function("fit_200x9", |b| {
+        b.iter(|| RbfNetwork::fit(black_box(&x), black_box(&y), &RbfParams::default()).unwrap())
+    });
+    let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+    group.bench_function("predict", |b| {
+        b.iter(|| net.predict(black_box(points[0].values())))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let opts = SimOptions {
+        samples: 8,
+        interval_instructions: 4096,
+        seed: 1,
+    };
+    group.throughput(Throughput::Elements(
+        opts.samples as u64 * opts.interval_instructions,
+    ));
+    for bench in [Benchmark::Gcc, Benchmark::Mcf] {
+        group.bench_function(BenchmarkId::new("run", bench.name()), |b| {
+            b.iter(|| {
+                Simulator::new(MachineConfig::baseline()).run(black_box(bench), black_box(&opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    let n = 32_768u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("generate_gcc", |b| {
+        b.iter(|| TraceGenerator::new(Benchmark::Gcc, black_box(n), 1).count())
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(20);
+    let space = DesignSpace::micro2007();
+    group.bench_function("lhs_200_best_of_8", |b| {
+        b.iter(|| lhs::sample(black_box(&space), 200, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wavelet,
+    bench_rbf,
+    bench_simulator,
+    bench_trace_generation,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1: variation of workload dynamics — gap CPI, crafty power and
+//! vpr AVF traces across several microarchitecture configurations.
+
+use dynawave_bench::{downsample, fmt, print_table, sparkline, start};
+use dynawave_core::{trace_for, Metric};
+use dynawave_sampling::{random, DesignSpace, Split};
+use dynawave_workloads::Benchmark;
+
+fn main() {
+    let (cfg, t0) = start(
+        "Figure 1",
+        "workload dynamics vary widely across configurations of the same code",
+    );
+    let space = DesignSpace::micro2007();
+    let configs = random::sample(&space, 4, Split::Test, cfg.seed ^ 0xF16);
+    let opts = cfg.sim_options();
+    for (bench, metric, label) in [
+        (Benchmark::Gap, Metric::Cpi, "gap CPI"),
+        (Benchmark::Crafty, Metric::Power, "crafty Power (W)"),
+        (Benchmark::Vpr, Metric::Avf, "vpr AVF"),
+    ] {
+        println!("\n{label}:");
+        let mut rows = Vec::new();
+        for (i, point) in configs.iter().enumerate() {
+            let trace = trace_for(bench, point, metric, &opts);
+            let lo = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            rows.push(vec![
+                format!("config {}", i + 1),
+                fmt(lo, 3),
+                fmt(hi, 3),
+                fmt(hi / lo.max(1e-12), 2),
+                sparkline(&downsample(&trace, 64)),
+            ]);
+        }
+        print_table(&["configuration", "min", "max", "max/min", "dynamics"], &rows);
+    }
+    println!(
+        "\nExpected shape: the same benchmark's dynamics change level AND\n\
+         shape across configurations (paper Figure 1)."
+    );
+    dynawave_bench::finish(t0);
+}

@@ -1,0 +1,24 @@
+//! Figure 2: the worked Haar wavelet transform example on
+//! {3, 4, 20, 25, 15, 5, 20, 3}.
+
+use dynawave_wavelet::{dwt, wavedec, Wavelet};
+
+fn main() {
+    let data = [3.0, 4.0, 20.0, 25.0, 15.0, 5.0, 20.0, 3.0];
+    println!("Figure 2. Haar wavelet transform of {data:?}\n");
+    let mut level = data.to_vec();
+    let mut stage = 0;
+    while level.len() >= 2 {
+        let (a, d) = dwt(&level, Wavelet::Haar).expect("even length");
+        println!("Scaling filter (G{stage}): {a:?}");
+        println!("Wavelet filter (H{stage}): {d:?}");
+        level = a;
+        stage += 1;
+    }
+    let dec = wavedec(&data, Wavelet::Haar).expect("power-of-two length");
+    println!(
+        "\nfull decomposition [approx | coarse..fine details]: {:?}",
+        dec.as_slice()
+    );
+    println!("(paper: 11.875  1.125  -9.5 -0.75  -0.5 -2.5 5 8.5)");
+}

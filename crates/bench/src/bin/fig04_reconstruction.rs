@@ -1,0 +1,59 @@
+//! Figures 3 & 4: sampled gcc time-domain behaviour and its synthesis
+//! from increasing numbers of wavelet coefficients (1, 2, 4, 8, 16, all).
+
+use dynawave_bench::{fmt, print_table, sparkline, start};
+use dynawave_core::{trace_for, Metric};
+use dynawave_numeric::stats::nmse_percent;
+use dynawave_sampling::DesignPoint;
+use dynawave_sim::{MachineConfig, SimOptions};
+use dynawave_wavelet::{select, wavedec, waverec, Wavelet};
+use dynawave_workloads::Benchmark;
+
+fn main() {
+    let (cfg, t0) = start(
+        "Figures 3-4",
+        "gcc sampled IPC and reconstruction from k wavelet coefficients",
+    );
+    // The paper's Figure 3/4 uses 64 samples of gcc on one machine.
+    let opts = SimOptions {
+        samples: 64,
+        interval_instructions: cfg.interval_instructions,
+        seed: cfg.seed,
+    };
+    let base = MachineConfig::baseline();
+    let point = DesignPoint::new(vec![
+        f64::from(base.fetch_width),
+        f64::from(base.rob_size),
+        f64::from(base.iq_size),
+        f64::from(base.lsq_size),
+        f64::from(base.l2_kb),
+        f64::from(base.l2_lat),
+        f64::from(base.il1_kb),
+        f64::from(base.dl1_kb),
+        f64::from(base.dl1_lat),
+    ]);
+    let cpi = trace_for(Benchmark::Gcc, &point, Metric::Cpi, &opts);
+    let ipc: Vec<f64> = cpi.iter().map(|c| 1.0 / c).collect();
+    println!("\nFigure 3 - sampled gcc IPC ({} samples):", ipc.len());
+    println!("  {}", sparkline(&ipc));
+
+    let dec = wavedec(&ipc, Wavelet::Haar).expect("64 samples");
+    println!("\nFigure 4 - synthesis from the k largest coefficients:");
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, 16, 64] {
+        let keep = select::top_k_by_magnitude(dec.as_slice(), k);
+        let partial = dec.retain_indices(&keep);
+        let synth = waverec(&partial).expect("valid decomposition");
+        rows.push(vec![
+            k.to_string(),
+            fmt(nmse_percent(&ipc, &synth), 3),
+            fmt(100.0 * select::energy_captured(dec.as_slice(), &keep), 1),
+            sparkline(&synth),
+        ]);
+    }
+    print_table(
+        &["k coeffs", "NMSE %", "energy %", "reconstruction"],
+        &rows,
+    );
+    dynawave_bench::finish(t0);
+}

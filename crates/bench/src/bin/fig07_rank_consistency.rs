@@ -1,0 +1,62 @@
+//! Figure 7: magnitude-based ranking of the 128 wavelet coefficients of
+//! gcc dynamics stays consistent across 50 test configurations.
+
+use dynawave_bench::{fmt, print_table, start};
+use dynawave_core::{collect_traces, Metric};
+use dynawave_wavelet::{select, wavedec, Wavelet};
+
+fn main() {
+    let (cfg, t0) = start(
+        "Figure 7",
+        "top-ranked wavelet coefficients are stable across configurations",
+    );
+    let set = collect_traces(
+        dynawave_workloads::Benchmark::Gcc,
+        &cfg.test_design(),
+        Metric::Cpi,
+        &cfg.sim_options(),
+    );
+    let coeff_sets: Vec<Vec<f64>> = set
+        .traces
+        .iter()
+        .map(|t| wavedec(t, Wavelet::Haar).expect("power of two").into_coeffs())
+        .collect();
+
+    // How often each coefficient appears in a configuration's top 16.
+    let n = coeff_sets[0].len();
+    let mut in_top16 = vec![0usize; n];
+    for c in &coeff_sets {
+        for idx in select::top_k_by_magnitude(c, 16) {
+            in_top16[idx] += 1;
+        }
+    }
+    let mut ranked: Vec<(usize, usize)> = in_top16.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("\ncoefficients most often in a configuration's top-16:");
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(20)
+        .map(|(idx, count)| {
+            vec![
+                idx.to_string(),
+                format!("{count}/{}", coeff_sets.len()),
+                fmt(100.0 * *count as f64 / coeff_sets.len() as f64, 1),
+            ]
+        })
+        .collect();
+    print_table(&["coefficient", "in top-16", "%"], &rows);
+
+    for k in [8usize, 16, 32] {
+        println!(
+            "mean pairwise Jaccard overlap of top-{k} sets across configs: {:.3}",
+            select::rank_stability(&coeff_sets, k)
+        );
+    }
+    println!(
+        "\nExpected shape: overlap well above chance ({}~{:.2} for k=16),\n\
+         i.e. the significant coefficients largely persist (paper Figure 7).",
+        "random = k/n ",
+        16.0 / n as f64
+    );
+    dynawave_bench::finish(t0);
+}

@@ -1,0 +1,120 @@
+//! Figure 10: prediction error with 16 coefficients as the sampling
+//! frequency of the same execution interval grows (64 ... 1024 samples).
+//!
+//! Timing is sampling-independent, so each configuration is simulated
+//! **once** at the finest granularity (1024 samples) and the coarser
+//! sampling rates are derived exactly with [`RunResult::coarsen`].
+
+use dynawave_avf::AvfModel;
+use dynawave_bench::{fmt, print_table, start};
+use dynawave_core::experiment::score_model;
+use dynawave_core::{Metric, TraceSet, WaveletNeuralPredictor};
+use dynawave_power::PowerModel;
+use dynawave_sampling::DesignPoint;
+use dynawave_sim::{MachineConfig, RunResult, SimOptions, Simulator};
+use dynawave_workloads::Benchmark;
+
+const FINEST: usize = 1024;
+
+/// Simulates one design point at the finest granularity.
+fn simulate(bench: Benchmark, point: &DesignPoint, total_instructions: u64, seed: u64) -> RunResult {
+    let config = MachineConfig::from_design_values(point.values());
+    Simulator::new(config).run(
+        bench,
+        &SimOptions {
+            samples: FINEST,
+            interval_instructions: (total_instructions / FINEST as u64).max(1),
+            seed,
+        },
+    )
+}
+
+/// Extracts the three domain traces from a (possibly coarsened) run.
+fn traces_of(run: &RunResult) -> [Vec<f64>; 3] {
+    let config = &run.config;
+    let cpi = run.cpi_trace();
+    let power = PowerModel::new(config).power_trace(run);
+    let avf_model = AvfModel::new(config);
+    let avf = run
+        .intervals
+        .iter()
+        .map(|i| avf_model.interval_report(i).combined(config))
+        .collect();
+    [cpi, power, avf]
+}
+
+fn main() {
+    let (cfg, t0) = start(
+        "Figure 10",
+        "mean NMSE%% (16 coefficients) vs samples over a fixed execution interval",
+    );
+    let total_instructions = cfg.samples as u64 * cfg.interval_instructions;
+    let sample_counts = [64usize, 128, 256, 512, 1024];
+    let train_design = cfg.train_design();
+    let test_design = cfg.test_design();
+
+    let mut totals = vec![[0.0f64; 3]; sample_counts.len()];
+    for bench in Benchmark::ALL {
+        eprintln!("simulating {bench} at {FINEST} samples ...");
+        let train_runs: Vec<RunResult> = train_design
+            .iter()
+            .map(|p| simulate(bench, p, total_instructions, cfg.seed))
+            .collect();
+        let test_runs: Vec<RunResult> = test_design
+            .iter()
+            .map(|p| simulate(bench, p, total_instructions, cfg.seed))
+            .collect();
+        for (si, &samples) in sample_counts.iter().enumerate() {
+            let factor = FINEST / samples;
+            let metrics = [Metric::Cpi, Metric::Power, Metric::Avf];
+            for (slot, &metric) in metrics.iter().enumerate() {
+                let gather = |runs: &[RunResult], points: &[DesignPoint]| TraceSet {
+                    benchmark: bench,
+                    metric,
+                    points: points.to_vec(),
+                    traces: runs
+                        .iter()
+                        .map(|r| {
+                            let coarse = r.coarsen(factor);
+                            let [cpi, power, avf] = traces_of(&coarse);
+                            match slot {
+                                0 => cpi,
+                                1 => power,
+                                _ => avf,
+                            }
+                        })
+                        .collect(),
+                };
+                let train = gather(&train_runs, &train_design);
+                let test = gather(&test_runs, &test_design);
+                let model = WaveletNeuralPredictor::train(&train, &cfg.predictor)
+                    .expect("training");
+                totals[si][slot] += score_model(bench, metric, model, test).mean_nmse();
+            }
+        }
+    }
+    println!();
+    let rows: Vec<Vec<String>> = sample_counts
+        .iter()
+        .enumerate()
+        .map(|(si, &samples)| {
+            vec![
+                samples.to_string(),
+                fmt(totals[si][0] / Benchmark::ALL.len() as f64, 3),
+                fmt(totals[si][1] / Benchmark::ALL.len() as f64, 3),
+                fmt(totals[si][2] / Benchmark::ALL.len() as f64, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["# samples", "CPI NMSE%", "Power NMSE%", "AVF NMSE%"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): error grows mildly with sampling\n\
+         frequency - 16 coefficients keep capturing the dynamics.\n\
+         (Each configuration is simulated once; coarser rates are exact\n\
+         merges of the finest run.)"
+    );
+    dynawave_bench::finish(t0);
+}

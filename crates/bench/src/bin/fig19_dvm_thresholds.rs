@@ -1,0 +1,70 @@
+//! Figure 19: IQ AVF dynamics prediction accuracy across different DVM
+//! trigger thresholds (0.2, 0.3, 0.5) for every benchmark.
+
+use dynawave_bench::{fmt, print_table, start};
+use dynawave_core::experiment::ExperimentConfig;
+use dynawave_core::{collect_traces, Metric, WaveletNeuralPredictor};
+use dynawave_core::accuracy::mse_percent;
+use dynawave_sampling::{lhs, random, DesignPoint, DesignSpace, Split};
+use dynawave_workloads::Benchmark;
+
+fn evaluate(cfg: &ExperimentConfig, threshold: f64, bench: Benchmark) -> f64 {
+    let space = DesignSpace::micro2007_with_dvm_threshold(threshold);
+    let train_design = lhs::sample(&space, cfg.train_points, cfg.seed);
+    // DVM always enabled on the test side (the policy under study).
+    let test_design: Vec<DesignPoint> =
+        random::sample(&space, cfg.test_points, Split::Test, cfg.seed ^ 0x7E57)
+            .into_iter()
+            .map(|p| {
+                let mut v = p.into_values();
+                v[9] = threshold;
+                DesignPoint::new(v)
+            })
+            .collect();
+    let opts = cfg.sim_options();
+    let train = collect_traces(bench, &train_design, Metric::IqAvf, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
+    let test = collect_traces(bench, &test_design, Metric::IqAvf, &opts);
+    let total: f64 = test
+        .traces
+        .iter()
+        .zip(test.points.iter().map(|p| model.predict(p)))
+        .map(|(a, p)| mse_percent(a, &p))
+        .sum();
+    total / test.traces.len() as f64
+}
+
+fn main() {
+    let (cfg, t0) = start(
+        "Figure 19",
+        "IQ AVF MSE%% (absolute, x100) across DVM thresholds 0.2 / 0.3 / 0.5",
+    );
+    let thresholds = [0.2, 0.3, 0.5];
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        eprintln!("evaluating {bench} ...");
+        let mut row = vec![bench.name().to_string()];
+        for &th in &thresholds {
+            row.push(fmt(evaluate(&cfg, th, bench), 3));
+        }
+        rows.push(row);
+    }
+    println!();
+    print_table(
+        &[
+            "benchmark",
+            "threshold 0.2",
+            "threshold 0.3",
+            "threshold 0.5",
+        ],
+        &rows,
+    );
+    println!(
+        "\nMetric note: AVF lies in [0, 1], so this figure reports absolute\n\
+         MSE x100 (the paper's 0-0.5%% axis scale), not power-normalized\n\
+         NMSE.\n\
+         Expected shape (paper): uniformly small IQ AVF MSE regardless of\n\
+         the DVM target - the models work across policy settings."
+    );
+    dynawave_bench::finish(t0);
+}

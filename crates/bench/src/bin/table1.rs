@@ -1,0 +1,87 @@
+//! Table 1: the simulated baseline machine configuration.
+
+use dynawave_bench::print_table;
+use dynawave_sim::MachineConfig;
+
+fn main() {
+    let c = MachineConfig::baseline();
+    println!("Table 1. Simulated machine configuration (baseline)\n");
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "Processor Width".into(),
+            format!("{}-wide fetch/issue/commit", c.fetch_width),
+        ],
+        vec!["Issue Queue".into(), format!("{} entries", c.iq_size)],
+        vec![
+            "ITLB".into(),
+            format!(
+                "{} entries, {}-way, {} cycle miss",
+                c.itlb_entries, c.tlb_ways, c.tlb_miss_lat
+            ),
+        ],
+        vec![
+            "Branch Predictor".into(),
+            format!(
+                "{} entries Gshare, {}-bit global history",
+                c.bp_entries, c.bp_history_bits
+            ),
+        ],
+        vec![
+            "BTB".into(),
+            format!("{} entries, {}-way", c.btb_entries, c.btb_ways),
+        ],
+        vec![
+            "Return Address Stack".into(),
+            format!("{} entries RAS", c.ras_entries),
+        ],
+        vec![
+            "L1 Instruction Cache".into(),
+            format!(
+                "{}K, {}-way, {} Byte/line, 1 cycle access",
+                c.il1_kb, c.il1_ways, c.il1_line
+            ),
+        ],
+        vec!["ROB Size".into(), format!("{} entries", c.rob_size)],
+        vec!["Load/Store Queue".into(), format!("{} entries", c.lsq_size)],
+        vec![
+            "Integer ALU".into(),
+            format!(
+                "{} I-ALU, {} I-MUL/DIV, {} Load/Store ports",
+                c.int_alu_units, c.int_mul_units, c.dl1_ports
+            ),
+        ],
+        vec![
+            "FP ALU".into(),
+            format!("{} FP-ALU, {} FP-MUL/DIV/SQRT", c.fp_alu_units, c.fp_mul_units),
+        ],
+        vec![
+            "DTLB".into(),
+            format!(
+                "{} entries, {}-way, {} cycle miss",
+                c.dtlb_entries, c.tlb_ways, c.tlb_miss_lat
+            ),
+        ],
+        vec![
+            "L1 Data Cache".into(),
+            format!(
+                "{}KB, {}-way, {} Byte/line, {} ports, {} cycle",
+                c.dl1_kb, c.dl1_ways, c.dl1_line, c.dl1_ports, c.dl1_lat
+            ),
+        ],
+        vec![
+            "L2 Cache".into(),
+            format!(
+                "unified {}MB, {}-way, {} Byte/line, {} cycle access",
+                c.l2_kb / 1024,
+                c.l2_ways,
+                c.l2_line,
+                c.l2_lat
+            ),
+        ],
+        vec![
+            "Memory Access".into(),
+            format!("{} cycles access latency", c.mem_lat),
+        ],
+    ];
+    print_table(&["Parameter", "Configuration"], &rows);
+}

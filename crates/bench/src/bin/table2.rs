@@ -1,0 +1,41 @@
+//! Table 2: microarchitectural parameter ranges used for generating the
+//! train and test data sets.
+
+use dynawave_bench::print_table;
+use dynawave_sampling::{DesignSpace, Split};
+
+fn main() {
+    let space = DesignSpace::micro2007();
+    println!("Table 2. Microarchitectural parameter ranges (train/test)\n");
+    let fmt_levels = |levels: &[f64]| {
+        levels
+            .iter()
+            .map(|v| {
+                if v.fract() == 0.0 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let rows: Vec<Vec<String>> = space
+        .parameters()
+        .iter()
+        .map(|p| {
+            vec![
+                p.name().to_string(),
+                fmt_levels(p.train_levels()),
+                fmt_levels(p.test_levels()),
+                p.train_levels().len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["Parameter", "Train", "Test", "# of Levels"], &rows);
+    println!(
+        "\ntrain grid: {} configurations; test grid: {} configurations",
+        space.grid_size(Split::Train),
+        space.grid_size(Split::Test)
+    );
+}

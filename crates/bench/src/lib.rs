@@ -1,0 +1,230 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every figure/table of the paper has a binary under `src/bin/` that
+//! regenerates its rows or series (see `DESIGN.md` for the index). The
+//! helpers here keep their output format consistent: a banner describing
+//! the experiment scale, fixed-width tables, and ASCII sparklines for
+//! trace comparisons.
+//!
+//! Scale is controlled by `DYNAWAVE_TRAIN`, `DYNAWAVE_TEST`,
+//! `DYNAWAVE_SAMPLES`, `DYNAWAVE_INTERVAL` and `DYNAWAVE_SEED`
+//! (see [`ExperimentConfig::from_env`]); defaults are the paper's
+//! 200-train / 50-test / 128-sample methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynawave_core::experiment::ExperimentConfig;
+use std::time::Instant;
+
+/// Prints the standard experiment banner and returns the env-derived
+/// configuration plus a start instant for the closing footer.
+pub fn start(figure: &str, description: &str) -> (ExperimentConfig, Instant) {
+    let cfg = ExperimentConfig::from_env();
+    println!("================================================================");
+    println!("dynawave reproduction :: {figure}");
+    println!("{description}");
+    println!(
+        "scale: {} train / {} test / {} samples x {} instr (seed {})",
+        cfg.train_points, cfg.test_points, cfg.samples, cfg.interval_instructions, cfg.seed
+    );
+    println!("================================================================");
+    (cfg, Instant::now())
+}
+
+/// Prints the closing footer with elapsed wall-clock time.
+pub fn finish(started: Instant) {
+    println!(
+        "----------------------------------------------------------------\n\
+         done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+/// Prints a fixed-width table: a header row then data rows, all columns
+/// padded to the widest cell.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    // Measure in chars, not bytes: sparkline cells are multibyte UTF-8.
+    let width_of = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = header.iter().map(|h| width_of(h)).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(width_of(cell));
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>w$}", w = w));
+        }
+        out
+    };
+    println!(
+        "{}",
+        line(header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Renders a trace as an ASCII sparkline (8 levels) so simulated and
+/// predicted dynamics can be compared visually in a terminal.
+pub fn sparkline(trace: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if trace.is_empty() {
+        return String::new();
+    }
+    let lo = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    trace
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Down-samples a trace to at most `n` points (for wide sparklines).
+pub fn downsample(trace: &[f64], n: usize) -> Vec<f64> {
+    if trace.len() <= n || n == 0 {
+        return trace.to_vec();
+    }
+    let chunk = trace.len().div_ceil(n);
+    trace
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Minimal CSV output for archiving experiment results.
+///
+/// Cells containing commas, quotes or newlines are quoted per RFC 4180.
+pub mod csv {
+    use std::io::Write;
+    use std::path::Path;
+
+    fn escape(cell: &str) -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    /// Renders a header + rows as CSV text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the header's.
+    pub fn to_string(header: &[&str], rows: &[Vec<String>]) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in rows {
+            assert_eq!(row.len(), header.len(), "ragged CSV row");
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes a header + rows to a CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_file(
+        path: impl AsRef<Path>,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(to_string(header, rows).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_constant_trace() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn downsample_caps_length() {
+        let t: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&t, 10);
+        assert!(d.len() <= 10);
+        // Order preserved and means increasing.
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(downsample(&t, 0), t);
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let text = csv::to_string(
+            &["a", "b"],
+            &[vec!["plain".into(), "has,comma".into()],
+              vec!["has\"quote".into(), "x".into()]],
+        );
+        assert_eq!(
+            text,
+            "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
+        );
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("dynawave_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        csv::write_file(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+    }
+}

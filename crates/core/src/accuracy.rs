@@ -1,0 +1,191 @@
+//! Accuracy metrics of the paper's evaluation: normalized MSE,
+//! directional symmetry and threshold-based scenario classification
+//! (§4, Figures 8, 12, 13).
+
+pub use dynawave_numeric::stats::{nmse_percent, BoxplotSummary};
+use dynawave_numeric::stats::{min_max, mse};
+
+/// Plain mean-square error expressed in percent: `100 * mean((a-p)^2)`.
+///
+/// For metrics bounded in `[0, 1]` — AVF in particular — this is the
+/// scale the paper's Figures 18–19 use (values like 0.1–0.5 %), whereas
+/// [`nmse_percent`] normalizes by signal power and suits unbounded
+/// metrics like CPI and watts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse_percent(actual: &[f64], predicted: &[f64]) -> f64 {
+    100.0 * mse(actual, predicted)
+}
+
+/// The paper's three threshold levels between a trace's min and max
+/// (Figure 12):
+///
+/// ```text
+/// Qi = MIN + (MAX - MIN) * i/4,   i = 1, 2, 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Q1 — the lowest threshold.
+    pub q1: f64,
+    /// Q2 — the middle threshold.
+    pub q2: f64,
+    /// Q3 — the highest threshold.
+    pub q3: f64,
+}
+
+impl Thresholds {
+    /// Derives the thresholds from a reference trace (normally the
+    /// *simulated* trace, so predicted and actual classifications share
+    /// the same levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn from_trace(trace: &[f64]) -> Self {
+        let (lo, hi) = min_max(trace).expect("thresholds of an empty trace");
+        let span = hi - lo;
+        Thresholds {
+            q1: lo + span * 0.25,
+            q2: lo + span * 0.50,
+            q3: lo + span * 0.75,
+        }
+    }
+
+    /// The thresholds as an array `[q1, q2, q3]`.
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.q1, self.q2, self.q3]
+    }
+}
+
+/// Directional symmetry: the fraction of samples where prediction and
+/// actual fall on the same side of `threshold`.
+///
+/// `DS = 1/N * sum( 1[ (x(k) > tau) == (x̂(k) > tau) ] )` — the paper's
+/// definition, with `DS = 0.5` meaning chance-level scenario forecasting.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn directional_symmetry(actual: &[f64], predicted: &[f64], threshold: f64) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "DS length mismatch");
+    assert!(!actual.is_empty(), "DS of empty traces");
+    let agree = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| (**a > threshold) == (**p > threshold))
+        .count();
+    agree as f64 / actual.len() as f64
+}
+
+/// Directional *asymmetry* in percent, `100 * (1 - DS)` — the quantity
+/// Figure 13 plots.
+///
+/// # Panics
+///
+/// As for [`directional_symmetry`].
+pub fn directional_asymmetry_percent(actual: &[f64], predicted: &[f64], threshold: f64) -> f64 {
+    100.0 * (1.0 - directional_symmetry(actual, predicted, threshold))
+}
+
+/// Scenario-classification summary of one trace pair at the three
+/// Figure 12 thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioClassification {
+    /// Directional asymmetry (%) at Q1.
+    pub q1_asymmetry: f64,
+    /// Directional asymmetry (%) at Q2.
+    pub q2_asymmetry: f64,
+    /// Directional asymmetry (%) at Q3.
+    pub q3_asymmetry: f64,
+}
+
+impl ScenarioClassification {
+    /// Classifies `predicted` against `actual` using thresholds derived
+    /// from the actual trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces differ in length or are empty.
+    pub fn evaluate(actual: &[f64], predicted: &[f64]) -> Self {
+        let t = Thresholds::from_trace(actual);
+        ScenarioClassification {
+            q1_asymmetry: directional_asymmetry_percent(actual, predicted, t.q1),
+            q2_asymmetry: directional_asymmetry_percent(actual, predicted, t.q2),
+            q3_asymmetry: directional_asymmetry_percent(actual, predicted, t.q3),
+        }
+    }
+}
+
+/// Fraction of samples in `trace` that exceed `threshold` — the paper's
+/// "how many sampling points in a trace are above or below the threshold"
+/// scenario measure.
+pub fn exceedance_fraction(trace: &[f64], threshold: f64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().filter(|&&v| v > threshold).count() as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_quarter_points() {
+        let t = Thresholds::from_trace(&[0.0, 4.0]);
+        assert_eq!(t.q1, 1.0);
+        assert_eq!(t.q2, 2.0);
+        assert_eq!(t.q3, 3.0);
+        assert_eq!(t.as_array(), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn perfect_prediction_has_full_ds() {
+        let x = [0.1, 0.9, 0.4, 0.8];
+        assert_eq!(directional_symmetry(&x, &x, 0.5), 1.0);
+        assert_eq!(directional_asymmetry_percent(&x, &x, 0.5), 0.0);
+    }
+
+    #[test]
+    fn inverted_prediction_has_zero_ds() {
+        let a = [0.0, 1.0, 0.0, 1.0];
+        let p = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(directional_symmetry(&a, &p, 0.5), 0.0);
+        assert_eq!(directional_asymmetry_percent(&a, &p, 0.5), 100.0);
+    }
+
+    #[test]
+    fn half_agreement() {
+        let a = [0.0, 1.0, 0.0, 1.0];
+        let p = [0.0, 1.0, 1.0, 0.0];
+        assert_eq!(directional_symmetry(&a, &p, 0.5), 0.5);
+    }
+
+    #[test]
+    fn scenario_classification_end_to_end() {
+        let actual: Vec<f64> = (0..32).map(|i| (i as f64 / 5.0).sin()).collect();
+        let predicted: Vec<f64> = actual.iter().map(|v| v + 0.01).collect();
+        let s = ScenarioClassification::evaluate(&actual, &predicted);
+        assert!(s.q1_asymmetry < 10.0);
+        assert!(s.q2_asymmetry < 10.0);
+        assert!(s.q3_asymmetry < 10.0);
+    }
+
+    #[test]
+    fn mse_percent_scale() {
+        let a = [0.3, 0.3];
+        let p = [0.4, 0.2];
+        assert!((mse_percent(&a, &p) - 1.0).abs() < 1e-12);
+        assert_eq!(mse_percent(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn exceedance_counts() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exceedance_fraction(&t, 2.5), 0.5);
+        assert_eq!(exceedance_fraction(&t, 0.0), 1.0);
+        assert_eq!(exceedance_fraction(&[], 1.0), 0.0);
+    }
+}

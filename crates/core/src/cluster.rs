@@ -1,0 +1,149 @@
+//! Hierarchical clustering for the Figure 18 heat-plot dendrogram.
+//!
+//! The paper's heat plots order benchmarks by a dendrogram built from
+//! their per-test-case MSE vectors. This module provides agglomerative
+//! clustering with average linkage over Euclidean distances and returns
+//! both the merge tree and a leaf ordering suitable for heat-map axes.
+
+/// One merge step of the agglomerative clustering.
+///
+/// Cluster ids `0..n` are the original observations; id `n + i` is the
+/// cluster created by merge `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened (the height of the
+    /// dendrogram's U).
+    pub distance: f64,
+}
+
+/// The result of hierarchical clustering: the merge sequence and the
+/// dendrogram-order permutation of the observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Merge steps, in order.
+    pub merges: Vec<Merge>,
+    /// Leaf indices in dendrogram (left-to-right) order.
+    pub order: Vec<usize>,
+}
+
+/// Euclidean distance between two equal-length vectors.
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Agglomerative clustering with average linkage.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or rows have inconsistent lengths.
+pub fn hierarchical_cluster(rows: &[Vec<f64>]) -> Dendrogram {
+    assert!(!rows.is_empty(), "clustering needs observations");
+    let n = rows.len();
+    let dim = rows[0].len();
+    for r in rows {
+        assert_eq!(r.len(), dim, "inconsistent observation lengths");
+    }
+    // Active clusters: (id, member leaf indices).
+    let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+    // Average-linkage distance between leaf sets.
+    let linkage = |xs: &[usize], ys: &[usize]| -> f64 {
+        let mut total = 0.0;
+        for &x in xs {
+            for &y in ys {
+                total += euclidean(&rows[x], &rows[y]);
+            }
+        }
+        total / (xs.len() * ys.len()) as f64
+    };
+    while clusters.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = linkage(&clusters[i].1, &clusters[j].1);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let (id_b, members_b) = clusters.remove(j);
+        let (id_a, members_a) = clusters.remove(i);
+        merges.push(Merge {
+            a: id_a,
+            b: id_b,
+            distance: d,
+        });
+        let mut members = members_a;
+        members.extend(members_b);
+        clusters.push((next_id, members));
+        next_id += 1;
+    }
+    let order = clusters.pop().map(|(_, m)| m).unwrap_or_default();
+    Dendrogram { merges, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_groups() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let d = hierarchical_cluster(&rows);
+        assert_eq!(d.merges.len(), 3);
+        // The two tight pairs merge first, at small distances.
+        assert!(d.merges[0].distance < 0.2);
+        assert!(d.merges[1].distance < 0.2);
+        assert!(d.merges[2].distance > 4.0);
+        // Dendrogram order keeps group members adjacent.
+        let pos: Vec<usize> = (0..4).map(|i| d.order.iter().position(|&x| x == i).unwrap()).collect();
+        assert_eq!((pos[0] as i64 - pos[1] as i64).abs(), 1);
+        assert_eq!((pos[2] as i64 - pos[3] as i64).abs(), 1);
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = hierarchical_cluster(&[vec![1.0]]);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.order, vec![0]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let d = hierarchical_cluster(&rows);
+        let mut sorted = d.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_distances_nondecreasing_for_average_linkage_on_line() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![(i * i) as f64]).collect();
+        let d = hierarchical_cluster(&rows);
+        for w in d.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance * 0.5, "wild inversion");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs observations")]
+    fn empty_panics() {
+        let _ = hierarchical_cluster(&[]);
+    }
+}

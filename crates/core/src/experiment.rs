@@ -1,0 +1,262 @@
+//! End-to-end experiment drivers used by the `dynawave-bench` harness.
+//!
+//! One [`ExperimentConfig`] describes the paper's methodology (§3): an
+//! LHS-sampled training set over the Table 2 train levels, an independent
+//! random test set over the test levels, traces of `samples` points, and
+//! the predictor hyper-parameters. [`evaluate_benchmark`] runs the full
+//! train/predict/score loop for one `(benchmark, metric)` pair.
+//!
+//! The scale knobs honour environment variables so that the bench harness
+//! can run anywhere from a smoke test to the paper's full 200/50 scale:
+//! `DYNAWAVE_TRAIN`, `DYNAWAVE_TEST`, `DYNAWAVE_SAMPLES`,
+//! `DYNAWAVE_INTERVAL`, `DYNAWAVE_SEED`.
+
+use crate::accuracy::ScenarioClassification;
+use crate::dataset::{collect_traces, Metric, TraceSet};
+use crate::predictor::{PredictorParams, WaveletNeuralPredictor};
+use dynawave_neural::ModelError;
+use dynawave_numeric::stats::nmse_percent;
+use dynawave_sampling::{lhs, random, DesignSpace, Split};
+use dynawave_sim::SimOptions;
+use dynawave_workloads::Benchmark;
+
+/// Scale and hyper-parameters of one accuracy experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Training design points (paper: 200, LHS over train levels).
+    pub train_points: usize,
+    /// Test design points (paper: 50, random over test levels).
+    pub test_points: usize,
+    /// Samples per dynamics trace (paper: 128; must be a power of two).
+    pub samples: usize,
+    /// Instructions per sample interval.
+    pub interval_instructions: u64,
+    /// Master seed (workload input, LHS, test sampling).
+    pub seed: u64,
+    /// Predictor hyper-parameters.
+    pub predictor: PredictorParams,
+    /// Use the 10-parameter space that includes the DVM flag (§5).
+    pub with_dvm_parameter: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            train_points: 200,
+            test_points: 50,
+            samples: 128,
+            interval_instructions: 2048,
+            seed: 0xD15EA5E,
+            predictor: PredictorParams::default(),
+            with_dvm_parameter: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Builds a configuration from `DYNAWAVE_*` environment variables,
+    /// falling back to the paper-scale defaults.
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = ExperimentConfig::default();
+        ExperimentConfig {
+            train_points: env("DYNAWAVE_TRAIN", d.train_points),
+            test_points: env("DYNAWAVE_TEST", d.test_points),
+            samples: env("DYNAWAVE_SAMPLES", d.samples),
+            interval_instructions: env("DYNAWAVE_INTERVAL", d.interval_instructions),
+            seed: env("DYNAWAVE_SEED", d.seed),
+            ..d
+        }
+    }
+
+    /// The design space this experiment explores.
+    pub fn space(&self) -> DesignSpace {
+        if self.with_dvm_parameter {
+            DesignSpace::micro2007_with_dvm()
+        } else {
+            DesignSpace::micro2007()
+        }
+    }
+
+    /// Simulator options corresponding to this configuration.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            samples: self.samples,
+            interval_instructions: self.interval_instructions,
+            seed: self.seed,
+        }
+    }
+
+    /// The LHS training design (deterministic in `seed`).
+    pub fn train_design(&self) -> Vec<dynawave_sampling::DesignPoint> {
+        lhs::sample(&self.space(), self.train_points, self.seed)
+    }
+
+    /// The independent random test design (deterministic in `seed`).
+    pub fn test_design(&self) -> Vec<dynawave_sampling::DesignPoint> {
+        random::sample(
+            &self.space(),
+            self.test_points,
+            Split::Test,
+            self.seed ^ 0x7E57,
+        )
+    }
+}
+
+/// Everything [`evaluate_benchmark`] learns about one
+/// `(benchmark, metric)` pair.
+#[derive(Debug, Clone)]
+pub struct BenchmarkEvaluation {
+    /// The benchmark evaluated.
+    pub benchmark: Benchmark,
+    /// The metric evaluated.
+    pub metric: Metric,
+    /// The trained predictor.
+    pub model: WaveletNeuralPredictor,
+    /// Simulated (ground-truth) test traces.
+    pub test: TraceSet,
+    /// Predicted traces, parallel to `test.traces`.
+    pub predictions: Vec<Vec<f64>>,
+    /// Normalized MSE (%) per test point — the Figure 8 boxplot data.
+    pub nmse_per_test: Vec<f64>,
+    /// Threshold-classification quality per test point (Figure 13 data).
+    pub scenarios: Vec<ScenarioClassification>,
+}
+
+impl BenchmarkEvaluation {
+    /// Median NMSE (%) across the test set.
+    pub fn median_nmse(&self) -> f64 {
+        dynawave_numeric::stats::median(&self.nmse_per_test).unwrap_or(0.0)
+    }
+
+    /// Mean NMSE (%) across the test set.
+    pub fn mean_nmse(&self) -> f64 {
+        dynawave_numeric::stats::mean(&self.nmse_per_test)
+    }
+
+    /// Mean directional asymmetry (%) at the three thresholds.
+    pub fn mean_asymmetry(&self) -> [f64; 3] {
+        let n = self.scenarios.len().max(1) as f64;
+        let mut acc = [0.0; 3];
+        for s in &self.scenarios {
+            acc[0] += s.q1_asymmetry;
+            acc[1] += s.q2_asymmetry;
+            acc[2] += s.q3_asymmetry;
+        }
+        [acc[0] / n, acc[1] / n, acc[2] / n]
+    }
+}
+
+/// Runs the full §3 methodology for one `(benchmark, metric)` pair:
+/// simulate training design → train → simulate test design → predict →
+/// score.
+///
+/// # Errors
+///
+/// Propagates model-fitting failures.
+pub fn evaluate_benchmark(
+    benchmark: Benchmark,
+    metric: Metric,
+    cfg: &ExperimentConfig,
+) -> Result<BenchmarkEvaluation, ModelError> {
+    let opts = cfg.sim_options();
+    let train = collect_traces(benchmark, &cfg.train_design(), metric, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor)?;
+    let test = collect_traces(benchmark, &cfg.test_design(), metric, &opts);
+    Ok(score_model(benchmark, metric, model, test))
+}
+
+/// Scores an already-trained model against a test [`TraceSet`]. Split out
+/// of [`evaluate_benchmark`] so sweeps can reuse simulated traces.
+pub fn score_model(
+    benchmark: Benchmark,
+    metric: Metric,
+    model: WaveletNeuralPredictor,
+    test: TraceSet,
+) -> BenchmarkEvaluation {
+    let predictions: Vec<Vec<f64>> = test.points.iter().map(|p| model.predict(p)).collect();
+    let nmse_per_test: Vec<f64> = test
+        .traces
+        .iter()
+        .zip(&predictions)
+        .map(|(a, p)| nmse_percent(a, p))
+        .collect();
+    let scenarios: Vec<ScenarioClassification> = test
+        .traces
+        .iter()
+        .zip(&predictions)
+        .map(|(a, p)| ScenarioClassification::evaluate(a, p))
+        .collect();
+    BenchmarkEvaluation {
+        benchmark,
+        metric,
+        model,
+        test,
+        predictions,
+        nmse_per_test,
+        scenarios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end experiment: small but real.
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            train_points: 30,
+            test_points: 8,
+            samples: 32,
+            interval_instructions: 600,
+            seed: 11,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_cpi_prediction_beats_naive_baseline() {
+        let cfg = tiny_config();
+        let eval = evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg).unwrap();
+        assert_eq!(eval.nmse_per_test.len(), 8);
+        // The model must do far better than predicting zero everywhere
+        // (NMSE 100%).
+        let median = eval.median_nmse();
+        assert!(median < 50.0, "median NMSE {median}%");
+        assert!(median >= 0.0);
+    }
+
+    #[test]
+    fn designs_are_deterministic() {
+        let cfg = tiny_config();
+        assert_eq!(cfg.train_design(), cfg.train_design());
+        assert_eq!(cfg.test_design(), cfg.test_design());
+        assert_eq!(cfg.train_design().len(), 30);
+        assert_eq!(cfg.test_design().len(), 8);
+    }
+
+    #[test]
+    fn dvm_space_has_ten_dims() {
+        let cfg = ExperimentConfig {
+            with_dvm_parameter: true,
+            ..tiny_config()
+        };
+        assert_eq!(cfg.space().dims(), 10);
+        assert_eq!(cfg.train_design()[0].values().len(), 10);
+    }
+
+    #[test]
+    fn mean_asymmetry_shape() {
+        let cfg = tiny_config();
+        let eval = evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg).unwrap();
+        let asym = eval.mean_asymmetry();
+        for a in asym {
+            assert!((0.0..=100.0).contains(&a), "{asym:?}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Parameter-importance analysis for the Figure 11 star plots.
+//!
+//! The RBF networks' regression trees rank microarchitecture parameters
+//! two ways (paper §4): **split order** (parameters that cause the most
+//! output variation split earliest) and **split frequency** (they split
+//! most often). This module aggregates those statistics across all
+//! per-coefficient networks of a trained predictor into one spoke-length
+//! vector per ranking — the data a star plot draws.
+
+use crate::predictor::WaveletNeuralPredictor;
+
+/// Star-plot data: one spoke length in `[0, 1]` per design parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarPlot {
+    /// Parameter names, in design-space order.
+    pub parameters: Vec<String>,
+    /// Spoke lengths normalized so the longest spoke is 1.0.
+    pub spokes: Vec<f64>,
+}
+
+impl StarPlot {
+    /// Index of the dominant parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plot has no spokes.
+    pub fn dominant(&self) -> usize {
+        assert!(!self.spokes.is_empty(), "empty star plot");
+        self.spokes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite spokes"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Parameters sorted by decreasing spoke length.
+    pub fn ranking(&self) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> = self
+            .parameters
+            .iter()
+            .cloned()
+            .zip(self.spokes.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite spokes"));
+        pairs
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let max = v.iter().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for x in &mut v {
+            *x /= max;
+        }
+    }
+    v
+}
+
+/// Split-order star plot: spokes weight each parameter by how *early* the
+/// regression trees split on it, aggregated over every per-coefficient
+/// network, weighted by coefficient significance (most significant
+/// coefficient first, weight `1/(rank+1)`).
+///
+/// Returns `None` if the predictor has no RBF networks (linear ablation).
+pub fn split_order_star(
+    model: &WaveletNeuralPredictor,
+    parameter_names: &[&str],
+) -> Option<StarPlot> {
+    aggregate(model, parameter_names, |tree| tree.split_order_scores())
+}
+
+/// Split-frequency star plot: spokes count how *often* trees split on
+/// each parameter. See [`split_order_star`] for weighting.
+pub fn split_frequency_star(
+    model: &WaveletNeuralPredictor,
+    parameter_names: &[&str],
+) -> Option<StarPlot> {
+    aggregate(model, parameter_names, |tree| {
+        tree.split_frequencies()
+            .into_iter()
+            .map(|c| c as f64)
+            .collect()
+    })
+}
+
+fn aggregate<F>(
+    model: &WaveletNeuralPredictor,
+    parameter_names: &[&str],
+    score: F,
+) -> Option<StarPlot>
+where
+    F: Fn(&dynawave_neural::RegressionTree) -> Vec<f64>,
+{
+    let networks = model.networks();
+    if networks.is_empty() {
+        return None;
+    }
+    let dims = parameter_names.len();
+    let mut spokes = vec![0.0f64; dims];
+    for (rank, net) in networks.iter().enumerate() {
+        let tree = net.tree()?;
+        let weight = 1.0 / (rank as f64 + 1.0);
+        for (s, v) in spokes.iter_mut().zip(score(tree)) {
+            *s += weight * v;
+        }
+    }
+    Some(StarPlot {
+        parameters: parameter_names.iter().map(|s| s.to_string()).collect(),
+        spokes: normalize(spokes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Metric, TraceSet};
+    use crate::predictor::{ModelKind, PredictorParams, WaveletNeuralPredictor};
+    use dynawave_sampling::DesignPoint;
+    use dynawave_workloads::Benchmark;
+
+    /// Traces whose dynamics depend almost entirely on parameter 1.
+    fn biased_set() -> TraceSet {
+        let mut points = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                points.push(DesignPoint::new(vec![i as f64, j as f64]));
+                traces.push(
+                    (0..32)
+                        .map(|s| 1.0 + j as f64 + 0.01 * i as f64 + 0.001 * s as f64)
+                        .collect(),
+                );
+            }
+        }
+        TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points,
+            traces,
+        }
+    }
+
+    #[test]
+    fn dominant_parameter_detected() {
+        let model =
+            WaveletNeuralPredictor::train(&biased_set(), &PredictorParams::default()).unwrap();
+        let star = split_frequency_star(&model, &["p0", "p1"]).unwrap();
+        assert_eq!(star.dominant(), 1, "spokes: {:?}", star.spokes);
+        let order = split_order_star(&model, &["p0", "p1"]).unwrap();
+        assert_eq!(order.dominant(), 1);
+        // Spokes are normalized.
+        assert!((star.spokes[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let model =
+            WaveletNeuralPredictor::train(&biased_set(), &PredictorParams::default()).unwrap();
+        let star = split_frequency_star(&model, &["p0", "p1"]).unwrap();
+        let ranking = star.ranking();
+        assert_eq!(ranking[0].0, "p1");
+        assert!(ranking[0].1 >= ranking[1].1);
+    }
+
+    #[test]
+    fn linear_model_has_no_star() {
+        let params = PredictorParams {
+            model: ModelKind::Linear,
+            ..PredictorParams::default()
+        };
+        let model = WaveletNeuralPredictor::train(&biased_set(), &params).unwrap();
+        assert!(split_order_star(&model, &["p0", "p1"]).is_none());
+    }
+}

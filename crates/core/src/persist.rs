@@ -1,0 +1,379 @@
+//! Saving and loading trained predictors.
+//!
+//! Trained [`WaveletNeuralPredictor`]s serialize to a line-oriented,
+//! human-inspectable text format (no external serialization crates are
+//! required). Floats are written with Rust's shortest round-trip
+//! representation, so save/load reproduces predictions bit-exactly.
+//!
+//! Regression-tree introspection (the Figure 11 star-plot data) is not
+//! part of the snapshot; a loaded model predicts identically but
+//! [`WaveletNeuralPredictor::networks`] returns tree-less networks.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dynawave_core::persist;
+//! # let model: dynawave_core::WaveletNeuralPredictor = unimplemented!();
+//! let text = persist::to_string(&model);
+//! std::fs::write("gcc_cpi.dynawave", &text)?;
+//! let restored = persist::from_string(&text)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::predictor::{PortableCoeffModel, PortableModel, WaveletNeuralPredictor};
+use dynawave_neural::RbfNetworkData;
+use dynawave_wavelet::Wavelet;
+use std::error::Error;
+use std::fmt;
+
+/// Format version tag written at the top of every snapshot.
+const MAGIC: &str = "dynawave-model v1";
+
+/// Errors raised while parsing a model snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// The input does not start with the expected magic line.
+    BadMagic,
+    /// A structural line was missing or malformed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected there.
+        expected: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The parsed snapshot was rejected by the model itself.
+    Inconsistent(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a dynawave model snapshot"),
+            PersistError::Malformed { line, expected } => {
+                write!(f, "malformed snapshot at line {line}: expected {expected}")
+            }
+            PersistError::BadNumber { line } => {
+                write!(f, "unparseable number at line {line}")
+            }
+            PersistError::Inconsistent(msg) => write!(f, "inconsistent snapshot: {msg}"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+fn write_vec(out: &mut String, tag: &str, values: &[f64]) {
+    out.push_str(tag);
+    for v in values {
+        out.push(' ');
+        out.push_str(&format!("{v}"));
+    }
+    out.push('\n');
+}
+
+/// Serializes a trained predictor to the text format.
+pub fn to_string(model: &WaveletNeuralPredictor) -> String {
+    let portable = model.to_portable();
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("wavelet {}\n", portable.wavelet.name()));
+    out.push_str(&format!("trace_len {}\n", portable.trace_len));
+    out.push_str(&format!("coefficients {}\n", portable.indices.len()));
+    for (idx, m) in portable.indices.iter().zip(&portable.models) {
+        out.push_str(&format!("index {idx}\n"));
+        match m {
+            PortableCoeffModel::Rbf(data) => {
+                out.push_str(&format!("model rbf {}\n", data.centers.len()));
+                write_vec(&mut out, "mins", &data.mins);
+                write_vec(&mut out, "spans", &data.spans);
+                write_vec(&mut out, "weights", &data.weights);
+                match data.bias {
+                    Some(b) => out.push_str(&format!("bias {b}\n")),
+                    None => out.push_str("bias none\n"),
+                }
+                for (c, r) in data.centers.iter().zip(&data.radii) {
+                    write_vec(&mut out, "center", c);
+                    write_vec(&mut out, "radius", r);
+                }
+            }
+            PortableCoeffModel::Linear {
+                mins,
+                spans,
+                weights,
+                bias,
+            } => {
+                out.push_str("model linear\n");
+                write_vec(&mut out, "mins", mins);
+                write_vec(&mut out, "spans", spans);
+                write_vec(&mut out, "weights", weights);
+                out.push_str(&format!("bias {bias}\n"));
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn next_line(&mut self, expected: &'static str) -> Result<(usize, &'a str), PersistError> {
+        loop {
+            match self.lines.next() {
+                Some((i, l)) if l.trim().is_empty() => {
+                    let _ = i;
+                    continue;
+                }
+                Some((i, l)) => return Ok((i + 1, l.trim())),
+                None => {
+                    return Err(PersistError::Malformed {
+                        line: 0,
+                        expected,
+                    })
+                }
+            }
+        }
+    }
+
+    fn tagged(&mut self, tag: &'static str) -> Result<(usize, Vec<&'a str>), PersistError> {
+        let (line, l) = self.next_line(tag)?;
+        let mut parts = l.split_whitespace();
+        if parts.next() != Some(tag) {
+            return Err(PersistError::Malformed {
+                line,
+                expected: tag,
+            });
+        }
+        Ok((line, parts.collect()))
+    }
+
+    fn tagged_floats(&mut self, tag: &'static str) -> Result<Vec<f64>, PersistError> {
+        let (line, parts) = self.tagged(tag)?;
+        parts
+            .iter()
+            .map(|p| p.parse().map_err(|_| PersistError::BadNumber { line }))
+            .collect()
+    }
+}
+
+/// Parses a predictor from the text format.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] describing the first structural or numeric
+/// problem encountered.
+pub fn from_string(text: &str) -> Result<WaveletNeuralPredictor, PersistError> {
+    let mut p = Parser {
+        lines: text.lines().enumerate(),
+    };
+    let (_, magic) = p.next_line("magic header")?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let (line, parts) = p.tagged("wavelet")?;
+    let wavelet = match parts.first().copied() {
+        Some("haar") => Wavelet::Haar,
+        Some("db4") => Wavelet::Daubechies4,
+        _ => {
+            return Err(PersistError::Malformed {
+                line,
+                expected: "wavelet haar|db4",
+            })
+        }
+    };
+    let (line, parts) = p.tagged("trace_len")?;
+    let trace_len: usize = parts
+        .first()
+        .and_then(|v| v.parse().ok())
+        .ok_or(PersistError::BadNumber { line })?;
+    let (line, parts) = p.tagged("coefficients")?;
+    let count: usize = parts
+        .first()
+        .and_then(|v| v.parse().ok())
+        .ok_or(PersistError::BadNumber { line })?;
+
+    let mut indices = Vec::with_capacity(count);
+    let mut models = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (line, parts) = p.tagged("index")?;
+        let idx: usize = parts
+            .first()
+            .and_then(|v| v.parse().ok())
+            .ok_or(PersistError::BadNumber { line })?;
+        indices.push(idx);
+        let (line, parts) = p.tagged("model")?;
+        match parts.first().copied() {
+            Some("rbf") => {
+                let units: usize = parts
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(PersistError::BadNumber { line })?;
+                let mins = p.tagged_floats("mins")?;
+                let spans = p.tagged_floats("spans")?;
+                let weights = p.tagged_floats("weights")?;
+                let (line, parts) = p.tagged("bias")?;
+                let bias = match parts.first().copied() {
+                    Some("none") => None,
+                    Some(v) => Some(v.parse().map_err(|_| PersistError::BadNumber { line })?),
+                    None => {
+                        return Err(PersistError::Malformed {
+                            line,
+                            expected: "bias <value>|none",
+                        })
+                    }
+                };
+                let mut centers = Vec::with_capacity(units);
+                let mut radii = Vec::with_capacity(units);
+                for _ in 0..units {
+                    centers.push(p.tagged_floats("center")?);
+                    radii.push(p.tagged_floats("radius")?);
+                }
+                models.push(PortableCoeffModel::Rbf(RbfNetworkData {
+                    mins,
+                    spans,
+                    centers,
+                    radii,
+                    weights,
+                    bias,
+                }));
+            }
+            Some("linear") => {
+                let mins = p.tagged_floats("mins")?;
+                let spans = p.tagged_floats("spans")?;
+                let weights = p.tagged_floats("weights")?;
+                let (line, parts) = p.tagged("bias")?;
+                let bias: f64 = parts
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(PersistError::BadNumber { line })?;
+                models.push(PortableCoeffModel::Linear {
+                    mins,
+                    spans,
+                    weights,
+                    bias,
+                });
+            }
+            _ => {
+                return Err(PersistError::Malformed {
+                    line,
+                    expected: "model rbf|linear",
+                })
+            }
+        }
+        let (line, l) = p.next_line("end")?;
+        if l != "end" {
+            return Err(PersistError::Malformed {
+                line,
+                expected: "end",
+            });
+        }
+    }
+    WaveletNeuralPredictor::from_portable(PortableModel {
+        wavelet,
+        trace_len,
+        indices,
+        models,
+    })
+    .map_err(|e| PersistError::Inconsistent(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Metric, TraceSet};
+    use crate::predictor::{ModelKind, PredictorParams};
+    use dynawave_sampling::DesignPoint;
+    use dynawave_workloads::Benchmark;
+
+    fn trained(kind: ModelKind) -> WaveletNeuralPredictor {
+        let mut points = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..20 {
+            let a = (i % 5) as f64;
+            let b = (i / 5) as f64;
+            points.push(DesignPoint::new(vec![a, b]));
+            traces.push(
+                (0..32)
+                    .map(|s| 1.0 + a * 0.3 + b * 0.1 + 0.05 * (s as f64 * 0.7).sin())
+                    .collect(),
+            );
+        }
+        let set = TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points,
+            traces,
+        };
+        let params = PredictorParams {
+            model: kind,
+            coefficients: 8,
+            ..PredictorParams::default()
+        };
+        WaveletNeuralPredictor::train(&set, &params).unwrap()
+    }
+
+    #[test]
+    fn rbf_roundtrip_is_bit_exact() {
+        let model = trained(ModelKind::TreeRbf);
+        let text = to_string(&model);
+        let restored = from_string(&text).unwrap();
+        for probe in [[0.0, 0.0], [2.0, 3.0], [4.9, 0.1]] {
+            let p = DesignPoint::new(probe.to_vec());
+            assert_eq!(model.predict(&p), restored.predict(&p));
+        }
+    }
+
+    #[test]
+    fn linear_roundtrip_is_bit_exact() {
+        let model = trained(ModelKind::Linear);
+        let text = to_string(&model);
+        let restored = from_string(&text).unwrap();
+        let p = DesignPoint::new(vec![1.0, 2.0]);
+        assert_eq!(model.predict(&p), restored.predict(&p));
+    }
+
+    #[test]
+    fn snapshot_is_stable_text() {
+        let model = trained(ModelKind::TreeRbf);
+        let a = to_string(&model);
+        let b = to_string(&from_string(&a).unwrap());
+        assert_eq!(a, b, "serialize(parse(x)) must be a fixpoint");
+        assert!(a.starts_with(MAGIC));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_string("hello"), Err(PersistError::BadMagic)));
+        assert!(from_string("").is_err());
+        let model = trained(ModelKind::TreeRbf);
+        let text = to_string(&model);
+        // Truncation breaks a structural line somewhere.
+        let truncated = &text[..text.len() / 2];
+        assert!(from_string(truncated).is_err());
+        // Corrupt a number.
+        let corrupted = text.replacen("trace_len 32", "trace_len banana", 1);
+        assert!(matches!(
+            from_string(&corrupted),
+            Err(PersistError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::Malformed {
+            line: 7,
+            expected: "end",
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(PersistError::BadMagic.to_string().contains("snapshot"));
+    }
+}

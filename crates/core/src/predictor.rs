@@ -1,0 +1,493 @@
+//! The hybrid neuro-wavelet predictive model (paper §2.3 / Figure 6).
+
+use crate::dataset::TraceSet;
+use dynawave_neural::{LinearModel, ModelError, Normalizer, RbfNetwork, RbfNetworkData, RbfParams};
+use dynawave_numeric::Matrix;
+use dynawave_sampling::DesignPoint;
+use dynawave_wavelet::{select, wavedec, waverec, Decomposition, Wavelet};
+
+/// How the set of predicted wavelet coefficients is chosen (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoefficientSelection {
+    /// Keep the `k` coefficients with the largest mean magnitude across
+    /// the training set (the paper's choice — "it always outperforms the
+    /// order-based scheme").
+    #[default]
+    Magnitude,
+    /// Keep the first `k` coefficients in coarse-to-fine order.
+    Order,
+}
+
+/// Which regression model predicts each wavelet coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// RBF network with regression-tree center selection (the paper's
+    /// model).
+    #[default]
+    TreeRbf,
+    /// RBF network with deterministically scattered centers (ablation).
+    RandomRbf,
+    /// Ridge-regularized linear regression (ablation baseline).
+    Linear,
+}
+
+/// Hyper-parameters of [`WaveletNeuralPredictor::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorParams {
+    /// Mother wavelet for decomposition/reconstruction.
+    pub wavelet: Wavelet,
+    /// Number of wavelet coefficients to predict (the paper settles on
+    /// 16 of 128 as the accuracy/complexity sweet spot, Figure 9).
+    pub coefficients: usize,
+    /// Selection scheme for the predicted coefficients.
+    pub selection: CoefficientSelection,
+    /// Per-coefficient regression model.
+    pub model: ModelKind,
+    /// RBF network hyper-parameters (ignored for [`ModelKind::Linear`]).
+    pub rbf: RbfParams,
+    /// Unit count for [`ModelKind::RandomRbf`].
+    pub random_centers: usize,
+}
+
+impl Default for PredictorParams {
+    fn default() -> Self {
+        PredictorParams {
+            wavelet: Wavelet::Haar,
+            coefficients: 16,
+            selection: CoefficientSelection::Magnitude,
+            model: ModelKind::TreeRbf,
+            rbf: RbfParams::default(),
+            random_centers: 24,
+        }
+    }
+}
+
+/// One trained per-coefficient regressor.
+#[derive(Debug, Clone)]
+enum CoeffModel {
+    Rbf(RbfNetwork),
+    Linear(LinearModel),
+}
+
+impl CoeffModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            CoeffModel::Rbf(m) => m.predict(x),
+            CoeffModel::Linear(m) => m.predict(x),
+        }
+    }
+}
+
+/// The paper's hybrid scheme: wavelet decomposition, one neural network
+/// per retained coefficient, inverse transform for forecasting (Figure 6).
+///
+/// Train with [`WaveletNeuralPredictor::train`] on a [`TraceSet`] gathered
+/// from simulations, then [`WaveletNeuralPredictor::predict`] workload
+/// dynamics at unsimulated design points.
+#[derive(Debug, Clone)]
+pub struct WaveletNeuralPredictor {
+    wavelet: Wavelet,
+    trace_len: usize,
+    indices: Vec<usize>,
+    models: Vec<CoeffModel>,
+    params: PredictorParams,
+}
+
+impl WaveletNeuralPredictor {
+    /// Trains the predictor on `train`.
+    ///
+    /// Every training trace is decomposed; the coefficient subset is
+    /// selected per `params.selection`; one regressor per coefficient maps
+    /// the design vector to the coefficient value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the training set is empty, traces have
+    /// inconsistent or non-power-of-two lengths, or a regressor fails to
+    /// fit.
+    pub fn train(train: &TraceSet, params: &PredictorParams) -> Result<Self, ModelError> {
+        if train.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        let trace_len = train.traces[0].len();
+        let dims = train.points[0].values().len();
+        if train.points.len() != train.traces.len() {
+            return Err(ModelError::SampleCountMismatch {
+                features: train.points.len(),
+                targets: train.traces.len(),
+            });
+        }
+        // Decompose every training trace.
+        let mut coeff_rows = Vec::with_capacity(train.len());
+        for trace in &train.traces {
+            if trace.len() != trace_len {
+                return Err(ModelError::DimensionMismatch {
+                    expected: trace_len,
+                    got: trace.len(),
+                });
+            }
+            let dec = wavedec(trace, params.wavelet).map_err(|_| ModelError::EmptyTrainingSet)?;
+            coeff_rows.push(dec.into_coeffs());
+        }
+        // Coefficient selection on the training set.
+        let k = params.coefficients.min(trace_len);
+        let indices = match params.selection {
+            CoefficientSelection::Magnitude => {
+                let mut mean_mag = vec![0.0f64; trace_len];
+                for row in &coeff_rows {
+                    for (m, &c) in mean_mag.iter_mut().zip(row) {
+                        *m += c.abs();
+                    }
+                }
+                select::top_k_by_magnitude(&mean_mag, k)
+            }
+            CoefficientSelection::Order => select::first_k(trace_len, k),
+        };
+        // Design matrix shared by all per-coefficient regressors.
+        let mut xdata = Vec::with_capacity(train.len() * dims);
+        for p in &train.points {
+            xdata.extend_from_slice(p.values());
+        }
+        let x = Matrix::from_vec(train.len(), dims, xdata).expect("design shape");
+        // One regressor per selected coefficient; training is independent
+        // per coefficient, which is what keeps each sub-network simple.
+        let mut models = Vec::with_capacity(indices.len());
+        for (rank, &idx) in indices.iter().enumerate() {
+            let y: Vec<f64> = coeff_rows.iter().map(|row| row[idx]).collect();
+            let model = match params.model {
+                ModelKind::TreeRbf => CoeffModel::Rbf(RbfNetwork::fit(&x, &y, &params.rbf)?),
+                ModelKind::RandomRbf => CoeffModel::Rbf(RbfNetwork::fit_with_random_centers(
+                    &x,
+                    &y,
+                    params.random_centers,
+                    &params.rbf,
+                    rank as u64,
+                )?),
+                ModelKind::Linear => {
+                    CoeffModel::Linear(LinearModel::fit(&x, &y, params.rbf.ridge_lambda)?)
+                }
+            };
+            models.push(model);
+        }
+        Ok(WaveletNeuralPredictor {
+            wavelet: params.wavelet,
+            trace_len,
+            indices,
+            models,
+            params: params.clone(),
+        })
+    }
+
+    /// Forecasts the workload-dynamics trace at a design point.
+    ///
+    /// Unselected coefficients are approximated with zero, exactly as in
+    /// the paper's reconstruction step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimensionality differs from training.
+    pub fn predict(&self, point: &DesignPoint) -> Vec<f64> {
+        let mut coeffs = vec![0.0; self.trace_len];
+        for (&idx, model) in self.indices.iter().zip(&self.models) {
+            coeffs[idx] = model.predict(point.values());
+        }
+        let dec = Decomposition::from_coeffs(coeffs, self.wavelet);
+        waverec(&dec).expect("coefficient count matches by construction")
+    }
+
+    /// Indices of the predicted coefficients, most significant first.
+    pub fn coefficient_indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The per-coefficient RBF networks (empty for linear models), most
+    /// significant coefficient first. Used for the Figure 11 star plots.
+    pub fn networks(&self) -> Vec<&RbfNetwork> {
+        self.models
+            .iter()
+            .filter_map(|m| match m {
+                CoeffModel::Rbf(n) => Some(n),
+                CoeffModel::Linear(_) => None,
+            })
+            .collect()
+    }
+
+    /// The training hyper-parameters.
+    pub fn params(&self) -> &PredictorParams {
+        &self.params
+    }
+
+    /// The trace length (number of samples) the model forecasts.
+    pub fn trace_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Snapshots the trained predictor into a [`PortableModel`] for
+    /// persistence (see [`crate::persist`]). Regression-tree
+    /// introspection (the Figure 11 star plots) is not preserved.
+    pub fn to_portable(&self) -> PortableModel {
+        PortableModel {
+            wavelet: self.wavelet,
+            trace_len: self.trace_len,
+            indices: self.indices.clone(),
+            models: self
+                .models
+                .iter()
+                .map(|m| match m {
+                    CoeffModel::Rbf(net) => PortableCoeffModel::Rbf(net.to_data()),
+                    CoeffModel::Linear(lin) => PortableCoeffModel::Linear {
+                        mins: lin.normalizer().mins().to_vec(),
+                        spans: lin.normalizer().spans().to_vec(),
+                        weights: lin.weights().to_vec(),
+                        bias: lin.bias(),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a predictor from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DimensionMismatch`] if the snapshot is internally
+    /// inconsistent (index/model count mismatch, out-of-range indices or
+    /// malformed sub-models).
+    pub fn from_portable(portable: PortableModel) -> Result<Self, ModelError> {
+        if portable.indices.len() != portable.models.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: portable.indices.len(),
+                got: portable.models.len(),
+            });
+        }
+        if portable.trace_len < 2 || !portable.trace_len.is_power_of_two() {
+            return Err(ModelError::DimensionMismatch {
+                expected: portable.trace_len.next_power_of_two().max(2),
+                got: portable.trace_len,
+            });
+        }
+        if let Some(&bad) = portable.indices.iter().find(|&&i| i >= portable.trace_len) {
+            return Err(ModelError::DimensionMismatch {
+                expected: portable.trace_len,
+                got: bad,
+            });
+        }
+        let models = portable
+            .models
+            .into_iter()
+            .map(|m| match m {
+                PortableCoeffModel::Rbf(data) => RbfNetwork::from_data(data).map(CoeffModel::Rbf),
+                PortableCoeffModel::Linear {
+                    mins,
+                    spans,
+                    weights,
+                    bias,
+                } => LinearModel::from_parts(Normalizer::from_parts(mins, spans), weights, bias)
+                    .map(CoeffModel::Linear),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WaveletNeuralPredictor {
+            wavelet: portable.wavelet,
+            trace_len: portable.trace_len,
+            indices: portable.indices,
+            models,
+            params: PredictorParams {
+                wavelet: portable.wavelet,
+                ..PredictorParams::default()
+            },
+        })
+    }
+}
+
+/// Portable snapshot of a trained [`WaveletNeuralPredictor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableModel {
+    /// Mother wavelet used for reconstruction.
+    pub wavelet: Wavelet,
+    /// Forecast trace length.
+    pub trace_len: usize,
+    /// Predicted coefficient indices, most significant first.
+    pub indices: Vec<usize>,
+    /// Per-coefficient sub-models, parallel to `indices`.
+    pub models: Vec<PortableCoeffModel>,
+}
+
+/// Snapshot of one per-coefficient regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortableCoeffModel {
+    /// A Gaussian RBF network.
+    Rbf(RbfNetworkData),
+    /// A ridge-linear model.
+    Linear {
+        /// Normalizer minima.
+        mins: Vec<f64>,
+        /// Normalizer spans.
+        spans: Vec<f64>,
+        /// Normalized-space weights.
+        weights: Vec<f64>,
+        /// Intercept.
+        bias: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Metric;
+    use dynawave_workloads::Benchmark;
+
+    /// Builds a synthetic trace set from an analytic response surface so
+    /// tests do not need the simulator.
+    fn synthetic_set(n: usize, samples: usize) -> TraceSet {
+        let mut points = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..n {
+            let a = (i % 5) as f64;
+            let b = ((i / 5) % 5) as f64;
+            let point = DesignPoint::new(vec![a, b]);
+            // Dynamics: mean level set by a, oscillation amplitude by b.
+            let trace: Vec<f64> = (0..samples)
+                .map(|s| {
+                    let t = s as f64 / samples as f64;
+                    1.0 + 0.5 * a + 0.3 * b * (std::f64::consts::TAU * 3.0 * t).sin()
+                })
+                .collect();
+            points.push(point);
+            traces.push(trace);
+        }
+        TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points,
+            traces,
+        }
+    }
+
+    #[test]
+    fn learns_synthetic_dynamics() {
+        let set = synthetic_set(25, 64);
+        let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
+        // Predict at a training-adjacent point and compare to the truth.
+        let probe = DesignPoint::new(vec![2.0, 3.0]);
+        let pred = model.predict(&probe);
+        let truth: Vec<f64> = (0..64)
+            .map(|s| {
+                let t = s as f64 / 64.0;
+                1.0 + 0.5 * 2.0 + 0.3 * 3.0 * (std::f64::consts::TAU * 3.0 * t).sin()
+            })
+            .collect();
+        let nmse = dynawave_numeric::stats::nmse_percent(&truth, &pred);
+        assert!(nmse < 8.0, "NMSE {nmse}%");
+    }
+
+    #[test]
+    fn magnitude_selection_picks_energetic_coefficients() {
+        let set = synthetic_set(25, 64);
+        let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
+        // The approximation coefficient (index 0) dominates these traces.
+        assert_eq!(model.coefficient_indices()[0], 0);
+        assert_eq!(model.coefficient_indices().len(), 16);
+        assert_eq!(model.trace_len(), 64);
+    }
+
+    #[test]
+    fn order_selection_takes_prefix() {
+        let set = synthetic_set(10, 32);
+        let params = PredictorParams {
+            selection: CoefficientSelection::Order,
+            coefficients: 4,
+            ..PredictorParams::default()
+        };
+        let model = WaveletNeuralPredictor::train(&set, &params).unwrap();
+        assert_eq!(model.coefficient_indices(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn linear_kind_trains_without_networks() {
+        let set = synthetic_set(10, 32);
+        let params = PredictorParams {
+            model: ModelKind::Linear,
+            ..PredictorParams::default()
+        };
+        let model = WaveletNeuralPredictor::train(&set, &params).unwrap();
+        assert!(model.networks().is_empty());
+        assert_eq!(model.predict(&DesignPoint::new(vec![1.0, 1.0])).len(), 32);
+    }
+
+    #[test]
+    fn random_rbf_kind_trains() {
+        let set = synthetic_set(12, 32);
+        let params = PredictorParams {
+            model: ModelKind::RandomRbf,
+            random_centers: 8,
+            ..PredictorParams::default()
+        };
+        let model = WaveletNeuralPredictor::train(&set, &params).unwrap();
+        assert_eq!(model.networks().len(), 16);
+    }
+
+    #[test]
+    fn more_coefficients_reduce_training_error() {
+        let set = synthetic_set(25, 64);
+        let err = |k: usize| {
+            let params = PredictorParams {
+                coefficients: k,
+                ..PredictorParams::default()
+            };
+            let model = WaveletNeuralPredictor::train(&set, &params).unwrap();
+            let mut total = 0.0;
+            for (p, t) in set.points.iter().zip(&set.traces) {
+                total += dynawave_numeric::stats::nmse_percent(t, &model.predict(p));
+            }
+            total / set.len() as f64
+        };
+        assert!(err(16) <= err(2) + 1e-9);
+    }
+
+    #[test]
+    fn portable_roundtrip_predicts_identically() {
+        let set = synthetic_set(20, 32);
+        let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
+        let rebuilt =
+            WaveletNeuralPredictor::from_portable(model.to_portable()).unwrap();
+        let probe = DesignPoint::new(vec![2.0, 2.0]);
+        assert_eq!(model.predict(&probe), rebuilt.predict(&probe));
+        assert_eq!(model.coefficient_indices(), rebuilt.coefficient_indices());
+    }
+
+    #[test]
+    fn portable_rejects_inconsistencies() {
+        let set = synthetic_set(20, 32);
+        let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
+        let mut p = model.to_portable();
+        p.indices.pop();
+        assert!(WaveletNeuralPredictor::from_portable(p).is_err());
+        let mut p = model.to_portable();
+        p.trace_len = 33;
+        assert!(WaveletNeuralPredictor::from_portable(p).is_err());
+        let mut p = model.to_portable();
+        p.indices[0] = 999;
+        assert!(WaveletNeuralPredictor::from_portable(p).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let set = TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points: vec![],
+            traces: vec![],
+        };
+        assert!(matches!(
+            WaveletNeuralPredictor::train(&set, &PredictorParams::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_trace_lengths_error() {
+        let mut set = synthetic_set(4, 32);
+        set.traces[2] = vec![0.0; 16];
+        assert!(WaveletNeuralPredictor::train(&set, &PredictorParams::default()).is_err());
+    }
+}

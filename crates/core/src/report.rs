@@ -1,0 +1,150 @@
+//! Markdown report generation for experiment results.
+//!
+//! Turns a [`BenchmarkEvaluation`] (or a batch of them) into a
+//! self-contained markdown document — the per-benchmark accuracy tables a
+//! design-space-exploration campaign would archive next to its models.
+
+use crate::dataset::Metric;
+use crate::experiment::BenchmarkEvaluation;
+use dynawave_numeric::stats::BoxplotSummary;
+use std::fmt::Write as _;
+
+/// Renders one evaluation as a markdown section.
+pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {} / {} — {} test points\n",
+        eval.benchmark,
+        eval.metric,
+        eval.nmse_per_test.len()
+    );
+    if let Ok(s) = BoxplotSummary::from_data(&eval.nmse_per_test) {
+        let _ = writeln!(
+            out,
+            "| statistic | NMSE % |\n|---|---|\n\
+             | median | {:.3} |\n| mean | {:.3} |\n| Q1 | {:.3} |\n\
+             | Q3 | {:.3} |\n| max | {:.3} |\n| outliers | {} |\n",
+            s.median,
+            s.mean,
+            s.q1,
+            s.q3,
+            eval.nmse_per_test
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max),
+            s.outliers.len()
+        );
+    }
+    let [q1, q2, q3] = eval.mean_asymmetry();
+    let _ = writeln!(
+        out,
+        "Scenario classification (mean directional asymmetry): \
+         Q1 {q1:.2} %, Q2 {q2:.2} %, Q3 {q3:.2} %.\n"
+    );
+    let _ = writeln!(
+        out,
+        "Predicted coefficients: {:?}\n",
+        eval.model.coefficient_indices()
+    );
+    out
+}
+
+/// Renders a batch of evaluations as one markdown document with a summary
+/// table followed by per-evaluation sections.
+pub fn full_report(title: &str, evals: &[BenchmarkEvaluation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+    let _ = writeln!(
+        out,
+        "| benchmark | metric | median NMSE % | mean NMSE % | Q2 asym % |\n|---|---|---|---|---|"
+    );
+    for e in evals {
+        let [_, q2, _] = e.mean_asymmetry();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.3} | {:.2} |",
+            e.benchmark,
+            e.metric,
+            e.median_nmse(),
+            e.mean_nmse(),
+            q2
+        );
+    }
+    out.push('\n');
+    for e in evals {
+        out.push_str(&evaluation_section(e));
+    }
+    out
+}
+
+/// Renders per-test-point rows as CSV (`benchmark,metric,point,nmse`).
+pub fn csv_rows(evals: &[BenchmarkEvaluation]) -> String {
+    let mut out = String::from("benchmark,metric,test_point,nmse_percent\n");
+    for e in evals {
+        for (i, v) in e.nmse_per_test.iter().enumerate() {
+            let _ = writeln!(out, "{},{},{},{}", e.benchmark, e.metric, i, v);
+        }
+    }
+    out
+}
+
+/// The metric names, for callers assembling multi-domain reports.
+pub fn domain_names() -> [&'static str; 3] {
+    [
+        Metric::Cpi.name(),
+        Metric::Power.name(),
+        Metric::Avf.name(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{evaluate_benchmark, ExperimentConfig};
+    use dynawave_workloads::Benchmark;
+
+    fn tiny_eval() -> BenchmarkEvaluation {
+        let cfg = ExperimentConfig {
+            train_points: 25,
+            test_points: 5,
+            samples: 16,
+            interval_instructions: 500,
+            seed: 4,
+            ..ExperimentConfig::default()
+        };
+        evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg).unwrap()
+    }
+
+    #[test]
+    fn section_contains_key_numbers() {
+        let e = tiny_eval();
+        let text = evaluation_section(&e);
+        assert!(text.contains("eon / cpi"));
+        assert!(text.contains("median"));
+        assert!(text.contains("Scenario classification"));
+    }
+
+    #[test]
+    fn full_report_has_table_and_sections() {
+        let e = tiny_eval();
+        let doc = full_report("Smoke report", std::slice::from_ref(&e));
+        assert!(doc.starts_with("# Smoke report"));
+        assert!(doc.contains("| eon | cpi |"));
+        assert!(doc.contains("### eon / cpi"));
+    }
+
+    #[test]
+    fn csv_rows_one_per_test_point() {
+        let e = tiny_eval();
+        let csv = csv_rows(std::slice::from_ref(&e));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + e.nmse_per_test.len());
+        assert!(lines[1].starts_with("eon,cpi,0,"));
+    }
+
+    #[test]
+    fn domain_names_are_stable() {
+        assert_eq!(domain_names(), ["cpi", "power", "avf"]);
+    }
+}

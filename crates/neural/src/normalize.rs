@@ -1,0 +1,153 @@
+use dynawave_numeric::Matrix;
+
+/// Min–max feature normalizer mapping each input dimension to `[0, 1]`.
+///
+/// RBF networks are sensitive to feature scaling; the microarchitecture
+/// design space mixes parameters with ranges like `2..=16` (fetch width)
+/// and `256..=4096` (L2 KB), so the networks normalize inputs before
+/// computing distances. Dimensions that are constant in the training set
+/// map to `0.5`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Learns per-dimension minima and spans from a training matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a normalizer on zero samples");
+        let d = x.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for r in 0..x.rows() {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        let spans = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| {
+                let s = hi - lo;
+                if s > 0.0 {
+                    s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Normalizer { mins, spans }
+    }
+
+    /// Rebuilds a normalizer from raw per-dimension minima and spans
+    /// (spans of `0.0` mark constant dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any span is negative.
+    pub fn from_parts(mins: Vec<f64>, spans: Vec<f64>) -> Self {
+        assert_eq!(mins.len(), spans.len(), "mins/spans length mismatch");
+        assert!(spans.iter().all(|&s| s >= 0.0), "negative span");
+        Normalizer { mins, spans }
+    }
+
+    /// Per-dimension minima learned from the training set.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-dimension spans (`max - min`); `0.0` for constant dimensions.
+    pub fn spans(&self) -> &[f64] {
+        &self.spans
+    }
+
+    /// Number of input dimensions.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Normalizes one input vector into `[0, 1]` per dimension.
+    ///
+    /// Values outside the training range extrapolate linearly (may leave
+    /// `[0, 1]`), which is the desired behaviour when the test design space
+    /// brackets the training one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dims()`.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dims(), "normalizer dimension mismatch");
+        x.iter()
+            .zip(self.mins.iter().zip(&self.spans))
+            .map(|(&v, (&lo, &span))| {
+                if span > 0.0 {
+                    (v - lo) / span
+                } else {
+                    0.5
+                }
+            })
+            .collect()
+    }
+
+    /// Normalizes a whole matrix row-by-row.
+    pub fn transform_matrix(&self, x: &Matrix) -> Matrix {
+        let mut data = Vec::with_capacity(x.rows() * x.cols());
+        for r in 0..x.rows() {
+            data.extend(self.transform(x.row(r)));
+        }
+        Matrix::from_vec(x.rows(), x.cols(), data).expect("shape preserved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_range_to_unit() {
+        let x = Matrix::from_rows(&[&[2.0, 100.0], &[4.0, 300.0], &[6.0, 200.0]]);
+        let n = Normalizer::fit(&x);
+        assert_eq!(n.transform(&[2.0, 100.0]), vec![0.0, 0.0]);
+        assert_eq!(n.transform(&[6.0, 300.0]), vec![1.0, 1.0]);
+        assert_eq!(n.transform(&[4.0, 200.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_half() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let n = Normalizer::fit(&x);
+        assert_eq!(n.transform(&[7.0]), vec![0.5]);
+        assert_eq!(n.transform(&[9.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn extrapolates_outside_range() {
+        let x = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let n = Normalizer::fit(&x);
+        assert_eq!(n.transform(&[20.0]), vec![2.0]);
+        assert_eq!(n.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 9.0]]);
+        let n = Normalizer::fit(&x);
+        let rebuilt = Normalizer::from_parts(n.mins().to_vec(), n.spans().to_vec());
+        assert_eq!(n, rebuilt);
+    }
+
+    #[test]
+    fn transform_matrix_round() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[10.0, 3.0]]);
+        let n = Normalizer::fit(&x);
+        let t = n.transform_matrix(&x);
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+        assert_eq!(t.row(1), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,544 @@
+//! Gaussian RBF networks with tree-derived or random centers.
+
+use crate::normalize::Normalizer;
+use crate::tree::{RegressionTree, TreeParams};
+use crate::ModelError;
+use dynawave_numeric::{solve, Matrix};
+
+/// Hyper-parameters for [`RbfNetwork::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RbfParams {
+    /// Regression-tree parameters used for center/radius selection.
+    pub tree: TreeParams,
+    /// Multiplier applied to each node's half-extent to obtain the Gaussian
+    /// radius. Larger values give smoother interpolation.
+    pub radius_scale: f64,
+    /// Floor for any radius component, in normalized input units, so that
+    /// point-like nodes still have usable receptive fields.
+    pub min_radius: f64,
+    /// Ridge regularization for the output-weight fit.
+    pub ridge_lambda: f64,
+    /// Include a bias (constant) unit alongside the Gaussians.
+    pub bias: bool,
+    /// Optional cap on the number of Gaussian units. When set, units are
+    /// chosen by greedy **forward selection** (Orr et al.): starting from
+    /// the bias alone, repeatedly add the candidate unit that most
+    /// reduces the ridge-regularized training error. `None` keeps every
+    /// tree node as a unit (the paper-faithful default).
+    pub max_units: Option<usize>,
+}
+
+impl Default for RbfParams {
+    fn default() -> Self {
+        RbfParams {
+            tree: TreeParams::default(),
+            radius_scale: 6.0,
+            min_radius: 0.7,
+            ridge_lambda: 3e-4,
+            bias: true,
+            max_units: None,
+        }
+    }
+}
+
+/// One Gaussian unit: `phi(x) = exp(-sum_j ((x_j - mu_j) / theta_j)^2)`.
+///
+/// This is the paper's basis function with center vector `mu` and radius
+/// vector `theta` (§2.2), evaluated on normalized inputs.
+#[derive(Debug, Clone, PartialEq)]
+struct RbfUnit {
+    center: Vec<f64>,
+    radius: Vec<f64>,
+}
+
+impl RbfUnit {
+    fn response(&self, x: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for ((&xi, &mu), &th) in x.iter().zip(&self.center).zip(&self.radius) {
+            let z = (xi - mu) / th;
+            s += z * z;
+        }
+        (-s).exp()
+    }
+}
+
+/// Portable snapshot of a trained [`RbfNetwork`]: everything needed to
+/// reproduce its predictions (the regression tree used for center
+/// placement is *not* included — introspection is lost on a round-trip).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RbfNetworkData {
+    /// Per-dimension normalizer minima.
+    pub mins: Vec<f64>,
+    /// Per-dimension normalizer spans.
+    pub spans: Vec<f64>,
+    /// Unit centers (normalized coordinates), one row per unit.
+    pub centers: Vec<Vec<f64>>,
+    /// Unit radius vectors, parallel to `centers`.
+    pub radii: Vec<Vec<f64>>,
+    /// Output weights, parallel to `centers`.
+    pub weights: Vec<f64>,
+    /// Bias weight, if the network was trained with one.
+    pub bias: Option<f64>,
+}
+
+/// A trained radial-basis-function network: normalizer, Gaussian units and
+/// ridge-fitted output weights.
+///
+/// Construct with [`RbfNetwork::fit`] (regression-tree centers, the paper's
+/// method) or [`RbfNetwork::fit_with_random_centers`] (ablation baseline).
+#[derive(Debug, Clone)]
+pub struct RbfNetwork {
+    normalizer: Normalizer,
+    units: Vec<RbfUnit>,
+    weights: Vec<f64>,
+    bias_weight: Option<f64>,
+    tree: Option<RegressionTree>,
+}
+
+impl RbfNetwork {
+    /// Trains a network on `x` (`n x d`) and targets `y` using
+    /// regression-tree center selection.
+    ///
+    /// Every tree node (root, internal, leaf) contributes one Gaussian unit
+    /// centered at the node's sample mean with radius proportional to the
+    /// node's per-dimension extent, then output weights solve the
+    /// ridge-regularized least-squares problem.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyTrainingSet`], [`ModelError::SampleCountMismatch`]
+    /// or a wrapped [`ModelError::Numeric`] if the weight solve fails.
+    pub fn fit(x: &Matrix, y: &[f64], params: &RbfParams) -> Result<Self, ModelError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if x.rows() != y.len() {
+            return Err(ModelError::SampleCountMismatch {
+                features: x.rows(),
+                targets: y.len(),
+            });
+        }
+        let normalizer = Normalizer::fit(x);
+        let xn = normalizer.transform_matrix(x);
+        let tree = RegressionTree::fit(&xn, y, &params.tree)?;
+        let units: Vec<RbfUnit> = tree
+            .nodes()
+            .iter()
+            .map(|node| RbfUnit {
+                center: node.center.clone(),
+                radius: node
+                    .extent
+                    .iter()
+                    .map(|&e| (e * params.radius_scale).max(params.min_radius))
+                    .collect(),
+            })
+            .collect();
+        let units = match params.max_units {
+            Some(k) => forward_select(&xn, y, units, k, params)?,
+            None => units,
+        };
+        let (weights, bias_weight) = fit_weights(&xn, y, &units, params)?;
+        Ok(RbfNetwork {
+            normalizer,
+            units,
+            weights,
+            bias_weight,
+            tree: Some(tree),
+        })
+    }
+
+    /// Trains a network whose centers are `n_centers` training points
+    /// chosen deterministically from `seed`, with a shared isotropic radius.
+    ///
+    /// This is the "plain RBF" ablation baseline: identical output-weight
+    /// fitting, but no tree-informed placement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RbfNetwork::fit`].
+    pub fn fit_with_random_centers(
+        x: &Matrix,
+        y: &[f64],
+        n_centers: usize,
+        params: &RbfParams,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if x.rows() != y.len() {
+            return Err(ModelError::SampleCountMismatch {
+                features: x.rows(),
+                targets: y.len(),
+            });
+        }
+        let normalizer = Normalizer::fit(x);
+        let xn = normalizer.transform_matrix(x);
+        let n = xn.rows();
+        let k = n_centers.clamp(1, n);
+        // Deterministic stride-based subsample driven by the seed.
+        let offset = (dynawave_numeric::rng::splitmix64(seed) as usize) % n;
+        let radius = (1.0 / (k as f64).powf(1.0 / xn.cols() as f64))
+            .max(params.min_radius)
+            * params.radius_scale;
+        let units: Vec<RbfUnit> = (0..k)
+            .map(|i| {
+                let row = (offset + i * n / k) % n;
+                RbfUnit {
+                    center: xn.row(row).to_vec(),
+                    radius: vec![radius; xn.cols()],
+                }
+            })
+            .collect();
+        let (weights, bias_weight) = fit_weights(&xn, y, &units, params)?;
+        Ok(RbfNetwork {
+            normalizer,
+            units,
+            weights,
+            bias_weight,
+            tree: None,
+        })
+    }
+
+    /// Number of Gaussian units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The regression tree used for center selection, if any.
+    ///
+    /// `None` for networks built with random centers. The tree carries the
+    /// split-order / split-frequency introspection used by the Figure 11
+    /// star plots.
+    pub fn tree(&self) -> Option<&RegressionTree> {
+        self.tree.as_ref()
+    }
+
+    /// Predicts the target for one raw (unnormalized) input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let xn = self.normalizer.transform(x);
+        let mut out = self.bias_weight.unwrap_or(0.0);
+        for (unit, &w) in self.units.iter().zip(&self.weights) {
+            out += w * unit.response(&xn);
+        }
+        out
+    }
+
+    /// Predicts targets for every row of `x`.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+
+    /// Snapshots the network into a portable [`RbfNetworkData`].
+    pub fn to_data(&self) -> RbfNetworkData {
+        RbfNetworkData {
+            mins: self.normalizer.mins().to_vec(),
+            spans: self.normalizer.spans().to_vec(),
+            centers: self.units.iter().map(|u| u.center.clone()).collect(),
+            radii: self.units.iter().map(|u| u.radius.clone()).collect(),
+            weights: self.weights.clone(),
+            bias: self.bias_weight,
+        }
+    }
+
+    /// Rebuilds a network from a snapshot. The reconstructed network
+    /// predicts identically but carries no regression tree
+    /// ([`RbfNetwork::tree`] returns `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DimensionMismatch`] if the snapshot's vectors are
+    /// inconsistent; [`ModelError::EmptyTrainingSet`] for a unit-less
+    /// snapshot.
+    pub fn from_data(data: RbfNetworkData) -> Result<Self, ModelError> {
+        if data.centers.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        let dims = data.mins.len();
+        if data.spans.len() != dims {
+            return Err(ModelError::DimensionMismatch {
+                expected: dims,
+                got: data.spans.len(),
+            });
+        }
+        if data.radii.len() != data.centers.len() || data.weights.len() != data.centers.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: data.centers.len(),
+                got: data.radii.len().min(data.weights.len()),
+            });
+        }
+        for (c, r) in data.centers.iter().zip(&data.radii) {
+            if c.len() != dims || r.len() != dims || r.iter().any(|&v| v <= 0.0) {
+                return Err(ModelError::DimensionMismatch {
+                    expected: dims,
+                    got: c.len().min(r.len()),
+                });
+            }
+        }
+        let units = data
+            .centers
+            .into_iter()
+            .zip(data.radii)
+            .map(|(center, radius)| RbfUnit { center, radius })
+            .collect();
+        Ok(RbfNetwork {
+            normalizer: Normalizer::from_parts(data.mins, data.spans),
+            units,
+            weights: data.weights,
+            bias_weight: data.bias,
+            tree: None,
+        })
+    }
+}
+
+/// Greedy forward selection of at most `k` units: each round adds the
+/// candidate whose inclusion minimizes the ridge-fit training SSE.
+fn forward_select(
+    xn: &Matrix,
+    y: &[f64],
+    candidates: Vec<RbfUnit>,
+    k: usize,
+    params: &RbfParams,
+) -> Result<Vec<RbfUnit>, ModelError> {
+    let k = k.max(1);
+    if candidates.len() <= k {
+        return Ok(candidates);
+    }
+    // Precompute every candidate's response column once.
+    let n = xn.rows();
+    let columns: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|u| (0..n).map(|r| u.response(xn.row(r))).collect())
+        .collect();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let mut trial = chosen.clone();
+            trial.push(cand);
+            let sse = ridge_sse(&columns, &trial, y, params)?;
+            if best.is_none_or(|(_, s)| sse < s) {
+                best = Some((pos, sse));
+            }
+        }
+        let (pos, _) = best.expect("remaining candidates non-empty");
+        chosen.push(remaining.swap_remove(pos));
+    }
+    Ok(chosen.into_iter().map(|i| candidates[i].clone()).collect())
+}
+
+/// Training SSE of a ridge fit over the selected candidate columns.
+fn ridge_sse(
+    columns: &[Vec<f64>],
+    selected: &[usize],
+    y: &[f64],
+    params: &RbfParams,
+) -> Result<f64, ModelError> {
+    let n = y.len();
+    let cols = selected.len() + usize::from(params.bias);
+    let mut data = Vec::with_capacity(n * cols);
+    for r in 0..n {
+        for &c in selected {
+            data.push(columns[c][r]);
+        }
+        if params.bias {
+            data.push(1.0);
+        }
+    }
+    let phi = Matrix::from_vec(n, cols, data).expect("design shape");
+    let w = solve::ridge_regression(&phi, y, params.ridge_lambda)?;
+    let pred = phi.matvec(&w).expect("shapes agree");
+    Ok(y.iter()
+        .zip(&pred)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum())
+}
+
+fn fit_weights(
+    xn: &Matrix,
+    y: &[f64],
+    units: &[RbfUnit],
+    params: &RbfParams,
+) -> Result<(Vec<f64>, Option<f64>), ModelError> {
+    let n = xn.rows();
+    let cols = units.len() + usize::from(params.bias);
+    let mut design = Vec::with_capacity(n * cols);
+    for r in 0..n {
+        let row = xn.row(r);
+        for unit in units {
+            design.push(unit.response(row));
+        }
+        if params.bias {
+            design.push(1.0);
+        }
+    }
+    let phi = Matrix::from_vec(n, cols, design).expect("design shape");
+    let mut w = solve::ridge_regression(&phi, y, params.ridge_lambda)?;
+    let bias_weight = if params.bias { w.pop() } else { None };
+    Ok((w, bias_weight))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d<F: Fn(f64, f64) -> f64>(n: usize, f: F) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (i as f64 / (n - 1) as f64, j as f64 / (n - 1) as f64);
+                rows.extend([a, b]);
+                y.push(f(a, b));
+            }
+        }
+        (Matrix::from_vec(n * n, 2, rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_linear_surface() {
+        let (x, y) = grid_2d(7, |a, b| 2.0 * a + b);
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        for (probe, want) in [([0.3, 0.3], 0.9), ([0.7, 0.2], 1.6)] {
+            let got = net.predict(&probe);
+            assert!((got - want).abs() < 0.15, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fits_nonlinear_surface_better_than_mean() {
+        let (x, y) = grid_2d(8, |a, b| (3.0 * a).sin() * (2.0 * b).cos());
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let preds = net.predict_batch(&x);
+        let nmse = dynawave_numeric::stats::nmse_percent(&y, &preds);
+        assert!(nmse < 10.0, "training NMSE was {nmse}%");
+    }
+
+    #[test]
+    fn random_center_network_trains() {
+        let (x, y) = grid_2d(6, |a, b| a * b);
+        let net =
+            RbfNetwork::fit_with_random_centers(&x, &y, 12, &RbfParams::default(), 42).unwrap();
+        assert_eq!(net.unit_count(), 12);
+        assert!(net.tree().is_none());
+        let preds = net.predict_batch(&x);
+        let nmse = dynawave_numeric::stats::nmse_percent(&y, &preds);
+        assert!(nmse < 50.0, "training NMSE was {nmse}%");
+    }
+
+    #[test]
+    fn tree_is_exposed() {
+        let (x, y) = grid_2d(5, |a, _| a);
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        assert!(net.tree().is_some());
+        assert_eq!(net.unit_count(), net.tree().unwrap().node_count());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let x = Matrix::zeros(0, 0);
+        assert!(matches!(
+            RbfNetwork::fit(&x, &[], &RbfParams::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        let x = Matrix::zeros(4, 2);
+        assert!(matches!(
+            RbfNetwork::fit(&x, &[0.0; 3], &RbfParams::default()),
+            Err(ModelError::SampleCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let (x, y_) = grid_2d(5, |_, _| 0.0);
+        let y: Vec<f64> = y_.iter().map(|_| 7.5).collect();
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        // Ridge shrinkage leaves a tiny bias; just require near-constant.
+        assert!((net.predict(&[0.5, 0.5]) - 7.5).abs() < 0.05);
+        assert!((net.predict(&[0.1, 0.9]) - 7.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_predicts_identically() {
+        let (x, y) = grid_2d(6, |a, b| a + 2.0 * b);
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let rebuilt = RbfNetwork::from_data(net.to_data()).unwrap();
+        assert!(rebuilt.tree().is_none());
+        for probe in [[0.1, 0.9], [0.5, 0.5], [0.77, 0.31]] {
+            assert_eq!(net.predict(&probe), rebuilt.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let (x, y) = grid_2d(5, |a, _| a);
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let mut data = net.to_data();
+        data.weights.pop();
+        assert!(RbfNetwork::from_data(data).is_err());
+        let mut data = net.to_data();
+        data.radii[0][0] = -1.0;
+        assert!(RbfNetwork::from_data(data).is_err());
+        let mut data = net.to_data();
+        data.centers.clear();
+        data.radii.clear();
+        data.weights.clear();
+        assert!(RbfNetwork::from_data(data).is_err());
+    }
+
+    #[test]
+    fn forward_selection_caps_units_without_wrecking_fit() {
+        let (x, y) = grid_2d(7, |a, b| (2.0 * a).sin() + b);
+        let full = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let capped = RbfNetwork::fit(
+            &x,
+            &y,
+            &RbfParams {
+                max_units: Some(8),
+                ..RbfParams::default()
+            },
+        )
+        .unwrap();
+        assert!(capped.unit_count() <= 8);
+        assert!(full.unit_count() > capped.unit_count());
+        // The capped model still fits the surface decently.
+        let err = |net: &RbfNetwork| {
+            let preds = net.predict_batch(&x);
+            dynawave_numeric::stats::nmse_percent(&y, &preds)
+        };
+        assert!(err(&capped) < 10.0, "capped NMSE {}", err(&capped));
+    }
+
+    #[test]
+    fn forward_selection_with_large_cap_is_identity() {
+        let (x, y) = grid_2d(5, |a, _| a);
+        let full = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let capped = RbfNetwork::fit(
+            &x,
+            &y,
+            &RbfParams {
+                max_units: Some(10_000),
+                ..RbfParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.unit_count(), capped.unit_count());
+    }
+
+    #[test]
+    fn unit_response_peaks_at_center() {
+        let u = RbfUnit {
+            center: vec![0.5, 0.5],
+            radius: vec![0.2, 0.2],
+        };
+        let at_center = u.response(&[0.5, 0.5]);
+        assert!((at_center - 1.0).abs() < 1e-12);
+        assert!(u.response(&[0.9, 0.5]) < at_center);
+        assert!(u.response(&[0.9, 0.9]) < u.response(&[0.9, 0.5]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Model selection: k-fold cross-validation and hyper-parameter grid
+//! search for RBF networks.
+//!
+//! The paper fixes its network hyper-parameters offline; this module
+//! packages that tuning step so downstream users can re-derive good
+//! settings for their own simulators and design spaces.
+
+use crate::rbf::{RbfNetwork, RbfParams};
+use crate::ModelError;
+use dynawave_numeric::Matrix;
+
+/// Mean-squared k-fold cross-validation error of an RBF configuration.
+///
+/// Folds are contiguous row blocks (callers should shuffle beforehand if
+/// rows are ordered); `k` is clamped to the sample count.
+///
+/// # Errors
+///
+/// Propagates training failures; [`ModelError::EmptyTrainingSet`] when
+/// `x` is empty or `k < 2` after clamping.
+pub fn cross_validate(
+    x: &Matrix,
+    y: &[f64],
+    params: &RbfParams,
+    k: usize,
+) -> Result<f64, ModelError> {
+    let n = x.rows();
+    if n == 0 || x.cols() == 0 {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    if n != y.len() {
+        return Err(ModelError::SampleCountMismatch {
+            features: n,
+            targets: y.len(),
+        });
+    }
+    let k = k.min(n);
+    if k < 2 {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        if lo == hi {
+            continue;
+        }
+        // Assemble the training split.
+        let mut xt = Vec::with_capacity((n - (hi - lo)) * x.cols());
+        let mut yt = Vec::with_capacity(n - (hi - lo));
+        for r in 0..n {
+            if r < lo || r >= hi {
+                xt.extend_from_slice(x.row(r));
+                yt.push(y[r]);
+            }
+        }
+        let xt = Matrix::from_vec(yt.len(), x.cols(), xt).expect("fold shape");
+        let model = RbfNetwork::fit(&xt, &yt, params)?;
+        for r in lo..hi {
+            let err = model.predict(x.row(r)) - y[r];
+            total += err * err;
+            count += 1;
+        }
+    }
+    Ok(total / count.max(1) as f64)
+}
+
+/// Result of a [`grid_search`]: the winning parameters and their CV error.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// The best hyper-parameters found.
+    pub params: RbfParams,
+    /// Their k-fold cross-validation MSE.
+    pub cv_mse: f64,
+    /// CV MSE of every candidate, in input order.
+    pub all_scores: Vec<f64>,
+}
+
+/// Exhaustive search over candidate parameter sets by k-fold CV.
+///
+/// # Errors
+///
+/// [`ModelError::EmptyTrainingSet`] when `candidates` is empty;
+/// otherwise propagates CV failures.
+pub fn grid_search(
+    x: &Matrix,
+    y: &[f64],
+    candidates: &[RbfParams],
+    k: usize,
+) -> Result<GridSearchResult, ModelError> {
+    if candidates.is_empty() {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    let mut all_scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (i, params) in candidates.iter().enumerate() {
+        let score = cross_validate(x, y, params, k)?;
+        all_scores.push(score);
+        if best.is_none_or(|(_, s)| score < s) {
+            best = Some((i, score));
+        }
+    }
+    let (idx, cv_mse) = best.expect("candidates non-empty");
+    Ok(GridSearchResult {
+        params: candidates[idx].clone(),
+        cv_mse,
+        all_scores,
+    })
+}
+
+/// A small default candidate grid around the library defaults: radius
+/// scales {3, 4.5, 6}, ridge strengths {1e-4, 3e-4, 1e-3}.
+pub fn default_grid() -> Vec<RbfParams> {
+    let mut grid = Vec::new();
+    for &radius_scale in &[3.0, 4.5, 6.0] {
+        for &ridge_lambda in &[1e-4, 3e-4, 1e-3] {
+            grid.push(RbfParams {
+                radius_scale,
+                min_radius: radius_scale / 8.0,
+                ridge_lambda,
+                ..RbfParams::default()
+            });
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize) -> (Matrix, Vec<f64>) {
+        // Interleave the folds so contiguous splits stay representative.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 7) as f64 / 6.0;
+            let b = (i % 5) as f64 / 4.0;
+            rows.extend([a, b]);
+            y.push(a * 2.0 + b * b);
+        }
+        (Matrix::from_vec(n, 2, rows).unwrap(), y)
+    }
+
+    #[test]
+    fn cv_error_is_finite_and_small_for_learnable_data() {
+        let (x, y) = toy_data(60);
+        let mse = cross_validate(&x, &y, &RbfParams::default(), 5).unwrap();
+        assert!(mse.is_finite());
+        assert!(mse < 0.5, "cv mse {mse}");
+    }
+
+    #[test]
+    fn cv_rejects_degenerate_inputs() {
+        let x = Matrix::zeros(0, 0);
+        assert!(cross_validate(&x, &[], &RbfParams::default(), 5).is_err());
+        let (x, y) = toy_data(10);
+        assert!(matches!(
+            cross_validate(&x, &y[..5], &RbfParams::default(), 5),
+            Err(ModelError::SampleCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_search_picks_lowest_score() {
+        let (x, y) = toy_data(50);
+        let result = grid_search(&x, &y, &default_grid(), 5).unwrap();
+        assert_eq!(result.all_scores.len(), default_grid().len());
+        let min = result
+            .all_scores
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(result.cv_mse, min);
+    }
+
+    #[test]
+    fn grid_search_empty_candidates_errors() {
+        let (x, y) = toy_data(20);
+        assert!(grid_search(&x, &y, &[], 5).is_err());
+    }
+
+    #[test]
+    fn chosen_params_generalize() {
+        let (x, y) = toy_data(70);
+        let result = grid_search(&x, &y, &default_grid(), 5).unwrap();
+        let model = RbfNetwork::fit(&x, &y, &result.params).unwrap();
+        let pred = model.predict(&[0.5, 0.5]);
+        assert!((pred - (1.0 + 0.25)).abs() < 0.3, "pred {pred}");
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by numeric routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries `(left, right)` shape descriptions for diagnostics.
+    DimensionMismatch {
+        /// Shape of the left-hand operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A factorization or solve met a (numerically) singular matrix.
+    Singular,
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Observed shape, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An input collection was empty where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumericError::Singular => write!(f, "matrix is singular or nearly singular"),
+            NumericError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            NumericError::Empty => write!(f, "input collection was empty"),
+        }
+    }
+}
+
+impl Error for NumericError {}

@@ -1,0 +1,189 @@
+//! Rank statistics: ranking with tie handling, Spearman correlation and
+//! histograms.
+//!
+//! Used by the Figure 7 analysis (stability of magnitude-based coefficient
+//! rankings across configurations) and by diagnostic tooling.
+
+use crate::NumericError;
+
+/// Assigns fractional ranks (average rank for ties), 1-based, to `data`.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_numeric::rank::ranks;
+/// assert_eq!(ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+/// // Ties share the average of their positions.
+/// assert_eq!(ranks(&[1.0, 2.0, 2.0]), vec![1.0, 2.5, 2.5]);
+/// ```
+pub fn ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie run [i, j).
+        let mut j = i + 1;
+        while j < n && data[order[j]] == data[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1 ..= j
+        for &idx in &order[i..j] {
+            out[idx] = avg_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient between two samples.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] when lengths differ and
+/// [`NumericError::Empty`] for empty inputs.
+pub fn spearman(a: &[f64], b: &[f64]) -> Result<f64, NumericError> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    if a.is_empty() {
+        return Err(NumericError::Empty);
+    }
+    Ok(crate::stats::pearson(&ranks(a), &ranks(b)))
+}
+
+/// A fixed-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs bins");
+        assert!(lo < hi, "invalid histogram range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v > self.hi {
+            self.overflow += 1;
+        } else {
+            let bins = self.counts.len();
+            let idx = (((v - self.lo) / (self.hi - self.lo)) * bins as f64) as usize;
+            self.counts[idx.min(bins - 1)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[]), Vec::<f64>::new());
+        assert_eq!(ranks(&[3.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_errors() {
+        assert!(matches!(
+            spearman(&[1.0], &[1.0, 2.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(spearman(&[], &[]), Err(NumericError::Empty)));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.5, 9.9, 10.0, -1.0, 11.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 2); // 0.5, 1.5
+        assert_eq!(h.counts()[4], 2); // 9.9 and the boundary 10.0
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs bins")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Linear solvers built on the factorizations in [`Matrix`].
+
+use crate::{Matrix, NumericError};
+
+/// Solves `A x = b` via LU factorization with partial pivoting.
+///
+/// # Errors
+///
+/// Propagates [`NumericError::NotSquare`] / [`NumericError::Singular`] from
+/// the factorization, and [`NumericError::DimensionMismatch`] if `b` has the
+/// wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_numeric::{Matrix, solve};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = solve::lu_solve(&a, &[3.0, 5.0]).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if a.rows() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let (lu, perm) = a.lu()?;
+    let n = b.len();
+    // Apply permutation, then forward substitution (L has implicit unit diagonal).
+    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    for i in 0..n {
+        for k in 0..i {
+            y[i] -= lu[(i, k)] * y[k];
+        }
+    }
+    // Backward substitution with U.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            x[i] -= lu[(i, k)] * x[k];
+        }
+        x[i] /= lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates factorization errors; [`NumericError::DimensionMismatch`] if
+/// `b` has the wrong length.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if a.rows() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let l = a.cholesky()?;
+    let n = b.len();
+    // Forward: L y = b.
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            y[i] -= l[(i, k)] * y[k];
+        }
+        y[i] /= l[(i, i)];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            x[i] -= l[(k, i)] * x[k];
+        }
+        x[i] /= l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Ridge (Tikhonov-regularized) least squares:
+/// `w = (XᵀX + λI)⁻¹ Xᵀ y`.
+///
+/// This is the output-weight fit used by the RBF networks: `x` is the
+/// `n_samples x n_features` design matrix, `y` the targets and `lambda >= 0`
+/// the regularization strength. With `lambda == 0` this degenerates to
+/// ordinary least squares and may fail on rank-deficient designs.
+///
+/// # Errors
+///
+/// [`NumericError::DimensionMismatch`] if `y.len() != x.rows()`;
+/// [`NumericError::Singular`] if the regularized normal matrix is not
+/// positive definite; [`NumericError::Empty`] for an empty design.
+pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, NumericError> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(NumericError::Empty);
+    }
+    if x.rows() != y.len() {
+        return Err(NumericError::DimensionMismatch {
+            left: x.shape(),
+            right: (y.len(), 1),
+        });
+    }
+    let mut gram = x.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    let xty = x.transpose().matvec(y)?;
+    // Cholesky is the fast path; fall back to LU when lambda == 0 leaves the
+    // normal matrix only semi-definite.
+    match cholesky_solve(&gram, &xty) {
+        Ok(w) => Ok(w),
+        Err(NumericError::Singular) => lu_solve(&gram, &xty),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn lu_solve_3x3() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lu_solve(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 5.0]).unwrap();
+        assert_close(&x, &[5.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let x_true = [0.5, -1.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-12);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let w0 = ridge_regression(&x, &y, 0.0).unwrap();
+        let w_big = ridge_regression(&x, &y, 100.0).unwrap();
+        assert!((w0[0] - 2.0).abs() < 1e-9);
+        assert!(w_big[0] < w0[0]);
+        assert!(w_big[0] > 0.0);
+    }
+
+    #[test]
+    fn ridge_handles_rank_deficiency_with_lambda() {
+        // Duplicate column: XtX is singular, but lambda fixes it.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let w = ridge_regression(&x, &y, 1e-6).unwrap();
+        // Symmetry: both columns carry equal weight.
+        assert!((w[0] - w[1]).abs() < 1e-6);
+        assert!((w[0] + w[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mismatched_target_length_errors() {
+        let x = Matrix::zeros(3, 2);
+        assert!(matches!(
+            ridge_regression(&x, &[1.0, 2.0], 0.1),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_design_errors() {
+        let x = Matrix::zeros(0, 0);
+        assert!(matches!(
+            ridge_regression(&x, &[], 0.1),
+            Err(NumericError::Empty)
+        ));
+    }
+}

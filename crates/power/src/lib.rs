@@ -1,0 +1,433 @@
+//! Wattch-style structure-level processor power model.
+//!
+//! The paper's power numbers come from a Wattch-based model layered on
+//! SimpleScalar \[18\]. This crate reproduces that structure: every
+//! microarchitectural block has a **per-access dynamic energy** that scales
+//! with its configured size, idle blocks burn a fraction of their active
+//! power (Wattch's *cc3* conditional-clocking style), and a leakage term
+//! scales with total capacity. Per-interval activity counters from
+//! `dynawave-sim` turn directly into watts.
+//!
+//! Energy scaling uses `E(size) = E_ref * (size / ref_size)^0.7` — the
+//! sub-linear growth of array access energy with capacity (bitlines grow,
+//! but decoders amortize), adequate for design-space *trends*, which is
+//! all the predictive models consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynawave_power::PowerModel;
+//! use dynawave_sim::{MachineConfig, SimOptions, Simulator};
+//! use dynawave_workloads::Benchmark;
+//!
+//! let config = MachineConfig::baseline();
+//! let run = Simulator::new(config.clone()).run(
+//!     Benchmark::Crafty,
+//!     &SimOptions { samples: 4, interval_instructions: 2000, seed: 7 },
+//! );
+//! let model = PowerModel::new(&config);
+//! let watts = model.power_trace(&run);
+//! assert_eq!(watts.len(), 4);
+//! assert!(watts.iter().all(|&w| w > 1.0 && w < 500.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynawave_sim::{IntervalStats, MachineConfig, RunResult};
+
+/// Clock frequency assumed when converting energy to power (Hz).
+pub const CLOCK_HZ: f64 = 3.0e9;
+
+/// Fraction of active power an idle, conditionally-clocked structure still
+/// burns (Wattch cc3).
+pub const IDLE_FACTOR: f64 = 0.10;
+
+/// Per-structure dynamic power breakdown for one interval, in watts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Fetch engine: I-cache, ITLB, branch predictor, BTB.
+    pub fetch: f64,
+    /// Decode/rename path.
+    pub rename: f64,
+    /// Issue queue (wakeup + select).
+    pub issue_queue: f64,
+    /// Reorder buffer.
+    pub rob: f64,
+    /// Load/store queue.
+    pub lsq: f64,
+    /// Register files.
+    pub regfile: f64,
+    /// Integer and FP functional units.
+    pub alu: f64,
+    /// L1 data cache and DTLB.
+    pub dcache: f64,
+    /// Unified L2.
+    pub l2: f64,
+    /// Global clock tree (scales with machine width).
+    pub clock: f64,
+    /// Static leakage (scales with total capacity).
+    pub leakage: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    pub fn total(&self) -> f64 {
+        self.fetch
+            + self.rename
+            + self.issue_queue
+            + self.rob
+            + self.lsq
+            + self.regfile
+            + self.alu
+            + self.dcache
+            + self.l2
+            + self.clock
+            + self.leakage
+    }
+}
+
+/// Reference per-access energies (nJ) at the baseline structure sizes.
+/// Tuned so the Table 1 baseline lands in the paper's 20–140 W band.
+#[derive(Debug, Clone, PartialEq)]
+struct UnitEnergies {
+    fetch: f64,
+    rename: f64,
+    iq: f64,
+    rob: f64,
+    lsq: f64,
+    regfile: f64,
+    int_alu: f64,
+    int_mul: f64,
+    fp_alu: f64,
+    fp_mul: f64,
+    dl1: f64,
+    dl1_miss: f64,
+    l2: f64,
+    l2_miss: f64,
+    clock_per_width: f64,
+}
+
+impl Default for UnitEnergies {
+    fn default() -> Self {
+        UnitEnergies {
+            fetch: 1.8,
+            rename: 1.2,
+            iq: 2.4,
+            rob: 1.6,
+            lsq: 1.1,
+            regfile: 1.4,
+            int_alu: 0.9,
+            int_mul: 2.6,
+            fp_alu: 2.2,
+            fp_mul: 3.4,
+            dl1: 2.0,
+            dl1_miss: 6.0,
+            l2: 7.0,
+            l2_miss: 24.0,
+            clock_per_width: 1.1,
+        }
+    }
+}
+
+/// Sub-linear array-energy scaling.
+fn scale(size: f64, reference: f64) -> f64 {
+    (size / reference).powf(0.7)
+}
+
+/// A Wattch-style power model bound to one machine configuration.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    config: MachineConfig,
+    e: UnitEnergies,
+    leakage_watts: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for `config`, scaling unit energies from the
+    /// baseline reference sizes.
+    pub fn new(config: &MachineConfig) -> Self {
+        let base = MachineConfig::baseline();
+        let mut e = UnitEnergies::default();
+        e.fetch *= scale(f64::from(config.il1_kb), f64::from(base.il1_kb))
+            * scale(f64::from(config.fetch_width), f64::from(base.fetch_width)).max(0.5);
+        e.rename *= scale(f64::from(config.fetch_width), f64::from(base.fetch_width));
+        e.iq *= scale(f64::from(config.iq_size), f64::from(base.iq_size));
+        e.rob *= scale(f64::from(config.rob_size), f64::from(base.rob_size));
+        e.lsq *= scale(f64::from(config.lsq_size), f64::from(base.lsq_size));
+        e.dl1 *= scale(f64::from(config.dl1_kb), f64::from(base.dl1_kb));
+        e.l2 *= scale(f64::from(config.l2_kb), f64::from(base.l2_kb));
+        // Leakage: proportional to total on-chip SRAM capacity.
+        let capacity_kb = f64::from(config.il1_kb)
+            + f64::from(config.dl1_kb)
+            + f64::from(config.l2_kb)
+            + f64::from(config.iq_size + config.rob_size + config.lsq_size) / 8.0;
+        let base_capacity = f64::from(base.il1_kb)
+            + f64::from(base.dl1_kb)
+            + f64::from(base.l2_kb)
+            + f64::from(base.iq_size + base.rob_size + base.lsq_size) / 8.0;
+        let leakage_watts = 9.0 * capacity_kb / base_capacity;
+        PowerModel {
+            config: config.clone(),
+            e,
+            leakage_watts,
+        }
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Computes the per-structure power breakdown for one interval.
+    ///
+    /// Returns all-zero power for an empty interval (`cycles == 0`).
+    pub fn interval_power(&self, s: &IntervalStats) -> PowerBreakdown {
+        if s.cycles == 0 {
+            return PowerBreakdown::default();
+        }
+        let cycles = s.cycles as f64;
+        let seconds = cycles / CLOCK_HZ;
+        let e = &self.e;
+        let w = f64::from(self.config.fetch_width);
+        // Watts for `count` activations of energy `energy_nj`, with
+        // `slots` per-cycle opportunities idling at IDLE_FACTOR.
+        let watts = |count: f64, energy_nj: f64, slots: f64| -> f64 {
+            let active = count * energy_nj;
+            let idle = (slots * cycles - count).max(0.0) * energy_nj * IDLE_FACTOR;
+            (active + idle) * 1e-9 / seconds
+        };
+        let instr = s.instructions as f64;
+        let fetch = watts(s.il1_accesses as f64 + s.branches as f64, e.fetch, w * 0.5);
+        let rename = watts(instr, e.rename, w);
+        let issue_queue = watts(s.issues as f64 + s.iq_occupancy / cycles, e.iq, w);
+        let rob = watts(instr * 2.0, e.rob, w * 2.0); // insert + commit
+        let lsq = watts(s.dl1_accesses as f64, e.lsq, w * 0.5);
+        let regfile = watts(instr * 2.5, e.regfile, w * 3.0); // 2 reads + write
+        let alu = watts(
+            s.int_alu_ops as f64,
+            e.int_alu,
+            f64::from(self.config.int_alu_units),
+        ) + watts(
+            s.int_mul_ops as f64,
+            e.int_mul,
+            f64::from(self.config.int_mul_units),
+        ) + watts(
+            s.fp_alu_ops as f64,
+            e.fp_alu,
+            f64::from(self.config.fp_alu_units),
+        ) + watts(
+            s.fp_mul_ops as f64,
+            e.fp_mul,
+            f64::from(self.config.fp_mul_units),
+        );
+        let dcache = watts(
+            s.dl1_accesses as f64,
+            e.dl1,
+            f64::from(self.config.dl1_ports),
+        ) + watts(s.dl1_misses as f64, e.dl1_miss, 1.0);
+        let l2 = watts(s.l2_accesses as f64, e.l2, 1.0) + watts(s.l2_misses as f64, e.l2_miss, 0.5);
+        // The clock tree burns every cycle, scaled by machine width.
+        let clock = e.clock_per_width * w * cycles * 1e-9 / seconds;
+        PowerBreakdown {
+            fetch,
+            rename,
+            issue_queue,
+            rob,
+            lsq,
+            regfile,
+            alu,
+            dcache,
+            l2,
+            clock,
+            leakage: self.leakage_watts,
+        }
+    }
+
+    /// Total-watts trace: one value per interval of `run`.
+    pub fn power_trace(&self, run: &RunResult) -> Vec<f64> {
+        run.intervals
+            .iter()
+            .map(|i| self.interval_power(i).total())
+            .collect()
+    }
+
+    /// Cycle-weighted average power over the whole run, in watts.
+    pub fn average_power(&self, run: &RunResult) -> f64 {
+        let total_cycles: u64 = run.intervals.iter().map(|i| i.cycles).sum();
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        run.intervals
+            .iter()
+            .map(|i| self.interval_power(i).total() * i.cycles as f64)
+            .sum::<f64>()
+            / total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynawave_sim::{SimOptions, Simulator};
+    use dynawave_workloads::Benchmark;
+
+    fn run(cfg: &MachineConfig, b: Benchmark) -> RunResult {
+        Simulator::new(cfg.clone()).run(
+            b,
+            &SimOptions {
+                samples: 8,
+                interval_instructions: 2000,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn baseline_power_in_paper_band() {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        for b in [Benchmark::Crafty, Benchmark::Mcf, Benchmark::Swim] {
+            let avg = model.average_power(&run(&cfg, b));
+            assert!(avg > 10.0 && avg < 200.0, "{b}: {avg} W");
+        }
+    }
+
+    #[test]
+    fn wider_machine_burns_more() {
+        let mut narrow = MachineConfig::baseline();
+        narrow.fetch_width = 2;
+        let wide = MachineConfig::baseline();
+        let p_narrow = PowerModel::new(&narrow).average_power(&run(&narrow, Benchmark::Eon));
+        let p_wide = PowerModel::new(&wide).average_power(&run(&wide, Benchmark::Eon));
+        assert!(p_wide > p_narrow, "{p_wide} <= {p_narrow}");
+    }
+
+    #[test]
+    fn bigger_l2_leaks_more() {
+        let mut small = MachineConfig::baseline();
+        small.l2_kb = 256;
+        let m_small = PowerModel::new(&small);
+        let m_big = PowerModel::new(&MachineConfig::baseline());
+        assert!(m_big.leakage_watts > m_small.leakage_watts);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        let r = run(&cfg, Benchmark::Gcc);
+        let b = model.interval_power(&r.intervals[0]);
+        let manual = b.fetch
+            + b.rename
+            + b.issue_queue
+            + b.rob
+            + b.lsq
+            + b.regfile
+            + b.alu
+            + b.dcache
+            + b.l2
+            + b.clock
+            + b.leakage;
+        assert!((b.total() - manual).abs() < 1e-12);
+        assert!(b.total() > 0.0);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let model = PowerModel::new(&MachineConfig::baseline());
+        let b = model.interval_power(&IntervalStats::default());
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn busier_interval_burns_more_power() {
+        let model = PowerModel::new(&MachineConfig::baseline());
+        let mut idle = IntervalStats {
+            instructions: 100,
+            cycles: 1000,
+            ..IntervalStats::default()
+        };
+        let mut busy = IntervalStats {
+            instructions: 4000,
+            issues: 4000,
+            int_alu_ops: 3000,
+            dl1_accesses: 1000,
+            cycles: 1000,
+            ..IntervalStats::default()
+        };
+        idle.issues = 100;
+        busy.il1_accesses = 500;
+        let p_idle = model.interval_power(&idle).total();
+        let p_busy = model.interval_power(&busy).total();
+        assert!(p_busy > p_idle, "{p_busy} <= {p_idle}");
+    }
+
+    #[test]
+    fn leakage_is_time_independent() {
+        let model = PowerModel::new(&MachineConfig::baseline());
+        let mk = |cycles| IntervalStats {
+            instructions: 10,
+            cycles,
+            ..IntervalStats::default()
+        };
+        let short = model.interval_power(&mk(100));
+        let long = model.interval_power(&mk(100_000));
+        assert!((short.leakage - long.leakage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_cost_energy() {
+        let model = PowerModel::new(&MachineConfig::baseline());
+        let base = IntervalStats {
+            instructions: 1000,
+            cycles: 1000,
+            dl1_accesses: 300,
+            ..IntervalStats::default()
+        };
+        let mut missy = base.clone();
+        missy.dl1_misses = 200;
+        missy.l2_accesses = 200;
+        missy.l2_misses = 100;
+        assert!(
+            model.interval_power(&missy).total() > model.interval_power(&base).total()
+        );
+    }
+
+    #[test]
+    fn average_power_weighs_by_cycles() {
+        let model = PowerModel::new(&MachineConfig::baseline());
+        let hot = IntervalStats {
+            instructions: 8000,
+            issues: 8000,
+            int_alu_ops: 6000,
+            cycles: 1000,
+            ..IntervalStats::default()
+        };
+        let cold = IntervalStats {
+            instructions: 100,
+            cycles: 9000,
+            ..IntervalStats::default()
+        };
+        let run = RunResult {
+            config: MachineConfig::baseline(),
+            intervals: vec![hot.clone(), cold.clone()],
+        };
+        let avg = model.average_power(&run);
+        let p_hot = model.interval_power(&hot).total();
+        let p_cold = model.interval_power(&cold).total();
+        // Cold dominates by cycle weight.
+        assert!(avg < (p_hot + p_cold) / 2.0);
+        assert!(avg > p_cold);
+    }
+
+    #[test]
+    fn power_varies_over_intervals() {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        let watts = model.power_trace(&run(&cfg, Benchmark::Crafty));
+        let lo = watts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = watts.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi > lo * 1.02, "flat power trace {lo}..{hi}");
+    }
+}

@@ -1,0 +1,98 @@
+//! L2-star discrepancy (Warnock's formula).
+//!
+//! The paper generates multiple candidate LHS matrices and keeps the one
+//! with the lowest L2-star discrepancy — a space-filling quality metric
+//! over the unit hypercube (paper reference \[22\]).
+
+/// Computes the squared L2-star discrepancy of `points` in `[0, 1]^d`
+/// using Warnock's closed form:
+///
+/// ```text
+/// D*² = 3⁻ᵈ − (2/N) Σᵢ Πⱼ (1 − xᵢⱼ²)/2 + (1/N²) ΣᵢΣₖ Πⱼ (1 − max(xᵢⱼ, xₖⱼ))
+/// ```
+///
+/// Lower is better (more uniform). Cost is `O(N² d)`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or the rows have inconsistent lengths.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_sampling::discrepancy::l2_star_squared;
+/// // A centered single point is the best 1-point design.
+/// let centered = l2_star_squared(&[vec![0.5]]);
+/// let cornered = l2_star_squared(&[vec![0.99]]);
+/// assert!(centered < cornered);
+/// ```
+pub fn l2_star_squared(points: &[Vec<f64>]) -> f64 {
+    assert!(!points.is_empty(), "discrepancy of an empty design");
+    let d = points[0].len();
+    let n = points.len() as f64;
+    let mut second = 0.0;
+    for p in points {
+        assert_eq!(p.len(), d, "inconsistent point dimensionality");
+        let mut prod = 1.0;
+        for &x in p {
+            prod *= (1.0 - x * x) / 2.0;
+        }
+        second += prod;
+    }
+    let mut third = 0.0;
+    for a in points {
+        for b in points {
+            let mut prod = 1.0;
+            for (&x, &y) in a.iter().zip(b) {
+                prod *= 1.0 - x.max(y);
+            }
+            third += prod;
+        }
+    }
+    (3.0f64).powi(-(d as i32)) - (2.0 / n) * second + third / (n * n)
+}
+
+/// Square root of [`l2_star_squared`], clamped at zero against rounding.
+///
+/// # Panics
+///
+/// As for [`l2_star_squared`].
+pub fn l2_star(points: &[Vec<f64>]) -> f64 {
+    l2_star_squared(points).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_beats_clustered() {
+        let grid: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i as f64 + 0.5) / 16.0])
+            .collect();
+        let clustered: Vec<Vec<f64>> = (0..16).map(|i| vec![0.1 + 0.01 * i as f64]).collect();
+        assert!(l2_star(&grid) < l2_star(&clustered));
+    }
+
+    #[test]
+    fn known_value_single_point_1d() {
+        // D*² for {x} in 1-D: 1/3 - (1 - x²) + (1 - x)
+        let x: f64 = 0.3;
+        let expected = 1.0 / 3.0 - (1.0 - x * x) + (1.0 - x);
+        assert!((l2_star_squared(&[vec![x]]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrepancy_nonnegative_for_reasonable_sets() {
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![(i % 4) as f64 / 4.0 + 0.1, (i / 4) as f64 / 2.0 + 0.2])
+            .collect();
+        assert!(l2_star_squared(&pts) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design")]
+    fn empty_panics() {
+        let _ = l2_star(&[]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exhaustive (full-factorial) enumeration of a design space's grid.
+//!
+//! The Table 2 train grid has 245,760 configurations — far too many to
+//! simulate, which is the paper's whole point, but cheap to *enumerate*
+//! for the predictive models: a trained
+//! [`WaveletNeuralPredictor`](https://docs.rs/dynawave-core) can score
+//! every single configuration in seconds. This module provides a lazy
+//! iterator over the full grid.
+
+use crate::space::{DesignPoint, DesignSpace, Split};
+
+/// Lazy iterator over every configuration of a design space's grid.
+///
+/// Points are produced in mixed-radix counter order: the **last**
+/// parameter varies fastest.
+#[derive(Debug, Clone)]
+pub struct FullFactorial<'a> {
+    space: &'a DesignSpace,
+    split: Split,
+    counter: Vec<usize>,
+    remaining: usize,
+}
+
+/// Enumerates the full grid of `space` for the given split.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_sampling::{grid, DesignSpace, Split};
+/// let space = DesignSpace::micro2007();
+/// let n = grid::full_factorial(&space, Split::Test).count();
+/// assert_eq!(n, space.grid_size(Split::Test));
+/// ```
+pub fn full_factorial(space: &DesignSpace, split: Split) -> FullFactorial<'_> {
+    FullFactorial {
+        space,
+        split,
+        counter: vec![0; space.dims()],
+        remaining: space.grid_size(split),
+    }
+}
+
+impl Iterator for FullFactorial<'_> {
+    type Item = DesignPoint;
+
+    fn next(&mut self) -> Option<DesignPoint> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let values = self
+            .counter
+            .iter()
+            .zip(self.space.parameters())
+            .map(|(&idx, p)| p.levels(self.split)[idx])
+            .collect();
+        // Increment the mixed-radix counter, last digit fastest.
+        for (digit, param) in self
+            .counter
+            .iter_mut()
+            .zip(self.space.parameters())
+            .rev()
+        {
+            *digit += 1;
+            if *digit < param.levels(self.split).len() {
+                break;
+            }
+            *digit = 0;
+        }
+        Some(DesignPoint::new(values))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for FullFactorial<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Parameter;
+    use std::collections::HashSet;
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Parameter::new("a", vec![1.0, 2.0], vec![1.0]),
+            Parameter::new("b", vec![10.0, 20.0, 30.0], vec![10.0, 20.0]),
+        ])
+    }
+
+    #[test]
+    fn enumerates_all_unique_points() {
+        let space = tiny_space();
+        let pts: Vec<_> = full_factorial(&space, Split::Train).collect();
+        assert_eq!(pts.len(), 6);
+        let unique: HashSet<String> = pts.iter().map(|p| p.to_string()).collect();
+        assert_eq!(unique.len(), 6);
+        // Last parameter varies fastest.
+        assert_eq!(pts[0].values(), &[1.0, 10.0]);
+        assert_eq!(pts[1].values(), &[1.0, 20.0]);
+        assert_eq!(pts[3].values(), &[2.0, 10.0]);
+    }
+
+    #[test]
+    fn split_selects_levels() {
+        let space = tiny_space();
+        let pts: Vec<_> = full_factorial(&space, Split::Test).collect();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.value(0) == 1.0));
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let space = tiny_space();
+        let mut it = full_factorial(&space, Split::Train);
+        assert_eq!(it.len(), 6);
+        it.next();
+        assert_eq!(it.len(), 5);
+    }
+
+    #[test]
+    fn micro2007_test_grid_matches_grid_size() {
+        let space = crate::DesignSpace::micro2007();
+        assert_eq!(
+            full_factorial(&space, Split::Test).count(),
+            space.grid_size(Split::Test)
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Latin hypercube sampling over the discrete design-space levels.
+
+use crate::discrepancy::l2_star_squared;
+use crate::space::{DesignPoint, DesignSpace, Split};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of candidate LHS matrices generated per [`sample`] call; the one
+/// with the lowest L2-star discrepancy wins (the paper's strategy).
+pub const DEFAULT_CANDIDATES: usize = 8;
+
+/// Draws an `n`-point Latin hypercube design over the **train** levels of
+/// `space`, deterministically from `seed`.
+///
+/// [`DEFAULT_CANDIDATES`] independent LHS matrices are generated and the
+/// one with the lowest [`l2_star_squared`] discrepancy (in unit
+/// coordinates) is returned.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample(space: &DesignSpace, n: usize, seed: u64) -> Vec<DesignPoint> {
+    sample_with_candidates(space, n, seed, DEFAULT_CANDIDATES)
+}
+
+/// As [`sample`], with an explicit candidate-matrix count (`>= 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `candidates == 0`.
+pub fn sample_with_candidates(
+    space: &DesignSpace,
+    n: usize,
+    seed: u64,
+    candidates: usize,
+) -> Vec<DesignPoint> {
+    assert!(n > 0, "cannot draw an empty design");
+    assert!(candidates > 0, "need at least one candidate matrix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
+    for _ in 0..candidates {
+        let unit = lhs_unit(space.dims(), n, &mut rng);
+        let disc = l2_star_squared(&unit);
+        if best.as_ref().is_none_or(|(d, _)| disc < *d) {
+            best = Some((disc, unit));
+        }
+    }
+    let (_, unit) = best.expect("candidates >= 1");
+    unit.into_iter()
+        .map(|row| unit_to_point(space, &row))
+        .collect()
+}
+
+/// One raw LHS matrix in `[0, 1)^d`: each dimension is an independent
+/// random permutation of `n` jittered strata.
+fn lhs_unit(dims: usize, n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut strata: Vec<f64> = (0..n)
+            .map(|i| (i as f64 + rng.gen::<f64>()) / n as f64)
+            .collect();
+        strata.shuffle(rng);
+        cols.push(strata);
+    }
+    (0..n)
+        .map(|i| cols.iter().map(|c| c[i]).collect())
+        .collect()
+}
+
+/// Maps unit coordinates onto the nearest discrete train level per
+/// dimension (equal-width strata per level).
+fn unit_to_point(space: &DesignSpace, unit: &[f64]) -> DesignPoint {
+    let values = unit
+        .iter()
+        .zip(space.parameters())
+        .map(|(&u, p)| {
+            let levels = p.levels(Split::Train);
+            let idx = ((u * levels.len() as f64) as usize).min(levels.len() - 1);
+            levels[idx]
+        })
+        .collect();
+    DesignPoint::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignSpace;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let space = DesignSpace::micro2007();
+        let a = sample(&space, 50, 7);
+        let b = sample(&space, 50, 7);
+        assert_eq!(a, b);
+        let c = sample(&space, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_are_train_levels() {
+        let space = DesignSpace::micro2007();
+        for p in sample(&space, 64, 1) {
+            for (v, param) in p.values().iter().zip(space.parameters()) {
+                assert!(
+                    param.train_levels().contains(v),
+                    "{v} not a level of {}",
+                    param.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_balanced() {
+        // With n a multiple of the level count, LHS hits each level an
+        // equal number of times per dimension.
+        let space = DesignSpace::micro2007();
+        let n = 60; // divisible by 3, 4 and 5
+        let pts = sample(&space, n, 3);
+        for (dim, param) in space.parameters().iter().enumerate() {
+            let levels = param.train_levels();
+            let per_level = n / levels.len();
+            for &level in levels {
+                let count = pts.iter().filter(|p| p.value(dim) == level).count();
+                assert_eq!(
+                    count,
+                    per_level,
+                    "level {level} of {} hit {count} times, expected {per_level}",
+                    param.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_candidates_never_worse() {
+        let space = DesignSpace::micro2007();
+        let disc = |pts: &[crate::DesignPoint]| {
+            let unit: Vec<Vec<f64>> = pts
+                .iter()
+                .map(|p| space.to_unit(p, crate::Split::Train))
+                .collect();
+            l2_star_squared(&unit)
+        };
+        let one = sample_with_candidates(&space, 40, 5, 1);
+        let many = sample_with_candidates(&space, 40, 5, 16);
+        // The 16-candidate draw includes the 1-candidate matrix, so its
+        // discrepancy can only be <=.
+        assert!(disc(&many) <= disc(&one) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design")]
+    fn zero_points_panics() {
+        let space = DesignSpace::micro2007();
+        let _ = sample(&space, 0, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Microarchitecture design-space definition and sampling.
+//!
+//! The paper explores a design space of **9 microarchitectural parameters**
+//! (Table 2) with discrete train/test levels, builds its 200-point training
+//! set with a variant of **Latin Hypercube Sampling** and picks the most
+//! space-filling of several candidate LHS matrices by **L2-star
+//! discrepancy**; test points are sampled randomly and independently.
+//!
+//! * [`DesignSpace`] / [`Parameter`] — parameter names and discrete levels;
+//!   [`DesignSpace::micro2007`] is the paper's Table 2.
+//! * [`lhs::sample`] — best-of-`k` Latin hypercube over the train levels.
+//! * [`discrepancy::l2_star`] — Warnock's formula.
+//! * [`random::sample`] — uniform independent sampling (test sets, and the
+//!   naive-sampling ablation).
+//!
+//! # Examples
+//!
+//! ```
+//! use dynawave_sampling::{DesignSpace, lhs};
+//!
+//! let space = DesignSpace::micro2007();
+//! assert_eq!(space.dims(), 9);
+//! let train = lhs::sample(&space, 200, 42);
+//! assert_eq!(train.len(), 200);
+//! // Every coordinate is a legal train level.
+//! for p in &train {
+//!     for (v, param) in p.values().iter().zip(space.parameters()) {
+//!         assert!(param.train_levels().contains(v));
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discrepancy;
+pub mod grid;
+pub mod halton;
+pub mod lhs;
+pub mod random;
+mod space;
+
+pub use space::{DesignPoint, DesignSpace, Parameter, Split};

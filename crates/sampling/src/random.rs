@@ -1,0 +1,88 @@
+//! Independent uniform sampling of discrete design points.
+
+use crate::space::{DesignPoint, DesignSpace, Split};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `n` design points with each parameter sampled uniformly and
+/// independently from the levels of the chosen [`Split`].
+///
+/// This is how the paper builds its **test** sets ("a randomly and
+/// independently generated set of test data points"); with
+/// [`Split::Train`] it doubles as the naive-sampling baseline for the
+/// LHS ablation study.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample(space: &DesignSpace, n: usize, split: Split, seed: u64) -> Vec<DesignPoint> {
+    assert!(n > 0, "cannot draw an empty design");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let values = space
+                .parameters()
+                .iter()
+                .map(|p| {
+                    let levels = p.levels(split);
+                    levels[rng.gen_range(0..levels.len())]
+                })
+                .collect();
+            DesignPoint::new(values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignSpace;
+
+    #[test]
+    fn test_split_uses_test_levels() {
+        let space = DesignSpace::micro2007();
+        for p in sample(&space, 100, Split::Test, 11) {
+            for (v, param) in p.values().iter().zip(space.parameters()) {
+                assert!(param.test_levels().contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn train_split_uses_train_levels() {
+        let space = DesignSpace::micro2007();
+        for p in sample(&space, 100, Split::Train, 11) {
+            for (v, param) in p.values().iter().zip(space.parameters()) {
+                assert!(param.train_levels().contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let space = DesignSpace::micro2007();
+        assert_eq!(
+            sample(&space, 10, Split::Test, 1),
+            sample(&space, 10, Split::Test, 1)
+        );
+        assert_ne!(
+            sample(&space, 10, Split::Test, 1),
+            sample(&space, 10, Split::Test, 2)
+        );
+    }
+
+    #[test]
+    fn covers_all_levels_eventually() {
+        let space = DesignSpace::micro2007();
+        let pts = sample(&space, 500, Split::Train, 3);
+        for (dim, param) in space.parameters().iter().enumerate() {
+            for &level in param.train_levels() {
+                assert!(
+                    pts.iter().any(|p| p.value(dim) == level),
+                    "level {level} of {} never drawn in 500 samples",
+                    param.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+use crate::transform::Wavelet;
+
+/// The result of a full multi-level wavelet decomposition.
+///
+/// Coefficients are stored flat as `[approximation, coarsest detail, ...,
+/// finest detail]` — the paper's Figure 2 layout: the single overall
+/// average first, then detail coefficients in order of increasing
+/// resolution.
+///
+/// A `Decomposition` can be edited in place (e.g. zeroing unimportant
+/// coefficients, or substituting predicted values) and then passed to
+/// [`waverec`](crate::waverec) to synthesize a time-domain trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    coeffs: Vec<f64>,
+    len: usize,
+    wavelet: Wavelet,
+}
+
+impl Decomposition {
+    pub(crate) fn new(coeffs: Vec<f64>, len: usize, wavelet: Wavelet) -> Self {
+        Decomposition { coeffs, len, wavelet }
+    }
+
+    /// Builds a decomposition directly from a coefficient vector, as when
+    /// coefficients come out of a predictive model instead of
+    /// [`wavedec`](crate::wavedec).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `coeffs.len()` is a power of two and at least 2 — the
+    /// shape produced by [`wavedec`](crate::wavedec).
+    pub fn from_coeffs(coeffs: Vec<f64>, wavelet: Wavelet) -> Self {
+        assert!(
+            coeffs.len() >= 2 && coeffs.len().is_power_of_two(),
+            "coefficient vector length {} is not a power of two >= 2",
+            coeffs.len()
+        );
+        let len = coeffs.len();
+        Decomposition { coeffs, len, wavelet }
+    }
+
+    /// The original signal length (== the number of coefficients).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the decomposition holds no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mother wavelet used for analysis.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// The flat coefficient vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Mutable access for coefficient editing (selection / substitution).
+    ///
+    /// Do not change the vector's *length*; [`waverec`](crate::waverec)
+    /// reports [`CoefficientMismatch`](crate::WaveletError) if the count no
+    /// longer matches the recorded signal length.
+    pub fn coeffs_mut(&mut self) -> &mut [f64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the decomposition and returns the coefficient vector.
+    pub fn into_coeffs(self) -> Vec<f64> {
+        self.coeffs
+    }
+
+    /// The number of decomposition levels (log2 of the length).
+    pub fn levels(&self) -> usize {
+        self.len.trailing_zeros() as usize
+    }
+
+    /// Total signal energy held in the coefficients (sum of squares).
+    pub fn energy(&self) -> f64 {
+        self.coeffs.iter().map(|c| c * c).sum()
+    }
+
+    /// Returns a copy with every coefficient outside `keep` zeroed.
+    ///
+    /// Indices outside range are ignored.
+    pub fn retain_indices(&self, keep: &[usize]) -> Decomposition {
+        let mut out = self.clone();
+        let mut mask = vec![false; self.coeffs.len()];
+        for &i in keep {
+            if i < mask.len() {
+                mask[i] = true;
+            }
+        }
+        for (c, keep) in out.coeffs.iter_mut().zip(&mask) {
+            if !keep {
+                *c = 0.0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wavedec, waverec};
+
+    #[test]
+    fn retain_zeroes_others() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let kept = dec.retain_indices(&[0]);
+        assert_eq!(kept.as_slice()[0], dec.as_slice()[0]);
+        assert!(kept.as_slice()[1..].iter().all(|&c| c == 0.0));
+        // Reconstruction from only the approximation is the constant mean.
+        let back = waverec(&kept).unwrap();
+        assert!(back.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn retain_ignores_out_of_range() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let kept = dec.retain_indices(&[0, 999]);
+        assert_eq!(kept.as_slice()[0], dec.as_slice()[0]);
+    }
+
+    #[test]
+    fn levels_and_energy() {
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        assert_eq!(dec.levels(), 3);
+        assert!(dec.energy() > 0.0);
+        assert_eq!(dec.len(), 8);
+        assert!(!dec.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_coeffs_rejects_bad_length() {
+        let _ = Decomposition::from_coeffs(vec![0.0; 3], Wavelet::Haar);
+    }
+}

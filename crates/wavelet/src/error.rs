@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by wavelet routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WaveletError {
+    /// The input length is not supported by the requested transform.
+    ///
+    /// Single-level transforms need an even, non-zero length; full
+    /// decompositions need a power of two.
+    BadLength {
+        /// Observed input length.
+        len: usize,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+    /// A coefficient vector does not match the decomposition it claims to
+    /// come from.
+    CoefficientMismatch {
+        /// Expected number of coefficients.
+        expected: usize,
+        /// Observed number of coefficients.
+        got: usize,
+    },
+}
+
+impl fmt::Display for WaveletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveletError::BadLength { len, requirement } => {
+                write!(f, "unsupported input length {len}: {requirement}")
+            }
+            WaveletError::CoefficientMismatch { expected, got } => {
+                write!(f, "coefficient count mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for WaveletError {}

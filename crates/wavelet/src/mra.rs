@@ -1,0 +1,196 @@
+//! Multiresolution analysis: per-scale views and time-domain components.
+//!
+//! The flat coefficient layout of a [`Decomposition`] is
+//! `[approximation, detail level L-1 (coarsest), ..., detail level 0
+//! (finest)]`. This module names those bands ([`Band`]), exposes their
+//! index ranges, and synthesizes the classic MRA picture: one time-domain
+//! component per band whose sum reconstructs the original signal — the
+//! "coordinated scales of time and frequency" the paper leans on (§2.3).
+
+use crate::coeffs::Decomposition;
+use crate::transform::waverec;
+use crate::WaveletError;
+
+/// One frequency band of a decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// The single overall-approximation coefficient (signal mean for
+    /// Haar).
+    Approximation,
+    /// Detail band `d`, where `d = 0` is the **coarsest** detail (one
+    /// coefficient) and each next band doubles in resolution and size.
+    Detail(usize),
+}
+
+impl Band {
+    /// All bands of a decomposition with `levels` levels, coarse to fine.
+    pub fn all(levels: usize) -> Vec<Band> {
+        let mut bands = vec![Band::Approximation];
+        bands.extend((0..levels).map(Band::Detail));
+        bands
+    }
+
+    /// The index range this band occupies in the flat coefficient vector
+    /// of a decomposition with `levels` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band does not exist at this depth.
+    pub fn range(self, levels: usize) -> std::ops::Range<usize> {
+        match self {
+            Band::Approximation => 0..1,
+            Band::Detail(d) => {
+                assert!(d < levels, "detail band {d} does not exist at {levels} levels");
+                let start = 1usize << d;
+                start..start * 2
+            }
+        }
+    }
+
+    /// Number of coefficients in the band.
+    pub fn len(self, levels: usize) -> usize {
+        self.range(levels).len()
+    }
+
+    /// `true` when the band holds no coefficients (never, in practice).
+    pub fn is_empty(self, levels: usize) -> bool {
+        self.range(levels).is_empty()
+    }
+}
+
+/// Borrow of one band's coefficients.
+///
+/// # Panics
+///
+/// Panics if the band does not exist in `dec`.
+pub fn band_coeffs(dec: &Decomposition, band: Band) -> &[f64] {
+    &dec.as_slice()[band.range(dec.levels())]
+}
+
+/// Synthesizes the time-domain component carried by one band: the inverse
+/// transform of the decomposition with every *other* coefficient zeroed.
+///
+/// # Errors
+///
+/// Propagates reconstruction errors.
+pub fn band_component(dec: &Decomposition, band: Band) -> Result<Vec<f64>, WaveletError> {
+    let keep: Vec<usize> = band.range(dec.levels()).collect();
+    waverec(&dec.retain_indices(&keep))
+}
+
+/// The full multiresolution analysis: one component per band, coarse to
+/// fine. The element-wise sum of all components equals the original
+/// signal (to rounding).
+///
+/// # Errors
+///
+/// Propagates reconstruction errors.
+pub fn mra(dec: &Decomposition) -> Result<Vec<Vec<f64>>, WaveletError> {
+    Band::all(dec.levels())
+        .into_iter()
+        .map(|b| band_component(dec, b))
+        .collect()
+}
+
+/// Per-band energy fractions, coarse to fine; sums to 1 for a non-zero
+/// signal.
+pub fn band_energy_fractions(dec: &Decomposition) -> Vec<f64> {
+    let total = dec.energy();
+    Band::all(dec.levels())
+        .into_iter()
+        .map(|b| {
+            let e: f64 = band_coeffs(dec, b).iter().map(|c| c * c).sum();
+            if total > 0.0 {
+                e / total
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wavedec, Wavelet};
+
+    fn sample_signal() -> Vec<f64> {
+        (0..32)
+            .map(|i| {
+                let t = i as f64 / 32.0;
+                2.0 + (std::f64::consts::TAU * 2.0 * t).sin()
+                    + 0.2 * (std::f64::consts::TAU * 8.0 * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn band_ranges_tile_the_vector() {
+        let levels = 5; // 32 coefficients
+        let mut covered = vec![false; 32];
+        for band in Band::all(levels) {
+            for i in band.range(levels) {
+                assert!(!covered[i], "index {i} covered twice");
+                covered[i] = true;
+            }
+            assert!(!band.is_empty(levels));
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn components_sum_to_signal() {
+        let x = sample_signal();
+        for wavelet in [Wavelet::Haar, Wavelet::Daubechies4] {
+            let dec = wavedec(&x, wavelet).unwrap();
+            let parts = mra(&dec).unwrap();
+            assert_eq!(parts.len(), dec.levels() + 1);
+            for (i, &v) in x.iter().enumerate() {
+                let sum: f64 = parts.iter().map(|p| p[i]).sum();
+                assert!((sum - v).abs() < 1e-9, "at {i}: {sum} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_component_is_constant_for_haar() {
+        let x = sample_signal();
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let approx = band_component(&dec, Band::Approximation).unwrap();
+        let first = approx[0];
+        assert!(approx.iter().all(|&v| (v - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn energy_fractions_sum_to_one() {
+        let x = sample_signal();
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let fracs = band_energy_fractions(&dec);
+        let total: f64 = fracs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(fracs.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn slow_sine_lives_in_coarse_bands() {
+        // A 2-cycle sine over 32 samples concentrates in the coarse
+        // details, not the finest band.
+        let x: Vec<f64> = (0..32)
+            .map(|i| (std::f64::consts::TAU * 2.0 * i as f64 / 32.0).sin())
+            .collect();
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let fracs = band_energy_fractions(&dec);
+        // Period-16 oscillation lives at scales >= 4 samples: the
+        // approximation plus the first five bands (up to 16 coefficients).
+        let coarse: f64 = fracs[..5].iter().sum();
+        let finest = fracs[fracs.len() - 1];
+        assert!(coarse > 0.8, "coarse fraction {coarse}");
+        assert!(finest < 0.2, "finest fraction {finest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn out_of_range_band_panics() {
+        let _ = Band::Detail(9).range(3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Padding helpers for non-power-of-two signals.
+//!
+//! [`wavedec`](crate::wavedec) requires power-of-two lengths. Real trace
+//! collection sometimes produces odd lengths (aborted runs, trimmed
+//! warm-up); these helpers extend a signal to the next power of two,
+//! decompose it, and recover the original span after reconstruction.
+
+use crate::coeffs::Decomposition;
+use crate::transform::{wavedec, Wavelet};
+use crate::WaveletError;
+
+/// How padded samples are synthesized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PadMode {
+    /// Repeat the final sample (good default for plateau-like dynamics).
+    #[default]
+    Edge,
+    /// Mirror the tail of the signal.
+    Reflect,
+    /// Fill with the signal mean.
+    Mean,
+}
+
+/// Pads `signal` to the next power of two (at least 2).
+///
+/// Returns the padded copy; the caller keeps the original length for
+/// [`unpad`].
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn pad_to_pow2(signal: &[f64], mode: PadMode) -> Vec<f64> {
+    assert!(!signal.is_empty(), "cannot pad an empty signal");
+    let n = signal.len();
+    let target = n.next_power_of_two().max(2);
+    let mut out = signal.to_vec();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    for i in n..target {
+        let v = match mode {
+            PadMode::Edge => signal[n - 1],
+            PadMode::Reflect => {
+                // Mirror around the final sample: ..., s[n-2], s[n-3], ...
+                let back = (i - n + 1).min(n - 1);
+                signal[n - 1 - back]
+            }
+            PadMode::Mean => mean,
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Truncates a reconstructed signal back to the original length.
+pub fn unpad(mut signal: Vec<f64>, original_len: usize) -> Vec<f64> {
+    signal.truncate(original_len);
+    signal
+}
+
+/// Pads and decomposes in one call; returns the decomposition and the
+/// original length (for [`unpad`] after reconstruction).
+///
+/// # Errors
+///
+/// Propagates decomposition errors (cannot occur for non-empty input).
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn wavedec_padded(
+    signal: &[f64],
+    wavelet: Wavelet,
+    mode: PadMode,
+) -> Result<(Decomposition, usize), WaveletError> {
+    let padded = pad_to_pow2(signal, mode);
+    Ok((wavedec(&padded, wavelet)?, signal.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waverec;
+
+    #[test]
+    fn pads_to_next_power_of_two() {
+        assert_eq!(pad_to_pow2(&[1.0], PadMode::Edge).len(), 2);
+        assert_eq!(pad_to_pow2(&[1.0, 2.0, 3.0], PadMode::Edge).len(), 4);
+        assert_eq!(pad_to_pow2(&[0.0; 8], PadMode::Edge).len(), 8);
+        assert_eq!(pad_to_pow2(&[0.0; 9], PadMode::Edge).len(), 16);
+    }
+
+    #[test]
+    fn edge_mode_repeats_last() {
+        let p = pad_to_pow2(&[1.0, 2.0, 5.0], PadMode::Edge);
+        assert_eq!(p, vec![1.0, 2.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn reflect_mode_mirrors() {
+        let p = pad_to_pow2(&[1.0, 2.0, 3.0, 4.0, 5.0], PadMode::Reflect);
+        assert_eq!(p, vec![1.0, 2.0, 3.0, 4.0, 5.0, 4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_mode_fills_mean() {
+        let p = pad_to_pow2(&[2.0, 4.0, 6.0], PadMode::Mean);
+        assert_eq!(p[3], 4.0);
+    }
+
+    #[test]
+    fn padded_roundtrip_recovers_original_span() {
+        let signal: Vec<f64> = (0..23).map(|i| (i as f64 * 0.4).sin() + 2.0).collect();
+        for mode in [PadMode::Edge, PadMode::Reflect, PadMode::Mean] {
+            let (dec, len) = wavedec_padded(&signal, Wavelet::Haar, mode).unwrap();
+            let back = unpad(waverec(&dec).unwrap(), len);
+            assert_eq!(back.len(), 23);
+            for (a, b) in signal.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signal")]
+    fn empty_signal_panics() {
+        let _ = pad_to_pow2(&[], PadMode::Edge);
+    }
+}

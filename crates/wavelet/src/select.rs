@@ -1,0 +1,193 @@
+//! Coefficient-selection schemes and rank analysis.
+//!
+//! The paper keeps only a small set of *important* wavelet coefficients and
+//! approximates the rest with zero (§3). Two schemes are compared:
+//!
+//! * **magnitude-based** — keep the `k` coefficients with the largest
+//!   absolute value ([`top_k_by_magnitude`]); the paper's choice because it
+//!   always outperforms
+//! * **order-based** — keep the first `k` coefficients in the natural
+//!   coarse-to-fine layout ([`first_k`]).
+//!
+//! Magnitude selection is only usable for *prediction* if the identity of
+//! the important coefficients is stable across the design space. Figure 7
+//! visualizes this via per-configuration rank maps; [`magnitude_ranks`] and
+//! [`rank_stability`] reproduce that analysis.
+
+/// Indices of the `k` largest-magnitude coefficients, in decreasing
+/// magnitude order. Ties break toward the lower index, which keeps the
+/// selection deterministic.
+///
+/// `k` is clamped to `coeffs.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_wavelet::select::top_k_by_magnitude;
+/// let idx = top_k_by_magnitude(&[0.1, -9.0, 3.0, 0.0], 2);
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k_by_magnitude(coeffs: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..coeffs.len()).collect();
+    order.sort_by(|&a, &b| {
+        coeffs[b]
+            .abs()
+            .partial_cmp(&coeffs[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k.min(coeffs.len()));
+    order
+}
+
+/// Indices `0..k` — the order-based scheme (approximation plus the
+/// coarsest details first).
+///
+/// `k` is clamped to `len`.
+pub fn first_k(len: usize, k: usize) -> Vec<usize> {
+    (0..k.min(len)).collect()
+}
+
+/// Magnitude rank of every coefficient: `ranks[i] == 0` means coefficient
+/// `i` has the largest absolute value.
+///
+/// This is one row of the paper's Figure 7 color map.
+pub fn magnitude_ranks(coeffs: &[f64]) -> Vec<usize> {
+    let order = top_k_by_magnitude(coeffs, coeffs.len());
+    let mut ranks = vec![0usize; coeffs.len()];
+    for (rank, &idx) in order.iter().enumerate() {
+        ranks[idx] = rank;
+    }
+    ranks
+}
+
+/// Average Jaccard overlap of the top-`k` index sets across configurations.
+///
+/// Returns a value in `[0, 1]`; `1.0` means the same `k` coefficients are
+/// the most significant at every configuration (the property Figure 7
+/// demonstrates for gcc). Returns `0.0` when fewer than two rank maps are
+/// supplied.
+///
+/// # Panics
+///
+/// Panics if the coefficient vectors have differing lengths.
+pub fn rank_stability(coeff_sets: &[Vec<f64>], k: usize) -> f64 {
+    if coeff_sets.len() < 2 {
+        return 0.0;
+    }
+    let len = coeff_sets[0].len();
+    let tops: Vec<Vec<usize>> = coeff_sets
+        .iter()
+        .map(|c| {
+            assert_eq!(c.len(), len, "coefficient vectors differ in length");
+            let mut t = top_k_by_magnitude(c, k);
+            t.sort_unstable();
+            t
+        })
+        .collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..tops.len() {
+        for j in (i + 1)..tops.len() {
+            total += jaccard(&tops[i], &tops[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Jaccard similarity of two sorted index sets.
+fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Fraction of total signal energy captured by the given coefficient
+/// subset. `1.0` when the subset reproduces the signal exactly.
+///
+/// Returns `1.0` for a zero-energy signal (nothing to capture).
+pub fn energy_captured(coeffs: &[f64], keep: &[usize]) -> f64 {
+    let total: f64 = coeffs.iter().map(|c| c * c).sum();
+    if total <= f64::EPSILON {
+        return 1.0;
+    }
+    let kept: f64 = keep
+        .iter()
+        .filter(|&&i| i < coeffs.len())
+        .map(|&i| coeffs[i] * coeffs[i])
+        .sum();
+    kept / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_magnitude() {
+        let c = [1.0, -5.0, 3.0, -2.0];
+        assert_eq!(top_k_by_magnitude(&c, 3), vec![1, 2, 3]);
+        assert_eq!(top_k_by_magnitude(&c, 10), vec![1, 2, 3, 0]);
+        assert!(top_k_by_magnitude(&c, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_tie_breaks_low_index() {
+        let c = [2.0, -2.0, 2.0];
+        assert_eq!(top_k_by_magnitude(&c, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn first_k_clamps() {
+        assert_eq!(first_k(4, 2), vec![0, 1]);
+        assert_eq!(first_k(2, 5), vec![0, 1]);
+    }
+
+    #[test]
+    fn ranks_invert_order() {
+        let c = [0.5, 4.0, -2.0];
+        let r = magnitude_ranks(&c);
+        assert_eq!(r, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn stability_of_identical_sets_is_one() {
+        let sets = vec![vec![5.0, 1.0, 0.1, 0.0], vec![4.0, 2.0, 0.2, 0.05]];
+        assert!((rank_stability(&sets, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_of_disjoint_sets_is_zero() {
+        let sets = vec![vec![5.0, 4.0, 0.0, 0.0], vec![0.0, 0.0, 5.0, 4.0]];
+        assert_eq!(rank_stability(&sets, 2), 0.0);
+    }
+
+    #[test]
+    fn stability_single_set_is_zero() {
+        assert_eq!(rank_stability(&[vec![1.0]], 1), 0.0);
+    }
+
+    #[test]
+    fn energy_capture_bounds() {
+        let c = [3.0, 4.0]; // energies 9, 16
+        assert!((energy_captured(&c, &[1]) - 16.0 / 25.0).abs() < 1e-12);
+        assert_eq!(energy_captured(&c, &[0, 1]), 1.0);
+        assert_eq!(energy_captured(&[0.0, 0.0], &[]), 1.0);
+    }
+}

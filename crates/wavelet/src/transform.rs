@@ -1,0 +1,331 @@
+//! Single- and multi-level discrete wavelet transforms.
+
+use crate::coeffs::Decomposition;
+use crate::WaveletError;
+
+/// A mother wavelet (analysis/synthesis filter pair).
+///
+/// * [`Wavelet::Haar`] uses the paper's average/half-difference convention
+///   from §2.1: approximations are pairwise *averages* and details are half
+///   the pairwise *differences*, so the level-0 approximation is the overall
+///   mean of the trace. This matches the worked example of Figure 2
+///   literally.
+/// * [`Wavelet::Daubechies4`] is the orthonormal 4-tap Daubechies filter
+///   with periodic boundary extension, provided for the mother-wavelet
+///   ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Wavelet {
+    /// Haar wavelet, average/half-difference convention (paper default).
+    #[default]
+    Haar,
+    /// Daubechies 4-tap orthonormal wavelet, periodic extension.
+    Daubechies4,
+}
+
+impl Wavelet {
+    /// Shortest input a single analysis step accepts.
+    pub fn min_len(self) -> usize {
+        2
+    }
+
+    /// Stable lowercase name (`"haar"` / `"db4"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Wavelet::Haar => "haar",
+            Wavelet::Daubechies4 => "db4",
+        }
+    }
+}
+
+impl std::fmt::Display for Wavelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const SQRT3: f64 = 1.732_050_807_568_877_2;
+
+/// Daubechies-4 scaling (low-pass) filter taps.
+fn db4_lo() -> [f64; 4] {
+    let d = 4.0 * std::f64::consts::SQRT_2;
+    [
+        (1.0 + SQRT3) / d,
+        (3.0 + SQRT3) / d,
+        (3.0 - SQRT3) / d,
+        (1.0 - SQRT3) / d,
+    ]
+}
+
+/// One level of the forward transform.
+///
+/// Returns `(approximation, detail)`, each half the input length.
+///
+/// # Errors
+///
+/// [`WaveletError::BadLength`] if the input length is zero or odd.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_wavelet::{dwt, Wavelet};
+/// let (a, d) = dwt(&[3.0, 4.0, 20.0, 25.0], Wavelet::Haar).unwrap();
+/// assert_eq!(a, vec![3.5, 22.5]);
+/// assert_eq!(d, vec![-0.5, -2.5]);
+/// ```
+pub fn dwt(data: &[f64], wavelet: Wavelet) -> Result<(Vec<f64>, Vec<f64>), WaveletError> {
+    if data.is_empty() || data.len() % 2 != 0 {
+        return Err(WaveletError::BadLength {
+            len: data.len(),
+            requirement: "single-level DWT needs an even, non-zero length",
+        });
+    }
+    let half = data.len() / 2;
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    match wavelet {
+        Wavelet::Haar => {
+            for k in 0..half {
+                let a = data[2 * k];
+                let b = data[2 * k + 1];
+                approx.push((a + b) / 2.0);
+                detail.push((a - b) / 2.0);
+            }
+        }
+        Wavelet::Daubechies4 => {
+            let lo = db4_lo();
+            // Quadrature mirror: hi[i] = (-1)^i * lo[3 - i].
+            let hi = [lo[3], -lo[2], lo[1], -lo[0]];
+            let n = data.len();
+            for k in 0..half {
+                let mut s = 0.0;
+                let mut d = 0.0;
+                for (i, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
+                    let x = data[(2 * k + i) % n];
+                    s += l * x;
+                    d += h * x;
+                }
+                approx.push(s);
+                detail.push(d);
+            }
+        }
+    }
+    Ok((approx, detail))
+}
+
+/// One level of the inverse transform.
+///
+/// # Errors
+///
+/// [`WaveletError::CoefficientMismatch`] if the approximation and detail
+/// vectors differ in length, [`WaveletError::BadLength`] if they are empty.
+pub fn idwt(approx: &[f64], detail: &[f64], wavelet: Wavelet) -> Result<Vec<f64>, WaveletError> {
+    if approx.len() != detail.len() {
+        return Err(WaveletError::CoefficientMismatch {
+            expected: approx.len(),
+            got: detail.len(),
+        });
+    }
+    if approx.is_empty() {
+        return Err(WaveletError::BadLength {
+            len: 0,
+            requirement: "inverse DWT needs at least one coefficient per band",
+        });
+    }
+    let n = approx.len() * 2;
+    let mut out = vec![0.0; n];
+    match wavelet {
+        Wavelet::Haar => {
+            for k in 0..approx.len() {
+                out[2 * k] = approx[k] + detail[k];
+                out[2 * k + 1] = approx[k] - detail[k];
+            }
+        }
+        Wavelet::Daubechies4 => {
+            let lo = db4_lo();
+            let hi = [lo[3], -lo[2], lo[1], -lo[0]];
+            let half = approx.len();
+            for k in 0..half {
+                let (a, d) = (approx[k], detail[k]);
+                for i in 0..4 {
+                    let pos = (2 * k + i) % n;
+                    out[pos] += lo[i] * a + hi[i] * d;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Full multi-level decomposition down to a single approximation
+/// coefficient (Haar) or the shortest even length (db4).
+///
+/// The resulting [`Decomposition`] stores coefficients as
+/// `[approximation, coarsest detail, ..., finest detail]` — overall average
+/// first, then details in order of increasing resolution (paper Figure 2).
+///
+/// # Errors
+///
+/// [`WaveletError::BadLength`] unless the input length is a power of two
+/// (and at least 2).
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_wavelet::{wavedec, waverec, Wavelet};
+/// let x = [3.0, 4.0, 20.0, 25.0, 15.0, 5.0, 20.0, 3.0];
+/// let dec = wavedec(&x, Wavelet::Haar).unwrap();
+/// let back = waverec(&dec).unwrap();
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+pub fn wavedec(data: &[f64], wavelet: Wavelet) -> Result<Decomposition, WaveletError> {
+    let n = data.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(WaveletError::BadLength {
+            len: n,
+            requirement: "full decomposition needs a power-of-two length >= 2",
+        });
+    }
+    let mut details: Vec<Vec<f64>> = Vec::new();
+    let mut approx = data.to_vec();
+    while approx.len() >= 2 {
+        let (a, d) = dwt(&approx, wavelet)?;
+        details.push(d);
+        approx = a;
+    }
+    // coefficients: [A, D_coarsest..D_finest]
+    let mut coeffs = approx; // final approximation (length 1)
+    for d in details.iter().rev() {
+        coeffs.extend_from_slice(d);
+    }
+    debug_assert_eq!(coeffs.len(), n);
+    Ok(Decomposition::new(coeffs, n, wavelet))
+}
+
+/// Inverse of [`wavedec`]: reconstructs the time-domain signal.
+///
+/// # Errors
+///
+/// [`WaveletError::CoefficientMismatch`] if the decomposition's coefficient
+/// count does not match its recorded signal length (possible after manual
+/// editing via [`Decomposition::coeffs_mut`] only if the vector was
+/// resized).
+pub fn waverec(dec: &Decomposition) -> Result<Vec<f64>, WaveletError> {
+    let n = dec.len();
+    let coeffs = dec.as_slice();
+    if coeffs.len() != n {
+        return Err(WaveletError::CoefficientMismatch {
+            expected: n,
+            got: coeffs.len(),
+        });
+    }
+    // Rebuild from [A | D_coarsest | ... | D_finest].
+    let mut approx = vec![coeffs[0]];
+    let mut offset = 1;
+    while approx.len() < n {
+        let dlen = approx.len();
+        let d = &coeffs[offset..offset + dlen];
+        approx = idwt(&approx, d, dec.wavelet())?;
+        offset += dlen;
+    }
+    Ok(approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: [f64; 8] = [3.0, 4.0, 20.0, 25.0, 15.0, 5.0, 20.0, 3.0];
+
+    #[test]
+    fn haar_single_level_matches_paper() {
+        let (a, d) = dwt(&FIG2, Wavelet::Haar).unwrap();
+        assert_eq!(a, vec![3.5, 22.5, 10.0, 11.5]);
+        assert_eq!(d, vec![-0.5, -2.5, 5.0, 8.5]);
+    }
+
+    #[test]
+    fn haar_full_decomposition_matches_figure2() {
+        let dec = wavedec(&FIG2, Wavelet::Haar).unwrap();
+        let c = dec.as_slice();
+        let expected = [11.875, 1.125, -9.5, -0.75, -0.5, -2.5, 5.0, 8.5];
+        for (g, e) in c.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-12, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn haar_roundtrip() {
+        let dec = wavedec(&FIG2, Wavelet::Haar).unwrap();
+        let back = waverec(&dec).unwrap();
+        for (a, b) in FIG2.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db4_single_level_roundtrip() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let (a, d) = dwt(&x, Wavelet::Daubechies4).unwrap();
+        let back = idwt(&a, &d, Wavelet::Daubechies4).unwrap();
+        for (u, v) in x.iter().zip(&back) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn db4_full_roundtrip() {
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).cos() * (i as f64 * 0.05).exp())
+            .collect();
+        let dec = wavedec(&x, Wavelet::Daubechies4).unwrap();
+        let back = waverec(&dec).unwrap();
+        for (u, v) in x.iter().zip(&back) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn dwt_rejects_odd_length() {
+        assert!(matches!(
+            dwt(&[1.0, 2.0, 3.0], Wavelet::Haar),
+            Err(WaveletError::BadLength { .. })
+        ));
+        assert!(matches!(
+            dwt(&[], Wavelet::Haar),
+            Err(WaveletError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn wavedec_rejects_non_power_of_two() {
+        let x = vec![0.0; 12];
+        assert!(matches!(
+            wavedec(&x, Wavelet::Haar),
+            Err(WaveletError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn idwt_rejects_mismatched_bands() {
+        assert!(matches!(
+            idwt(&[1.0, 2.0], &[1.0], Wavelet::Haar),
+            Err(WaveletError::CoefficientMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn first_coefficient_is_signal_mean_for_haar() {
+        let x: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let dec = wavedec(&x, Wavelet::Haar).unwrap();
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        assert!((dec.as_slice()[0] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelet_display_names() {
+        assert_eq!(Wavelet::Haar.to_string(), "haar");
+        assert_eq!(Wavelet::Daubechies4.to_string(), "db4");
+    }
+}

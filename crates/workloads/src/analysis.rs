@@ -1,0 +1,173 @@
+//! Trace analysis: summary statistics of generated instruction streams.
+//!
+//! These are timing-independent workload characteristics (instruction mix,
+//! branch behaviour, memory footprint, dependency structure) — useful for
+//! validating that a synthetic benchmark matches its intended personality
+//! and for documenting workload properties in experiment reports.
+
+use crate::instruction::{Instruction, OpClass};
+use std::collections::HashSet;
+
+/// Timing-independent summary of an instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Instructions analyzed.
+    pub instructions: u64,
+    /// Fraction of each class, in [`OpClass::ALL`] order.
+    pub class_fractions: [f64; 7],
+    /// Fraction of branches that were taken.
+    pub taken_fraction: f64,
+    /// Fraction of dynamically dead instructions.
+    pub dead_fraction: f64,
+    /// Mean register dependency distance (dep1, where present).
+    pub mean_dep_distance: f64,
+    /// Distinct 64-byte data lines touched.
+    pub data_lines: usize,
+    /// Distinct 32-byte instruction lines touched.
+    pub code_lines: usize,
+    /// Distinct 4 KB data pages touched.
+    pub data_pages: usize,
+}
+
+impl TraceSummary {
+    /// Fraction of instructions in `class`.
+    pub fn fraction_of(&self, class: OpClass) -> f64 {
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
+        self.class_fractions[idx]
+    }
+
+    /// Data footprint in KB (64-byte lines).
+    pub fn data_footprint_kb(&self) -> f64 {
+        self.data_lines as f64 * 64.0 / 1024.0
+    }
+
+    /// Code footprint in KB (32-byte lines).
+    pub fn code_footprint_kb(&self) -> f64 {
+        self.code_lines as f64 * 32.0 / 1024.0
+    }
+}
+
+/// Computes a [`TraceSummary`] over an instruction stream.
+///
+/// Consumes the iterator; analyze a bounded prefix with `take(n)` for
+/// long generators.
+pub fn summarize<I>(trace: I) -> TraceSummary
+where
+    I: IntoIterator<Item = Instruction>,
+{
+    let mut n = 0u64;
+    let mut class_counts = [0u64; 7];
+    let mut branches = 0u64;
+    let mut taken = 0u64;
+    let mut dead = 0u64;
+    let mut dep_sum = 0u64;
+    let mut dep_count = 0u64;
+    let mut data_lines = HashSet::new();
+    let mut code_lines = HashSet::new();
+    let mut data_pages = HashSet::new();
+    for i in trace {
+        n += 1;
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == i.class)
+            .expect("class in ALL");
+        class_counts[idx] += 1;
+        if i.is_branch() {
+            branches += 1;
+            if i.taken {
+                taken += 1;
+            }
+        }
+        if i.dead {
+            dead += 1;
+        }
+        if i.dep1 > 0 {
+            dep_sum += u64::from(i.dep1);
+            dep_count += 1;
+        }
+        if i.is_memory() {
+            data_lines.insert(i.addr >> 6);
+            data_pages.insert(i.addr >> 12);
+        }
+        code_lines.insert(i.pc >> 5);
+    }
+    let nf = n.max(1) as f64;
+    let mut class_fractions = [0.0; 7];
+    for (f, c) in class_fractions.iter_mut().zip(class_counts) {
+        *f = c as f64 / nf;
+    }
+    TraceSummary {
+        instructions: n,
+        class_fractions,
+        taken_fraction: if branches > 0 {
+            taken as f64 / branches as f64
+        } else {
+            0.0
+        },
+        dead_fraction: dead as f64 / nf,
+        mean_dep_distance: if dep_count > 0 {
+            dep_sum as f64 / dep_count as f64
+        } else {
+            0.0
+        },
+        data_lines: data_lines.len(),
+        code_lines: code_lines.len(),
+        data_pages: data_pages.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceGenerator};
+
+    fn summary(b: Benchmark) -> TraceSummary {
+        summarize(TraceGenerator::new(b, 60_000, 5))
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = summary(Benchmark::Gcc);
+        let total: f64 = s.class_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(s.instructions, 60_000);
+    }
+
+    #[test]
+    fn personalities_show_up_in_summaries() {
+        let gcc = summary(Benchmark::Gcc);
+        let swim = summary(Benchmark::Swim);
+        let mcf = summary(Benchmark::Mcf);
+        // swim is FP-heavy and branch-light compared to gcc.
+        assert!(swim.fraction_of(OpClass::FpAlu) > gcc.fraction_of(OpClass::FpAlu) * 3.0);
+        assert!(swim.fraction_of(OpClass::Branch) < gcc.fraction_of(OpClass::Branch) / 2.0);
+        // mcf touches far more data than gcc relative to code.
+        assert!(mcf.data_footprint_kb() > gcc.data_footprint_kb());
+        assert!(mcf.code_footprint_kb() < gcc.code_footprint_kb());
+    }
+
+    #[test]
+    fn branches_are_mostly_taken() {
+        // Loop-dominated populations take most back edges.
+        let s = summary(Benchmark::Swim);
+        assert!(s.taken_fraction > 0.6, "taken {}", s.taken_fraction);
+    }
+
+    #[test]
+    fn dead_fraction_matches_profile_scale() {
+        let s = summary(Benchmark::Vortex);
+        let base = Benchmark::Vortex.profile().dead_fraction;
+        assert!(s.dead_fraction > base * 0.4 && s.dead_fraction < base * 2.0);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = summarize(std::iter::empty());
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.taken_fraction, 0.0);
+        assert_eq!(s.data_lines, 0);
+    }
+}

@@ -1,0 +1,656 @@
+//! The twelve SPEC CPU 2000 benchmark personalities used by the paper.
+
+use crate::model::{
+    BenchmarkProfile, BranchModel, DynamicsSignals, InstructionMix, MemoryModel,
+};
+use crate::phase::{Component, PhaseSignal};
+
+/// The SPEC CPU 2000 benchmarks evaluated in the paper (§3: *bzip2,
+/// crafty, eon, gap, gcc, mcf, parser, perlbmk, twolf, swim, vortex,
+/// vpr*).
+///
+/// Each variant owns a synthetic [`BenchmarkProfile`] that mimics the
+/// benchmark's published personality: instruction mix, working-set size,
+/// branch behaviour and — most importantly for this paper — the *shape* of
+/// its time-varying dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Block-sorting compression (integer; block-structured phases).
+    Bzip2,
+    /// Chess engine (integer; high ILP, hard branches, fast oscillation).
+    Crafty,
+    /// Probabilistic ray tracer (C++; smooth, cache-friendly).
+    Eon,
+    /// Group-theory interpreter (integer; wide CPI swings).
+    Gap,
+    /// Optimizing C compiler (integer; bursty, large code footprint).
+    Gcc,
+    /// Single-depot vehicle scheduling (integer; memory-bound plateaus).
+    Mcf,
+    /// Link-grammar English parser (integer; drifting working set).
+    Parser,
+    /// Perl interpreter (integer; large code, branchy).
+    Perlbmk,
+    /// Shallow-water FP stencil (smooth periodic, streaming memory).
+    Swim,
+    /// Place-and-route (integer; cache-sensitive oscillation).
+    Twolf,
+    /// OO database (integer; store-heavy, large code).
+    Vortex,
+    /// FPGA place-and-route (integer; varied reliability dynamics).
+    Vpr,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's listing order.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Bzip2,
+        Benchmark::Crafty,
+        Benchmark::Eon,
+        Benchmark::Gap,
+        Benchmark::Gcc,
+        Benchmark::Mcf,
+        Benchmark::Parser,
+        Benchmark::Perlbmk,
+        Benchmark::Swim,
+        Benchmark::Twolf,
+        Benchmark::Vortex,
+        Benchmark::Vpr,
+    ];
+
+    /// Lowercase display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Crafty => "crafty",
+            Benchmark::Eon => "eon",
+            Benchmark::Gap => "gap",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Parser => "parser",
+            Benchmark::Perlbmk => "perlbmk",
+            Benchmark::Swim => "swim",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Vpr => "vpr",
+        }
+    }
+
+    /// Looks a benchmark up by its lowercase name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// The benchmark's synthetic personality.
+    pub fn profile(self) -> BenchmarkProfile {
+        match self {
+            Benchmark::Bzip2 => BenchmarkProfile {
+                name: "bzip2",
+                mix: InstructionMix {
+                    load: 0.24,
+                    store: 0.10,
+                    branch: 0.14,
+                    ..InstructionMix::integer_default()
+                },
+                branch: BranchModel {
+                    sites: 192,
+                    loop_fraction: 0.6,
+                    mean_loop_period: 24,
+                    biased_fraction: 0.3,
+                    bias: 0.95,
+                    hard_flip: 0.14,
+                },
+                memory: MemoryModel {
+                    hot_kb: 4,
+                    warm_kb: 96,
+                    cold_kb: 2048,
+                    p_hot: 0.55,
+                    p_warm: 0.30,
+                    p_cold: 0.08,
+                    stream_stride: 8,
+                },
+                code_kb: 20,
+                mean_dep_distance: 5.5,
+                dead_fraction: 0.28,
+                signals: DynamicsSignals {
+                    // Compress / reorder blocks: crisp square phases.
+                    memory: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.8 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.35 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.0, duty: 0.5, phase: 0.35, amp: 0.4 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.75 },
+                    ]),
+                },
+            },
+            Benchmark::Crafty => BenchmarkProfile {
+                name: "crafty",
+                mix: InstructionMix {
+                    int_alu: 0.46,
+                    load: 0.27,
+                    store: 0.07,
+                    branch: 0.17,
+                    ..InstructionMix::integer_default()
+                },
+                branch: BranchModel {
+                    sites: 384,
+                    loop_fraction: 0.50,
+                    mean_loop_period: 18,
+                    biased_fraction: 0.38,
+                    bias: 0.95,
+                    hard_flip: 0.18,
+                },
+                memory: MemoryModel::cache_friendly(),
+                code_kb: 36,
+                mean_dep_distance: 7.0,
+                dead_fraction: 0.32,
+                signals: DynamicsSignals {
+                    // Search-tree depth changes: fast, large power swings.
+                    memory: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.45 },
+                        Component::Sine { freq: 9.0, phase: 0.3, amp: 0.25 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.5, amp: 0.5 },
+                        Component::Spikes { count: 5, width: 0.03, amp: 0.8, seed: 0xC4A },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 6.0, phase: 0.2, amp: 0.5 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.1, amp: 0.625 },
+                    ]),
+                },
+            },
+            Benchmark::Eon => BenchmarkProfile {
+                name: "eon",
+                mix: InstructionMix {
+                    int_alu: 0.30,
+                    fp_alu: 0.16,
+                    fp_mul: 0.10,
+                    load: 0.24,
+                    store: 0.09,
+                    branch: 0.10,
+                    int_mul: 0.01,
+                },
+                branch: BranchModel {
+                    sites: 128,
+                    loop_fraction: 0.6,
+                    mean_loop_period: 20,
+                    biased_fraction: 0.35,
+                    bias: 0.96,
+                    hard_flip: 0.08,
+                },
+                memory: MemoryModel {
+                    hot_kb: 6,
+                    warm_kb: 24,
+                    cold_kb: 512,
+                    p_hot: 0.74,
+                    p_warm: 0.20,
+                    p_cold: 0.03,
+                    stream_stride: 16,
+                },
+                code_kb: 28,
+                mean_dep_distance: 6.5,
+                dead_fraction: 0.22,
+                signals: DynamicsSignals {
+                    memory: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.2 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.25, amp: 0.15 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.15 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.5, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Gap => BenchmarkProfile {
+                name: "gap",
+                mix: InstructionMix {
+                    load: 0.28,
+                    store: 0.13,
+                    branch: 0.13,
+                    ..InstructionMix::integer_default()
+                },
+                branch: BranchModel::predictable(),
+                memory: MemoryModel {
+                    hot_kb: 4,
+                    warm_kb: 64,
+                    cold_kb: 3072,
+                    p_hot: 0.52,
+                    p_warm: 0.28,
+                    p_cold: 0.12,
+                    stream_stride: 8,
+                },
+                code_kb: 24,
+                mean_dep_distance: 5.0,
+                dead_fraction: 0.30,
+                signals: DynamicsSignals {
+                    // Wide CPI swings (paper Figure 1): big square + spikes.
+                    memory: PhaseSignal::new(vec![
+                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 1.2 },
+                        Component::Spikes { count: 6, width: 0.02, amp: 1.0, seed: 0x6A9 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 0.4 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Square { freq: 2.5, duty: 0.4, phase: 0.15, amp: 0.35 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Gcc => BenchmarkProfile {
+                name: "gcc",
+                mix: InstructionMix {
+                    int_alu: 0.40,
+                    load: 0.25,
+                    store: 0.13,
+                    branch: 0.19,
+                    int_mul: 0.01,
+                    fp_alu: 0.01,
+                    fp_mul: 0.01,
+                },
+                branch: BranchModel {
+                    sites: 512,
+                    loop_fraction: 0.44,
+                    mean_loop_period: 14,
+                    biased_fraction: 0.42,
+                    bias: 0.95,
+                    hard_flip: 0.12,
+                },
+                memory: MemoryModel {
+                    hot_kb: 6,
+                    warm_kb: 56,
+                    cold_kb: 2048,
+                    p_hot: 0.58,
+                    p_warm: 0.26,
+                    p_cold: 0.10,
+                    stream_stride: 8,
+                },
+                code_kb: 64,
+                mean_dep_distance: 5.5,
+                dead_fraction: 0.34,
+                signals: DynamicsSignals {
+                    // Per-function compilation bursts: irregular spikes.
+                    memory: PhaseSignal::new(vec![
+                        Component::Spikes { count: 8, width: 0.035, amp: 1.6, seed: 0x9CC },
+                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.3 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Spikes { count: 6, width: 0.03, amp: 0.9, seed: 0x9CD },
+                        Component::Sine { freq: 3.0, phase: 0.4, amp: 0.25 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Spikes { count: 7, width: 0.035, amp: 0.8, seed: 0x9CE },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Spikes { count: 6, width: 0.035, amp: 1.25, seed: 0x9CF },
+                        Component::Sine { freq: 4.0, phase: 0.2, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Mcf => BenchmarkProfile {
+                name: "mcf",
+                mix: InstructionMix {
+                    int_alu: 0.34,
+                    load: 0.34,
+                    store: 0.09,
+                    branch: 0.19,
+                    int_mul: 0.01,
+                    fp_alu: 0.02,
+                    fp_mul: 0.01,
+                },
+                branch: BranchModel {
+                    sites: 96,
+                    loop_fraction: 0.62,
+                    mean_loop_period: 40,
+                    biased_fraction: 0.28,
+                    bias: 0.92,
+                    hard_flip: 0.14,
+                },
+                memory: MemoryModel::memory_bound(),
+                code_kb: 10,
+                mean_dep_distance: 4.0, // pointer chasing: serial
+                dead_fraction: 0.24,
+                signals: DynamicsSignals {
+                    // Long memory-bound plateaus.
+                    memory: PhaseSignal::new(vec![
+                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.9 },
+                        Component::Ramp { amp: 0.3 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.25 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 2.0, phase: 0.0, amp: 0.2 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Parser => BenchmarkProfile {
+                name: "parser",
+                mix: InstructionMix::integer_default(),
+                branch: BranchModel {
+                    sites: 256,
+                    loop_fraction: 0.54,
+                    mean_loop_period: 18,
+                    biased_fraction: 0.36,
+                    bias: 0.95,
+                    hard_flip: 0.12,
+                },
+                memory: MemoryModel {
+                    hot_kb: 4,
+                    warm_kb: 40,
+                    cold_kb: 1024,
+                    p_hot: 0.60,
+                    p_warm: 0.26,
+                    p_cold: 0.09,
+                    stream_stride: 8,
+                },
+                code_kb: 32,
+                mean_dep_distance: 4.5,
+                dead_fraction: 0.30,
+                signals: DynamicsSignals {
+                    // Sentence-length drift plus parse bursts.
+                    memory: PhaseSignal::new(vec![
+                        Component::Ramp { amp: 0.5 },
+                        Component::Spikes { count: 6, width: 0.03, amp: 1.0, seed: 0x9A7 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.3 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.3, amp: 0.3 },
+                        Component::Ramp { amp: 0.2 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Ramp { amp: 0.625 },
+                    ]),
+                },
+            },
+            Benchmark::Perlbmk => BenchmarkProfile {
+                name: "perlbmk",
+                mix: InstructionMix {
+                    int_alu: 0.41,
+                    load: 0.27,
+                    store: 0.12,
+                    branch: 0.17,
+                    int_mul: 0.01,
+                    fp_alu: 0.01,
+                    fp_mul: 0.01,
+                },
+                branch: BranchModel {
+                    sites: 448,
+                    loop_fraction: 0.40,
+                    mean_loop_period: 15,
+                    biased_fraction: 0.48,
+                    bias: 0.95,
+                    hard_flip: 0.16,
+                },
+                memory: MemoryModel {
+                    hot_kb: 6,
+                    warm_kb: 48,
+                    cold_kb: 1024,
+                    p_hot: 0.62,
+                    p_warm: 0.25,
+                    p_cold: 0.07,
+                    stream_stride: 8,
+                },
+                code_kb: 56,
+                mean_dep_distance: 5.0,
+                dead_fraction: 0.33,
+                signals: DynamicsSignals {
+                    memory: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.4 },
+                        Component::Square { freq: 2.0, duty: 0.5, phase: 0.0, amp: 0.3 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.5, amp: 0.3 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.1, amp: 0.35 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.3, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Swim => BenchmarkProfile {
+                name: "swim",
+                mix: InstructionMix::fp_default(),
+                branch: BranchModel {
+                    sites: 48,
+                    loop_fraction: 0.85,
+                    mean_loop_period: 64,
+                    biased_fraction: 0.10,
+                    bias: 0.98,
+                    hard_flip: 0.06,
+                },
+                memory: MemoryModel {
+                    hot_kb: 8,
+                    warm_kb: 64,
+                    cold_kb: 4096,
+                    p_hot: 0.40,
+                    p_warm: 0.20,
+                    p_cold: 0.05,
+                    stream_stride: 8, // dominant streaming stencil sweeps
+                },
+                code_kb: 6,
+                mean_dep_distance: 11.0, // vectorizable: high ILP
+                dead_fraction: 0.25,
+                signals: DynamicsSignals {
+                    // Clean periodic stencil sweeps.
+                    memory: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.5 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.25, amp: 0.3 },
+                    ]),
+                    branch: PhaseSignal::constant(),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.5, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Twolf => BenchmarkProfile {
+                name: "twolf",
+                mix: InstructionMix {
+                    load: 0.29,
+                    store: 0.08,
+                    ..InstructionMix::integer_default()
+                },
+                branch: BranchModel {
+                    sites: 224,
+                    loop_fraction: 0.55,
+                    mean_loop_period: 20,
+                    biased_fraction: 0.33,
+                    bias: 0.9,
+                    hard_flip: 0.12,
+                },
+                memory: MemoryModel {
+                    hot_kb: 4,
+                    warm_kb: 72, // straddles the dl1 range hard
+                    cold_kb: 512,
+                    p_hot: 0.48,
+                    p_warm: 0.42,
+                    p_cold: 0.05,
+                    stream_stride: 8,
+                },
+                code_kb: 24,
+                mean_dep_distance: 4.5,
+                dead_fraction: 0.28,
+                signals: DynamicsSignals {
+                    // Annealing temperature steps.
+                    memory: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.5, duty: 0.5, phase: 0.0, amp: 0.5 },
+                        Component::Ramp { amp: -0.3 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 5.0, phase: 0.0, amp: 0.25 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Ramp { amp: -0.35 }, // acceptance rate falls
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Square { freq: 3.5, duty: 0.5, phase: 0.25, amp: 0.55 },
+                    ]),
+                },
+            },
+            Benchmark::Vortex => BenchmarkProfile {
+                name: "vortex",
+                mix: InstructionMix {
+                    int_alu: 0.38,
+                    load: 0.27,
+                    store: 0.16,
+                    branch: 0.15,
+                    int_mul: 0.01,
+                    fp_alu: 0.02,
+                    fp_mul: 0.01,
+                },
+                branch: BranchModel {
+                    sites: 320,
+                    loop_fraction: 0.48,
+                    mean_loop_period: 16,
+                    biased_fraction: 0.44,
+                    bias: 0.95,
+                    hard_flip: 0.12,
+                },
+                memory: MemoryModel {
+                    hot_kb: 6,
+                    warm_kb: 48,
+                    cold_kb: 2048,
+                    p_hot: 0.60,
+                    p_warm: 0.26,
+                    p_cold: 0.08,
+                    stream_stride: 8,
+                },
+                code_kb: 48,
+                mean_dep_distance: 6.0,
+                dead_fraction: 0.35,
+                signals: DynamicsSignals {
+                    // Transaction mix shifts: gentle squares.
+                    memory: PhaseSignal::new(vec![
+                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.1, amp: 0.35 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.1, amp: 0.2 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.2 },
+                    ]),
+                    deadness: PhaseSignal::new(vec![
+                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.35, amp: 0.625 },
+                    ]),
+                },
+            },
+            Benchmark::Vpr => BenchmarkProfile {
+                name: "vpr",
+                mix: InstructionMix {
+                    load: 0.28,
+                    store: 0.09,
+                    fp_alu: 0.05,
+                    ..InstructionMix::integer_default()
+                },
+                branch: BranchModel {
+                    sites: 192,
+                    loop_fraction: 0.58,
+                    mean_loop_period: 18,
+                    biased_fraction: 0.32,
+                    bias: 0.95,
+                    hard_flip: 0.15,
+                },
+                memory: MemoryModel {
+                    hot_kb: 4,
+                    warm_kb: 32,
+                    cold_kb: 768,
+                    p_hot: 0.62,
+                    p_warm: 0.26,
+                    p_cold: 0.07,
+                    stream_stride: 8,
+                },
+                code_kb: 28,
+                mean_dep_distance: 5.0,
+                dead_fraction: 0.32,
+                signals: DynamicsSignals {
+                    memory: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.35 },
+                        Component::Spikes { count: 4, width: 0.04, amp: 0.7, seed: 0x7B1 },
+                    ]),
+                    ilp: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.35, amp: 0.25 },
+                    ]),
+                    branch: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.1, amp: 0.3 },
+                    ]),
+                    // The paper's Figure 1 shows vpr's AVF swinging widely.
+                    deadness: PhaseSignal::new(vec![
+                        Component::Sine { freq: 3.0, phase: 0.0, amp: 1.0 },
+                        Component::Spikes { count: 5, width: 0.04, amp: 1.6, seed: 0x7B2 },
+                    ]),
+                },
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 12);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(b.profile().name, b.name());
+        }
+        assert_eq!(Benchmark::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        for (i, a) in Benchmark::ALL.iter().enumerate() {
+            for b in &Benchmark::ALL[i + 1..] {
+                assert_ne!(a.profile(), b.profile(), "{a} and {b} share a profile");
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            let total = p.mix.total();
+            assert!(total > 0.9 && total < 1.1, "{b}: mix total {total}");
+            assert!(p.memory.p_hot + p.memory.p_warm + p.memory.p_cold < 1.0, "{b}");
+            assert!(p.dead_fraction > 0.0 && p.dead_fraction < 0.5, "{b}");
+            assert!(p.mean_dep_distance >= 1.0, "{b}");
+            assert!(p.branch.sites > 0, "{b}");
+            assert!(p.code_kb > 0, "{b}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! A model-registry workflow: train predictors for all three domains,
+//! save them to disk, reload them, and emit a markdown accuracy report —
+//! the artifacts a team would check into their design-exploration repo so
+//! nobody ever re-simulates the training design.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynawave-core --example model_registry
+//! ```
+
+use dynawave_core::experiment::{evaluate_benchmark, ExperimentConfig};
+use dynawave_core::{persist, report, Metric};
+use dynawave_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExperimentConfig {
+        train_points: 50,
+        test_points: 10,
+        samples: 64,
+        interval_instructions: 1500,
+        seed: 42,
+        ..ExperimentConfig::default()
+    };
+    let bench = Benchmark::Gcc;
+    let registry = std::env::temp_dir().join("dynawave_registry");
+    std::fs::create_dir_all(&registry)?;
+
+    let mut evals = Vec::new();
+    for metric in Metric::DOMAINS {
+        println!("training {bench}/{metric} ...");
+        let eval = evaluate_benchmark(bench, metric, &cfg)?;
+        // Persist the trained model.
+        let path = registry.join(format!("{bench}_{metric}.dynawave"));
+        std::fs::write(&path, persist::to_string(&eval.model))?;
+        // Prove the snapshot reloads and predicts identically.
+        let restored = persist::from_string(&std::fs::read_to_string(&path)?)?;
+        let probe = &eval.test.points[0];
+        assert_eq!(eval.model.predict(probe), restored.predict(probe));
+        println!(
+            "  saved {} ({} bytes), median NMSE {:.2}%",
+            path.display(),
+            std::fs::metadata(&path)?.len(),
+            eval.median_nmse()
+        );
+        evals.push(eval);
+    }
+
+    // Emit the campaign report.
+    let doc = report::full_report(&format!("{bench} model registry"), &evals);
+    let report_path = registry.join("REPORT.md");
+    std::fs::write(&report_path, &doc)?;
+    println!("\nwrote {}:", report_path.display());
+    for line in doc.lines().take(10) {
+        println!("  {line}");
+    }
+    Ok(())
+}

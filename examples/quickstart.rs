@@ -1,0 +1,65 @@
+//! Quickstart: train a wavelet neural predictor for gcc CPI dynamics on a
+//! handful of simulated configurations, then forecast the dynamics at an
+//! unsimulated design point and compare against the simulator.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynawave-core --example quickstart
+//! ```
+
+use dynawave_core::{collect_traces, trace_for, Metric, PredictorParams, WaveletNeuralPredictor};
+use dynawave_numeric::stats::nmse_percent;
+use dynawave_sampling::{lhs, random, DesignSpace, Split};
+use dynawave_sim::SimOptions;
+use dynawave_workloads::Benchmark;
+
+fn main() {
+    // 1. The paper's 9-parameter design space (Table 2).
+    let space = DesignSpace::micro2007();
+    println!(
+        "design space: {} parameters, {} train-grid configurations",
+        space.dims(),
+        space.grid_size(Split::Train)
+    );
+
+    // 2. Simulate a Latin-hypercube training design. 64 samples of 2000
+    //    instructions keep this example fast; the paper uses 128 samples
+    //    of a 200M-instruction SimPoint interval.
+    let opts = SimOptions {
+        samples: 64,
+        interval_instructions: 2000,
+        seed: 42,
+    };
+    let train_points = lhs::sample(&space, 60, 7);
+    println!("simulating {} training configurations ...", train_points.len());
+    let train = collect_traces(Benchmark::Gcc, &train_points, Metric::Cpi, &opts);
+
+    // 3. Train: one RBF network per important wavelet coefficient.
+    let model = WaveletNeuralPredictor::train(&train, &PredictorParams::default())
+        .expect("training succeeds on a well-formed trace set");
+    println!(
+        "trained {} coefficient networks (indices {:?} ...)",
+        model.coefficient_indices().len(),
+        &model.coefficient_indices()[..4.min(model.coefficient_indices().len())]
+    );
+
+    // 4. Forecast dynamics at an unsimulated test configuration ...
+    let probe = random::sample(&space, 1, Split::Test, 99).remove(0);
+    let forecast = model.predict(&probe);
+
+    // 5. ... and check it against a detailed simulation of that point.
+    let actual = trace_for(Benchmark::Gcc, &probe, Metric::Cpi, &opts);
+    println!("\nprobe configuration: {probe}");
+    println!(
+        "forecast CPI range: {:.2} .. {:.2}",
+        forecast.iter().cloned().fold(f64::INFINITY, f64::min),
+        forecast.iter().cloned().fold(0.0f64, f64::max),
+    );
+    println!(
+        "simulated CPI range: {:.2} .. {:.2}",
+        actual.iter().cloned().fold(f64::INFINITY, f64::min),
+        actual.iter().cloned().fold(0.0f64, f64::max),
+    );
+    println!("NMSE: {:.2}%", nmse_percent(&actual, &forecast));
+}

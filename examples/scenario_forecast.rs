@@ -1,0 +1,68 @@
+//! Proactive power-management sizing with workload scenario forecasts.
+//!
+//! A designer wants to know, for each candidate machine, how often crafty
+//! will exceed a 75 W power envelope — the trigger condition for a
+//! dynamic thermal/power management response. Instead of simulating every
+//! candidate, we train one wavelet neural predictor and *forecast* the
+//! exceedance fraction, validating a couple of points against the
+//! simulator (paper §4, Figures 12–13).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynawave-core --example scenario_forecast
+//! ```
+
+use dynawave_core::accuracy::{directional_symmetry, exceedance_fraction};
+use dynawave_core::{collect_traces, trace_for, Metric, PredictorParams, WaveletNeuralPredictor};
+use dynawave_sampling::{lhs, random, DesignSpace, Split};
+use dynawave_sim::SimOptions;
+use dynawave_workloads::Benchmark;
+
+const BUDGET_WATTS: f64 = 75.0;
+
+fn main() {
+    let space = DesignSpace::micro2007();
+    let opts = SimOptions {
+        samples: 64,
+        interval_instructions: 2000,
+        seed: 42,
+    };
+    println!("simulating crafty power dynamics on a 60-point LHS design ...");
+    let train_points = lhs::sample(&space, 60, 9);
+    let train = collect_traces(Benchmark::Crafty, &train_points, Metric::Power, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &PredictorParams::default())
+        .expect("training succeeds");
+
+    let candidates = random::sample(&space, 10, Split::Test, 33);
+    println!(
+        "\n{:<10} {:>16} {:>14}",
+        "candidate", "forecast >75W", "mean power (W)"
+    );
+    let mut flagged = Vec::new();
+    for (i, p) in candidates.iter().enumerate() {
+        let forecast = model.predict(p);
+        let frac = exceedance_fraction(&forecast, BUDGET_WATTS);
+        let mean = forecast.iter().sum::<f64>() / forecast.len() as f64;
+        println!("{:<10} {:>15.1}% {:>14.1}", format!("#{i}"), 100.0 * frac, mean);
+        if frac > 0.0 {
+            flagged.push((i, p.clone()));
+        }
+    }
+
+    // Validate the first flagged candidate against detailed simulation.
+    if let Some((i, p)) = flagged.first() {
+        println!("\nvalidating candidate #{i} against the simulator ...");
+        let actual = trace_for(Benchmark::Crafty, p, Metric::Power, &opts);
+        let predicted = model.predict(p);
+        let ds = directional_symmetry(&actual, &predicted, BUDGET_WATTS);
+        println!(
+            "  simulated >75W fraction: {:.1}%  forecast: {:.1}%  DS at 75W: {:.1}%",
+            100.0 * exceedance_fraction(&actual, BUDGET_WATTS),
+            100.0 * exceedance_fraction(&predicted, BUDGET_WATTS),
+            100.0 * ds
+        );
+    } else {
+        println!("\nno candidate ever exceeds the budget - envelope is safe.");
+    }
+}

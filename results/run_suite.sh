@@ -1,0 +1,19 @@
+#!/bin/bash
+# Paper-scale runs for the main accuracy figures
+cd /root/repo
+export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
+for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
+  echo "=== $fig ==="
+  cargo run --release -p dynawave-bench --bin $fig > results/$fig.txt 2> results/$fig.log && echo OK || echo FAIL
+done
+# Reduced scale for the heavy DVM/sweep figures
+export DYNAWAVE_TRAIN=100 DYNAWAVE_TEST=25
+for fig in fig10_sample_sweep fig17_dvm_scenarios fig18_dvm_heatmap fig19_dvm_thresholds ablation_selection ablation_model ablation_wavelet ablation_sampling ablation_global; do
+  echo "=== $fig ==="
+  cargo run --release -p dynawave-bench --bin $fig > results/$fig.txt 2> results/$fig.log && echo OK || echo FAIL
+done
+export DYNAWAVE_TRAIN=40 DYNAWAVE_TEST=10 DYNAWAVE_SAMPLES=64 DYNAWAVE_INTERVAL=1024
+for fig in table1 table2 fig01_variation fig02_haar_example fig04_reconstruction; do
+  cargo run --release -p dynawave-bench --bin $fig > results/$fig.txt 2> results/$fig.log && echo OK || echo FAIL
+done
+echo ALL_DONE

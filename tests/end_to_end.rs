@@ -1,0 +1,160 @@
+//! End-to-end integration tests: the full paper pipeline (design space →
+//! simulation → wavelet decomposition → per-coefficient RBF networks →
+//! reconstruction → accuracy metrics) at a small but real scale.
+
+use dynawave_core::experiment::{evaluate_benchmark, score_model, ExperimentConfig};
+use dynawave_core::{
+    collect_traces, CoefficientSelection, Metric, ModelKind, PredictorParams,
+    WaveletNeuralPredictor,
+};
+use dynawave_numeric::stats::{mean, nmse_percent};
+use dynawave_workloads::Benchmark;
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig {
+        train_points: 40,
+        test_points: 10,
+        samples: 32,
+        interval_instructions: 700,
+        seed: 20260707,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_accuracy_in_band() {
+    // The headline claim: dynamics are predictable across the design
+    // space at single-digit NMSE for most cases.
+    let cfg = small_config();
+    for (bench, metric, bound) in [
+        (Benchmark::Mcf, Metric::Cpi, 15.0),
+        (Benchmark::Eon, Metric::Power, 5.0),
+        (Benchmark::Gap, Metric::Avf, 15.0),
+    ] {
+        let eval = evaluate_benchmark(bench, metric, &cfg).expect("pipeline runs");
+        let median = eval.median_nmse();
+        assert!(
+            median < bound,
+            "{bench}/{metric:?}: median NMSE {median}% over bound {bound}%"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = small_config();
+    let a = evaluate_benchmark(Benchmark::Vpr, Metric::Cpi, &cfg).unwrap();
+    let b = evaluate_benchmark(Benchmark::Vpr, Metric::Cpi, &cfg).unwrap();
+    assert_eq!(a.nmse_per_test, b.nmse_per_test);
+    assert_eq!(a.predictions, b.predictions);
+}
+
+#[test]
+fn prediction_tracks_level_changes_across_configs() {
+    // The model must order configurations: a machine with tiny resources
+    // should be forecast slower than a maximal one.
+    let cfg = small_config();
+    let opts = cfg.sim_options();
+    let train = collect_traces(Benchmark::Twolf, &cfg.train_design(), Metric::Cpi, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).unwrap();
+    let weak = dynawave_sampling::DesignPoint::new(vec![
+        2.0, 96.0, 32.0, 16.0, 256.0, 20.0, 8.0, 8.0, 4.0,
+    ]);
+    let strong = dynawave_sampling::DesignPoint::new(vec![
+        16.0, 160.0, 128.0, 64.0, 4096.0, 8.0, 64.0, 64.0, 1.0,
+    ]);
+    let weak_cpi = mean(&model.predict(&weak));
+    let strong_cpi = mean(&model.predict(&strong));
+    assert!(
+        weak_cpi > strong_cpi * 1.2,
+        "weak {weak_cpi} vs strong {strong_cpi}"
+    );
+}
+
+#[test]
+fn wavelet_model_beats_flat_forecast_on_dynamics() {
+    // Reproduces the motivation: a model that only gets the aggregate
+    // right (flat trace at the predicted mean) classifies scenarios far
+    // worse than the wavelet model on a phase-heavy benchmark.
+    let cfg = small_config();
+    let opts = cfg.sim_options();
+    let train = collect_traces(Benchmark::Gap, &cfg.train_design(), Metric::Cpi, &opts);
+    let test = collect_traces(Benchmark::Gap, &cfg.test_design(), Metric::Cpi, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).unwrap();
+    let mut wavelet_err = 0.0;
+    let mut flat_err = 0.0;
+    for (p, actual) in test.points.iter().zip(&test.traces) {
+        let pred = model.predict(p);
+        let flat = vec![mean(&pred); actual.len()];
+        wavelet_err += nmse_percent(actual, &pred);
+        flat_err += nmse_percent(actual, &flat);
+    }
+    assert!(
+        wavelet_err < flat_err,
+        "wavelet {wavelet_err} vs flat {flat_err}"
+    );
+}
+
+#[test]
+fn magnitude_selection_not_worse_than_order() {
+    // §3: "the magnitude-based scheme ... always outperforms the
+    // order-based scheme". Allow a small tolerance at this tiny scale.
+    let cfg = small_config();
+    let opts = cfg.sim_options();
+    let train = collect_traces(Benchmark::Gcc, &cfg.train_design(), Metric::Cpi, &opts);
+    let test = collect_traces(Benchmark::Gcc, &cfg.test_design(), Metric::Cpi, &opts);
+    let err = |selection| {
+        let params = PredictorParams {
+            selection,
+            ..cfg.predictor.clone()
+        };
+        let model = WaveletNeuralPredictor::train(&train, &params).unwrap();
+        score_model(Benchmark::Gcc, Metric::Cpi, model, test.clone()).mean_nmse()
+    };
+    let magnitude = err(CoefficientSelection::Magnitude);
+    let order = err(CoefficientSelection::Order);
+    assert!(
+        magnitude <= order * 1.2,
+        "magnitude {magnitude}% vs order {order}%"
+    );
+}
+
+#[test]
+fn nonlinear_model_not_worse_than_linear() {
+    let cfg = small_config();
+    let opts = cfg.sim_options();
+    let train = collect_traces(Benchmark::Mcf, &cfg.train_design(), Metric::Cpi, &opts);
+    let test = collect_traces(Benchmark::Mcf, &cfg.test_design(), Metric::Cpi, &opts);
+    let err = |kind| {
+        let params = PredictorParams {
+            model: kind,
+            ..cfg.predictor.clone()
+        };
+        let model = WaveletNeuralPredictor::train(&train, &params).unwrap();
+        score_model(Benchmark::Mcf, Metric::Cpi, model, test.clone()).mean_nmse()
+    };
+    let rbf = err(ModelKind::TreeRbf);
+    let linear = err(ModelKind::Linear);
+    assert!(rbf <= linear * 1.5, "rbf {rbf}% vs linear {linear}%");
+}
+
+#[test]
+fn dvm_parameter_is_learnable() {
+    // With DVM as a 10th input, the model must forecast lower IQ AVF for
+    // the policy-enabled variant of a memory-bound configuration.
+    let cfg = ExperimentConfig {
+        with_dvm_parameter: true,
+        ..small_config()
+    };
+    let opts = cfg.sim_options();
+    let train = collect_traces(Benchmark::Mcf, &cfg.train_design(), Metric::IqAvf, &opts);
+    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).unwrap();
+    let mut off = vec![8.0, 96.0, 96.0, 48.0, 256.0, 20.0, 32.0, 16.0, 2.0, 0.0];
+    let off_pred = mean(&model.predict(&dynawave_sampling::DesignPoint::new(off.clone())));
+    off[9] = 0.3;
+    let on_pred = mean(&model.predict(&dynawave_sampling::DesignPoint::new(off)));
+    assert!(
+        on_pred < off_pred,
+        "predicted IQ AVF with DVM ({on_pred}) not below without ({off_pred})"
+    );
+}

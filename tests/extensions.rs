@@ -1,0 +1,144 @@
+//! Integration tests for the library's extensions beyond the paper's
+//! baseline: model persistence on disk, low-discrepancy training designs,
+//! optional microarchitectural features, warm-up runs, interval
+//! coarsening and full-grid exploration.
+
+use dynawave_core::{collect_traces, persist, Metric, PredictorParams, WaveletNeuralPredictor};
+use dynawave_numeric::stats::mean;
+use dynawave_sampling::{grid, halton, lhs, DesignPoint, DesignSpace, Split};
+use dynawave_sim::{MachineConfig, SimOptions, Simulator};
+use dynawave_workloads::{Benchmark, BenchmarkProfile, TraceGenerator};
+
+fn opts() -> SimOptions {
+    SimOptions {
+        samples: 32,
+        interval_instructions: 800,
+        seed: 99,
+    }
+}
+
+#[test]
+fn model_persists_through_a_file() {
+    let space = DesignSpace::micro2007();
+    let train = collect_traces(
+        Benchmark::Eon,
+        &lhs::sample(&space, 30, 1),
+        Metric::Cpi,
+        &opts(),
+    );
+    let model = WaveletNeuralPredictor::train(&train, &PredictorParams::default()).unwrap();
+    let dir = std::env::temp_dir().join("dynawave_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("eon_cpi.dynawave");
+    std::fs::write(&path, persist::to_string(&model)).unwrap();
+    let restored = persist::from_string(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let probe = DesignPoint::new(vec![8.0, 128.0, 64.0, 24.0, 1024.0, 12.0, 16.0, 32.0, 2.0]);
+    assert_eq!(model.predict(&probe), restored.predict(&probe));
+}
+
+#[test]
+fn halton_design_trains_a_usable_model() {
+    let space = DesignSpace::micro2007();
+    let design = halton::sample(&space, 40, 3);
+    let train = collect_traces(Benchmark::Parser, &design, Metric::Cpi, &opts());
+    let model = WaveletNeuralPredictor::train(&train, &PredictorParams::default()).unwrap();
+    // Training-set accuracy must be solid for a usable design.
+    let mut total = 0.0;
+    for (p, t) in train.points.iter().zip(&train.traces) {
+        total += dynawave_numeric::stats::nmse_percent(t, &model.predict(p));
+    }
+    assert!((total / train.len() as f64) < 20.0);
+}
+
+#[test]
+fn full_grid_sweep_is_fast_and_total() {
+    let space = DesignSpace::micro2007();
+    let train = collect_traces(
+        Benchmark::Twolf,
+        &lhs::sample(&space, 30, 5),
+        Metric::Cpi,
+        &opts(),
+    );
+    let model = WaveletNeuralPredictor::train(&train, &PredictorParams::default()).unwrap();
+    let mut count = 0usize;
+    let mut best = f64::INFINITY;
+    for p in grid::full_factorial(&space, Split::Test) {
+        best = best.min(mean(&model.predict(&p)));
+        count += 1;
+    }
+    assert_eq!(count, space.grid_size(Split::Test));
+    assert!(best.is_finite() && best > 0.0);
+}
+
+#[test]
+fn optional_features_compose() {
+    let full = MachineConfig::baseline()
+        .with_next_line_prefetch()
+        .with_store_forwarding();
+    let run = Simulator::new(full).run(Benchmark::Swim, &opts());
+    let fills: u64 = run.intervals.iter().map(|i| i.prefetch_fills).sum();
+    let fwds: u64 = run.intervals.iter().map(|i| i.store_forwards).sum();
+    assert!(fills > 0 && fwds > 0, "both features must be active");
+    // A featureful machine is never slower than the plain baseline here.
+    let plain = Simulator::new(MachineConfig::baseline()).run(Benchmark::Swim, &opts());
+    assert!(run.aggregate_cpi() <= plain.aggregate_cpi() * 1.02);
+}
+
+#[test]
+fn coarsened_run_equals_coarser_simulation() {
+    // Simulating at 32 samples and coarsening a 64-sample run by 2 must
+    // produce the identical CPI trace (timing is sampling-independent).
+    let config = MachineConfig::baseline();
+    let fine = Simulator::new(config.clone()).run(
+        Benchmark::Gap,
+        &SimOptions {
+            samples: 64,
+            interval_instructions: 400,
+            seed: 7,
+        },
+    );
+    let coarse_direct = Simulator::new(config).run(
+        Benchmark::Gap,
+        &SimOptions {
+            samples: 32,
+            interval_instructions: 800,
+            seed: 7,
+        },
+    );
+    let merged = fine.coarsen(2);
+    for (a, b) in merged.cpi_trace().iter().zip(coarse_direct.cpi_trace()) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn custom_profile_runs_through_the_whole_stack() {
+    let profile = BenchmarkProfile::builder("podracer")
+        .code_kb(16)
+        .mean_dep_distance(8.0)
+        .dead_fraction(0.2)
+        .build();
+    let trace = TraceGenerator::from_profile(profile, 32 * 500, 13);
+    let run = Simulator::new(MachineConfig::baseline()).run_trace(
+        trace,
+        &SimOptions {
+            samples: 32,
+            interval_instructions: 500,
+            seed: 13,
+        },
+    );
+    assert_eq!(run.intervals.len(), 32);
+    let cpi = run.aggregate_cpi();
+    assert!(cpi > 0.1 && cpi < 30.0, "custom workload CPI {cpi}");
+}
+
+#[test]
+fn warmup_and_dvm_compose() {
+    let cfg = MachineConfig::baseline().with_dvm(dynawave_sim::DvmConfig {
+        threshold: 0.2,
+        initial_wq_ratio: 2.0,
+    });
+    let run = Simulator::new(cfg).run_with_warmup(Benchmark::Mcf, &opts(), 10_000);
+    assert_eq!(run.intervals.len(), 32);
+    assert!(run.aggregate_cpi() > 0.0);
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Tier-1 verification for the dynawave workspace.
+#
+# The workspace is hermetic: zero external crate dependencies, so every
+# step below runs with the network disabled. --offline makes any
+# accidental reintroduction of a registry dependency a hard failure
+# rather than a silent download.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== cargo build --release --offline ==="
+cargo build --release --offline --workspace
+
+echo "=== cargo test -q --offline ==="
+cargo test -q --offline --workspace
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "CI_OK"

@@ -170,7 +170,10 @@ mod tests {
                 let avg = model.average_avf(&r, s);
                 assert!((0.0..=1.0).contains(&avg), "{b}/{s:?}: {avg}");
             }
-            assert!(model.average_avf(&r, Structure::Rob) > 0.01, "{b} ROB AVF ~ 0");
+            assert!(
+                model.average_avf(&r, Structure::Rob) > 0.01,
+                "{b} ROB AVF ~ 0"
+            );
         }
     }
 

@@ -1,8 +1,22 @@
-//! Criterion microbenchmarks for the performance-critical components:
-//! wavelet transforms, RBF training/prediction, the timing simulator and
-//! design sampling.
+//! Microbenchmarks for the performance-critical components — wavelet
+//! transforms, RBF training/prediction, the timing simulator, trace
+//! generation and design sampling — on a plain `std::time::Instant`
+//! harness (no external crates, runs fully offline).
+//!
+//! Run with `cargo bench -p dynawave-bench`. Each benchmark reports the
+//! median of `SAMPLES` timed batches to stderr-friendly text plus one JSON
+//! line per benchmark on stdout, so later PRs can diff perf trajectories
+//! mechanically:
+//!
+//! ```text
+//! {"bench":"wavelet/wavedec_haar/128","median_ns":1234,"min_ns":...,"max_ns":...,"iters":512,"throughput_elems":128}
+//! ```
+//!
+//! Environment knobs: `DYNAWAVE_BENCH_SAMPLES` (default 15 batches),
+//! `DYNAWAVE_BENCH_MIN_BATCH_MS` (default 20 ms per batch). A benchmark
+//! name substring can be passed as a CLI filter:
+//! `cargo bench -p dynawave-bench -- wavelet`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynawave_neural::{RbfNetwork, RbfParams};
 use dynawave_numeric::Matrix;
 use dynawave_sampling::{lhs, DesignSpace};
@@ -10,28 +24,107 @@ use dynawave_sim::{MachineConfig, SimOptions, Simulator};
 use dynawave_wavelet::{wavedec, waverec, Wavelet};
 use dynawave_workloads::{Benchmark, TraceGenerator};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_wavelet(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wavelet");
-    for &n in &[128usize, 1024] {
-        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() + 2.0).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("wavedec_haar", n), &signal, |b, s| {
-            b.iter(|| wavedec(black_box(s), Wavelet::Haar).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("wavedec_db4", n), &signal, |b, s| {
-            b.iter(|| wavedec(black_box(s), Wavelet::Daubechies4).unwrap())
-        });
-        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
-        group.bench_with_input(BenchmarkId::new("waverec_haar", n), &dec, |b, d| {
-            b.iter(|| waverec(black_box(d)).unwrap())
-        });
-    }
-    group.finish();
+/// Number of timed batches; the median is reported.
+fn samples() -> usize {
+    std::env::var("DYNAWAVE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
 }
 
-fn bench_rbf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rbf");
+/// Minimum wall time per batch, used to auto-calibrate iteration counts.
+fn min_batch_nanos() -> u128 {
+    let ms: u128 = std::env::var("DYNAWAVE_BENCH_MIN_BATCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    ms * 1_000_000
+}
+
+struct Harness {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Harness {
+    fn new() -> Self {
+        // cargo passes `--bench` (and test-harness flags); treat the first
+        // non-flag argument as a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            samples: samples().max(3),
+        }
+    }
+
+    /// Times `op`, auto-calibrated so each batch runs at least
+    /// [`min_batch_nanos`], and prints a text summary plus a JSON line.
+    /// `throughput_elems` (elements processed per op) is echoed into the
+    /// JSON so rates can be derived downstream.
+    fn bench<T>(&self, name: &str, throughput_elems: u64, mut op: impl FnMut() -> T) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: grow the per-batch iteration count until a batch
+        // takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(op());
+            }
+            let elapsed = t0.elapsed().as_nanos();
+            if elapsed >= min_batch_nanos() || iters >= 1 << 24 {
+                break;
+            }
+            // Aim straight for the target with 2x headroom.
+            let scale = (min_batch_nanos() as f64 / elapsed.max(1) as f64) * 2.0;
+            iters = ((iters as f64 * scale).ceil() as u64).clamp(iters + 1, 1 << 24);
+        }
+        let mut per_iter: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(op());
+                }
+                t0.elapsed().as_nanos() / u128::from(iters)
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        eprintln!(
+            "{name:<40} median {median:>12} ns/iter  (min {min}, max {max}, {iters} iters x {} samples)",
+            self.samples
+        );
+        println!(
+            "{{\"bench\":\"{name}\",\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max},\"iters\":{iters},\"throughput_elems\":{throughput_elems}}}"
+        );
+    }
+}
+
+fn bench_wavelet(h: &Harness) {
+    for &n in &[128usize, 1024] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() + 2.0).collect();
+        h.bench(&format!("wavelet/wavedec_haar/{n}"), n as u64, || {
+            wavedec(black_box(&signal), Wavelet::Haar).unwrap()
+        });
+        h.bench(&format!("wavelet/wavedec_db4/{n}"), n as u64, || {
+            wavedec(black_box(&signal), Wavelet::Daubechies4).unwrap()
+        });
+        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
+        h.bench(&format!("wavelet/waverec_haar/{n}"), n as u64, || {
+            waverec(black_box(&dec)).unwrap()
+        });
+    }
+}
+
+fn bench_rbf(h: &Harness) {
     let space = DesignSpace::micro2007();
     let points = lhs::sample(&space, 200, 1);
     let x = Matrix::from_vec(
@@ -44,63 +137,50 @@ fn bench_rbf(c: &mut Criterion) {
         .iter()
         .map(|p| p.values().iter().map(|v| v.ln()).sum::<f64>())
         .collect();
-    group.bench_function("fit_200x9", |b| {
-        b.iter(|| RbfNetwork::fit(black_box(&x), black_box(&y), &RbfParams::default()).unwrap())
+    h.bench("rbf/fit_200x9", 200, || {
+        RbfNetwork::fit(black_box(&x), black_box(&y), &RbfParams::default()).unwrap()
     });
     let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
-    group.bench_function("predict", |b| {
-        b.iter(|| net.predict(black_box(points[0].values())))
+    h.bench("rbf/predict", 1, || {
+        net.predict(black_box(points[0].values()))
     });
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn bench_simulator(h: &Harness) {
     let opts = SimOptions {
         samples: 8,
         interval_instructions: 4096,
         seed: 1,
     };
-    group.throughput(Throughput::Elements(
-        opts.samples as u64 * opts.interval_instructions,
-    ));
+    let instructions = opts.samples as u64 * opts.interval_instructions;
     for bench in [Benchmark::Gcc, Benchmark::Mcf] {
-        group.bench_function(BenchmarkId::new("run", bench.name()), |b| {
-            b.iter(|| {
-                Simulator::new(MachineConfig::baseline()).run(black_box(bench), black_box(&opts))
-            })
-        });
+        h.bench(
+            &format!("simulator/run/{}", bench.name()),
+            instructions,
+            || Simulator::new(MachineConfig::baseline()).run(black_box(bench), black_box(&opts)),
+        );
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
+fn bench_trace_generation(h: &Harness) {
     let n = 32_768u64;
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("generate_gcc", |b| {
-        b.iter(|| TraceGenerator::new(Benchmark::Gcc, black_box(n), 1).count())
+    h.bench("workloads/generate_gcc", n, || {
+        TraceGenerator::new(Benchmark::Gcc, black_box(n), 1).count()
     });
-    group.finish();
 }
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sampling");
-    group.sample_size(20);
+fn bench_sampling(h: &Harness) {
     let space = DesignSpace::micro2007();
-    group.bench_function("lhs_200_best_of_8", |b| {
-        b.iter(|| lhs::sample(black_box(&space), 200, 7))
+    h.bench("sampling/lhs_200_best_of_8", 200, || {
+        lhs::sample(black_box(&space), 200, 7)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wavelet,
-    bench_rbf,
-    bench_simulator,
-    bench_trace_generation,
-    bench_sampling
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_wavelet(&h);
+    bench_rbf(&h);
+    bench_simulator(&h);
+    bench_trace_generation(&h);
+    bench_sampling(&h);
+}

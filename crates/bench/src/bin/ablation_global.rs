@@ -18,7 +18,12 @@ fn main() {
     );
     let opts = cfg.sim_options();
     let mut rows = Vec::new();
-    for bench in [Benchmark::Gap, Benchmark::Gcc, Benchmark::Bzip2, Benchmark::Mcf] {
+    for bench in [
+        Benchmark::Gap,
+        Benchmark::Gcc,
+        Benchmark::Bzip2,
+        Benchmark::Mcf,
+    ] {
         eprintln!("simulating {bench} ...");
         let train = collect_traces(bench, &cfg.train_design(), Metric::Cpi, &opts);
         let test = collect_traces(bench, &cfg.test_design(), Metric::Cpi, &opts);
@@ -29,7 +34,11 @@ fn main() {
         let x = Matrix::from_vec(
             train.points.len(),
             dims,
-            train.points.iter().flat_map(|p| p.values().to_vec()).collect(),
+            train
+                .points
+                .iter()
+                .flat_map(|p| p.values().to_vec())
+                .collect(),
         )
         .expect("design shape");
         let y: Vec<f64> = train.traces.iter().map(|t| mean(t)).collect();

@@ -28,8 +28,7 @@ fn main() {
                     model: kind,
                     ..cfg.predictor.clone()
                 };
-                let model =
-                    WaveletNeuralPredictor::train(&train, &params).expect("training");
+                let model = WaveletNeuralPredictor::train(&train, &params).expect("training");
                 errs[slot] = score_model(bench, metric, model, test.clone()).mean_nmse();
                 totals[slot] += errs[slot];
             }

@@ -32,14 +32,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut totals = [0.0f64; 2];
     let mut cells = 0usize;
-    for bench in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Swim, Benchmark::Crafty] {
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Mcf,
+        Benchmark::Swim,
+        Benchmark::Crafty,
+    ] {
         eprintln!("simulating {bench} ...");
         let test = collect_traces(bench, &test_design, Metric::Cpi, &opts);
         let mut errs = [0.0f64; 2];
         for (slot, design) in [&lhs_design, &random_design].into_iter().enumerate() {
             let train = collect_traces(bench, design, Metric::Cpi, &opts);
-            let model =
-                WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
+            let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
             let total: f64 = test
                 .traces
                 .iter()

@@ -24,21 +24,16 @@ fn main() {
         for (train, test) in train_sets.into_iter().zip(test_sets) {
             let metric = train.metric;
             let mut errs = [0.0f64; 2];
-            for (slot, selection) in [
-                CoefficientSelection::Magnitude,
-                CoefficientSelection::Order,
-            ]
-            .into_iter()
-            .enumerate()
+            for (slot, selection) in [CoefficientSelection::Magnitude, CoefficientSelection::Order]
+                .into_iter()
+                .enumerate()
             {
                 let params = PredictorParams {
                     selection,
                     ..cfg.predictor.clone()
                 };
-                let model =
-                    WaveletNeuralPredictor::train(&train, &params).expect("training");
-                errs[slot] =
-                    score_model(bench, metric, model, test.clone()).mean_nmse();
+                let model = WaveletNeuralPredictor::train(&train, &params).expect("training");
+                errs[slot] = score_model(bench, metric, model, test.clone()).mean_nmse();
             }
             cells += 1;
             if errs[0] <= errs[1] {
@@ -49,13 +44,24 @@ fn main() {
                 metric.to_string(),
                 fmt(errs[0], 3),
                 fmt(errs[1], 3),
-                if errs[0] <= errs[1] { "magnitude" } else { "order" }.to_string(),
+                if errs[0] <= errs[1] {
+                    "magnitude"
+                } else {
+                    "order"
+                }
+                .to_string(),
             ]);
         }
     }
     println!();
     print_table(
-        &["benchmark", "metric", "magnitude NMSE%", "order NMSE%", "winner"],
+        &[
+            "benchmark",
+            "metric",
+            "magnitude NMSE%",
+            "order NMSE%",
+            "winner",
+        ],
         &rows,
     );
     println!("\nmagnitude wins {wins}/{cells} cells (paper: always)");

@@ -14,7 +14,6 @@ use dynawave_power::PowerModel;
 use dynawave_sim::{dtm::DtmConfig, MachineConfig, Simulator};
 use dynawave_workloads::Benchmark;
 
-
 fn main() {
     let (cfg, t0) = start(
         "Case study: DTM fetch throttling",
@@ -39,8 +38,7 @@ fn main() {
             let run = Simulator::new(config.clone()).run(bench, &opts);
             let watts = PowerModel::new(config).power_trace(&run);
             let peak = watts.iter().cloned().fold(0.0f64, f64::max);
-            let over = watts.iter().filter(|&&w| w > envelope).count() as f64
-                / watts.len() as f64;
+            let over = watts.iter().filter(|&&w| w > envelope).count() as f64 / watts.len() as f64;
             let engaged: u64 = run.intervals.iter().map(|i| i.dtm_engaged_windows).sum();
             (peak, over, run.aggregate_cpi(), engaged)
         };

@@ -33,7 +33,10 @@ fn main() {
                 sparkline(&downsample(&trace, 64)),
             ]);
         }
-        print_table(&["configuration", "min", "max", "max/min", "dynamics"], &rows);
+        print_table(
+            &["configuration", "min", "max", "max/min", "dynamics"],
+            &rows,
+        );
     }
     println!(
         "\nExpected shape: the same benchmark's dynamics change level AND\n\

@@ -51,9 +51,6 @@ fn main() {
             sparkline(&synth),
         ]);
     }
-    print_table(
-        &["k coeffs", "NMSE %", "energy %", "reconstruction"],
-        &rows,
-    );
+    print_table(&["k coeffs", "NMSE %", "energy %", "reconstruction"], &rows);
     dynawave_bench::finish(t0);
 }

@@ -19,7 +19,11 @@ fn main() {
     let coeff_sets: Vec<Vec<f64>> = set
         .traces
         .iter()
-        .map(|t| wavedec(t, Wavelet::Haar).expect("power of two").into_coeffs())
+        .map(|t| {
+            wavedec(t, Wavelet::Haar)
+                .expect("power of two")
+                .into_coeffs()
+        })
         .collect();
 
     // How often each coefficient appears in a configuration's top 16.

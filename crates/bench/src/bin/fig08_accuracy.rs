@@ -25,8 +25,8 @@ fn main() {
         let test_sets = collect_domain_traces(bench, &test_design, &opts);
         let mut per_domain: [Vec<f64>; 3] = Default::default();
         for (slot, (train, test)) in train_sets.into_iter().zip(test_sets).enumerate() {
-            let model = WaveletNeuralPredictor::train(&train, &cfg.predictor)
-                .expect("predictor training");
+            let model =
+                WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("predictor training");
             let eval = score_model(bench, train.metric, model, test);
             per_domain[slot] = eval.nmse_per_test;
         }
@@ -35,7 +35,11 @@ fn main() {
 
     let mut medians: [Vec<f64>; 3] = Default::default();
     for (i, metric) in Metric::DOMAINS.iter().enumerate() {
-        println!("\n({}) {} domain, NMSE %:", (b'a' + i as u8) as char, metric);
+        println!(
+            "\n({}) {} domain, NMSE %:",
+            (b'a' + i as u8) as char,
+            metric
+        );
         let mut rows = Vec::new();
         let mut all = Vec::new();
         for (bench, domains) in &results {
@@ -57,7 +61,14 @@ fn main() {
         let overall = BoxplotSummary::from_data(&all).expect("non-empty");
         print_table(
             &[
-                "benchmark", "whisk-", "Q1", "median", "Q3", "whisk+", "mean", "outliers",
+                "benchmark",
+                "whisk-",
+                "Q1",
+                "median",
+                "Q3",
+                "whisk+",
+                "mean",
+                "outliers",
             ],
             &rows,
         );

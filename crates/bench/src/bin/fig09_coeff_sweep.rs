@@ -32,8 +32,7 @@ fn main() {
                     coefficients: k,
                     ..cfg.predictor.clone()
                 };
-                let model =
-                    WaveletNeuralPredictor::train(&train, &params).expect("training");
+                let model = WaveletNeuralPredictor::train(&train, &params).expect("training");
                 let eval = score_model(bench, train.metric, model, test.clone());
                 totals[ki][slot] += eval.mean_nmse();
             }

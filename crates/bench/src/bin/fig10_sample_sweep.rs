@@ -17,7 +17,12 @@ use dynawave_workloads::Benchmark;
 const FINEST: usize = 1024;
 
 /// Simulates one design point at the finest granularity.
-fn simulate(bench: Benchmark, point: &DesignPoint, total_instructions: u64, seed: u64) -> RunResult {
+fn simulate(
+    bench: Benchmark,
+    point: &DesignPoint,
+    total_instructions: u64,
+    seed: u64,
+) -> RunResult {
     let config = MachineConfig::from_design_values(point.values());
     Simulator::new(config).run(
         bench,
@@ -87,8 +92,8 @@ fn main() {
                 };
                 let train = gather(&train_runs, &train_design);
                 let test = gather(&test_runs, &test_design);
-                let model = WaveletNeuralPredictor::train(&train, &cfg.predictor)
-                    .expect("training");
+                let model =
+                    WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
                 totals[si][slot] += score_model(bench, metric, model, test).mean_nmse();
             }
         }

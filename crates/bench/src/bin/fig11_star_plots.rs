@@ -44,8 +44,7 @@ fn main() {
         eprintln!("simulating {bench} ...");
         let train_sets = collect_domain_traces(bench, &cfg.train_design(), &opts);
         for (slot, train) in train_sets.into_iter().enumerate() {
-            let model =
-                WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
+            let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
             if let Some(star) = split_order_star(&model, &names) {
                 order_stars[slot].push((bench, star));
             }

@@ -19,8 +19,7 @@ fn main() {
         let train_sets = collect_domain_traces(bench, &cfg.train_design(), &opts);
         let test_sets = collect_domain_traces(bench, &cfg.test_design(), &opts);
         for (slot, (train, test)) in train_sets.into_iter().zip(test_sets).enumerate() {
-            let model =
-                WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
+            let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
             let eval = score_model(bench, train.metric, model, test);
             let [q1, q2, q3] = eval.mean_asymmetry();
             tables[slot].push(vec![
@@ -33,10 +32,7 @@ fn main() {
     }
     for (slot, metric) in Metric::DOMAINS.iter().enumerate() {
         println!("\n{metric} domain, directional asymmetry %:");
-        print_table(
-            &["benchmark", "1Q", "2Q", "3Q"],
-            &tables[slot],
-        );
+        print_table(&["benchmark", "1Q", "2Q", "3Q"], &tables[slot]);
     }
     println!(
         "\nExpected shape (paper): single-digit asymmetry for most\n\

@@ -72,7 +72,10 @@ fn main() {
         p
     });
 
-    for (label, config) in [("scenario 1 (DVM succeeds)", success), ("scenario 2 (highest managed IQ AVF)", failure)] {
+    for (label, config) in [
+        ("scenario 1 (DVM succeeds)", success),
+        ("scenario 2 (highest managed IQ AVF)", failure),
+    ] {
         let Some(point) = config else {
             println!("\n{label}: no matching configuration found");
             continue;

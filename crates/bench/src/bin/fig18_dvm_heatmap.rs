@@ -41,8 +41,7 @@ fn main() {
         for bench in Benchmark::ALL {
             eprintln!("simulating {bench} / {metric} ...");
             let train = collect_traces(bench, &train_design, metric, &opts);
-            let model =
-                WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
+            let model = WaveletNeuralPredictor::train(&train, &cfg.predictor).expect("training");
             let test = collect_traces(bench, &test_design, metric, &opts);
             rows.push(
                 test.traces
@@ -75,7 +74,12 @@ fn main() {
         }
         println!("\ndendrogram merges (ids 0..11 are benchmarks in Benchmark::ALL order):");
         for m in &dendro.merges {
-            println!("  {:>2} + {:>2} at distance {}", m.a, m.b, fmt(m.distance, 3));
+            println!(
+                "  {:>2} + {:>2} at distance {}",
+                m.a,
+                m.b,
+                fmt(m.distance, 3)
+            );
         }
         println!("per-benchmark mean NMSE%:");
         for (i, b) in Benchmark::ALL.iter().enumerate() {

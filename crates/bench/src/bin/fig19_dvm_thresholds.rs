@@ -2,9 +2,9 @@
 //! trigger thresholds (0.2, 0.3, 0.5) for every benchmark.
 
 use dynawave_bench::{fmt, print_table, start};
+use dynawave_core::accuracy::mse_percent;
 use dynawave_core::experiment::ExperimentConfig;
 use dynawave_core::{collect_traces, Metric, WaveletNeuralPredictor};
-use dynawave_core::accuracy::mse_percent;
 use dynawave_sampling::{lhs, random, DesignPoint, DesignSpace, Split};
 use dynawave_workloads::Benchmark;
 

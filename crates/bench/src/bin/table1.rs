@@ -52,7 +52,10 @@ fn main() {
         ],
         vec![
             "FP ALU".into(),
-            format!("{} FP-ALU, {} FP-MUL/DIV/SQRT", c.fp_alu_units, c.fp_mul_units),
+            format!(
+                "{} FP-ALU, {} FP-MUL/DIV/SQRT",
+                c.fp_alu_units, c.fp_mul_units
+            ),
         ],
         vec![
             "DTLB".into(),

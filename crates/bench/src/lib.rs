@@ -72,7 +72,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         "{}",
         line(header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }
@@ -146,12 +149,7 @@ pub mod csv {
         out.push('\n');
         for row in rows {
             assert_eq!(row.len(), header.len(), "ragged CSV row");
-            out.push_str(
-                &row.iter()
-                    .map(|c| escape(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -210,13 +208,12 @@ mod tests {
     fn csv_escapes_specials() {
         let text = csv::to_string(
             &["a", "b"],
-            &[vec!["plain".into(), "has,comma".into()],
-              vec!["has\"quote".into(), "x".into()]],
+            &[
+                vec!["plain".into(), "has,comma".into()],
+                vec!["has\"quote".into(), "x".into()],
+            ],
         );
-        assert_eq!(
-            text,
-            "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
-        );
+        assert_eq!(text, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! directional symmetry and threshold-based scenario classification
 //! (§4, Figures 8, 12, 13).
 
-pub use dynawave_numeric::stats::{nmse_percent, BoxplotSummary};
 use dynawave_numeric::stats::{min_max, mse};
+pub use dynawave_numeric::stats::{nmse_percent, BoxplotSummary};
 
 /// Plain mean-square error expressed in percent: `100 * mean((a-p)^2)`.
 ///

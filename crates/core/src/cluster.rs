@@ -111,7 +111,9 @@ mod tests {
         assert!(d.merges[1].distance < 0.2);
         assert!(d.merges[2].distance > 4.0);
         // Dendrogram order keeps group members adjacent.
-        let pos: Vec<usize> = (0..4).map(|i| d.order.iter().position(|&x| x == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| d.order.iter().position(|&x| x == i).unwrap())
+            .collect();
         assert_eq!((pos[0] as i64 - pos[1] as i64).abs(), 1);
         assert_eq!((pos[2] as i64 - pos[3] as i64).abs(), 1);
     }

@@ -134,12 +134,7 @@ impl<'a> Parser<'a> {
                     continue;
                 }
                 Some((i, l)) => return Ok((i + 1, l.trim())),
-                None => {
-                    return Err(PersistError::Malformed {
-                        line: 0,
-                        expected,
-                    })
-                }
+                None => return Err(PersistError::Malformed { line: 0, expected }),
             }
         }
     }

@@ -448,8 +448,7 @@ mod tests {
     fn portable_roundtrip_predicts_identically() {
         let set = synthetic_set(20, 32);
         let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
-        let rebuilt =
-            WaveletNeuralPredictor::from_portable(model.to_portable()).unwrap();
+        let rebuilt = WaveletNeuralPredictor::from_portable(model.to_portable()).unwrap();
         let probe = DesignPoint::new(vec![2.0, 2.0]);
         assert_eq!(model.predict(&probe), rebuilt.predict(&probe));
         assert_eq!(model.coefficient_indices(), rebuilt.coefficient_indices());

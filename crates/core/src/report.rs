@@ -29,10 +29,7 @@ pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
             s.mean,
             s.q1,
             s.q3,
-            eval.nmse_per_test
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max),
+            eval.nmse_per_test.iter().cloned().fold(0.0f64, f64::max),
             s.outliers.len()
         );
     }
@@ -91,11 +88,7 @@ pub fn csv_rows(evals: &[BenchmarkEvaluation]) -> String {
 
 /// The metric names, for callers assembling multi-domain reports.
 pub fn domain_names() -> [&'static str; 3] {
-    [
-        Metric::Cpi.name(),
-        Metric::Power.name(),
-        Metric::Avf.name(),
-    ]
+    [Metric::Cpi.name(), Metric::Power.name(), Metric::Avf.name()]
 }
 
 #[cfg(test)]

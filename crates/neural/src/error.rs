@@ -35,7 +35,10 @@ impl fmt::Display for ModelError {
                 "sample count mismatch: {features} feature rows vs {targets} targets"
             ),
             ModelError::DimensionMismatch { expected, got } => {
-                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             ModelError::Numeric(e) => write!(f, "numeric failure: {e}"),
         }

@@ -162,12 +162,9 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
         let y = [1.0, 2.0, 3.0];
         let m = LinearModel::fit(&x, &y, 1e-9).unwrap();
-        let rebuilt = LinearModel::from_parts(
-            m.normalizer().clone(),
-            m.weights().to_vec(),
-            m.bias(),
-        )
-        .unwrap();
+        let rebuilt =
+            LinearModel::from_parts(m.normalizer().clone(), m.weights().to_vec(), m.bias())
+                .unwrap();
         assert_eq!(m.predict(&[1.5]), rebuilt.predict(&[1.5]));
         assert!(LinearModel::from_parts(m.normalizer().clone(), vec![], 0.0).is_err());
     }

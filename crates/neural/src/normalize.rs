@@ -85,13 +85,15 @@ impl Normalizer {
         assert_eq!(x.len(), self.dims(), "normalizer dimension mismatch");
         x.iter()
             .zip(self.mins.iter().zip(&self.spans))
-            .map(|(&v, (&lo, &span))| {
-                if span > 0.0 {
-                    (v - lo) / span
-                } else {
-                    0.5
-                }
-            })
+            .map(
+                |(&v, (&lo, &span))| {
+                    if span > 0.0 {
+                        (v - lo) / span
+                    } else {
+                        0.5
+                    }
+                },
+            )
             .collect()
     }
 

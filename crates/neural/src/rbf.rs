@@ -178,8 +178,7 @@ impl RbfNetwork {
         let k = n_centers.clamp(1, n);
         // Deterministic stride-based subsample driven by the seed.
         let offset = (dynawave_numeric::rng::splitmix64(seed) as usize) % n;
-        let radius = (1.0 / (k as f64).powf(1.0 / xn.cols() as f64))
-            .max(params.min_radius)
+        let radius = (1.0 / (k as f64).powf(1.0 / xn.cols() as f64)).max(params.min_radius)
             * params.radius_scale;
         let units: Vec<RbfUnit> = (0..k)
             .map(|i| {
@@ -353,10 +352,7 @@ fn ridge_sse(
     let phi = Matrix::from_vec(n, cols, data).expect("design shape");
     let w = solve::ridge_regression(&phi, y, params.ridge_lambda)?;
     let pred = phi.matvec(&w).expect("shapes agree");
-    Ok(y.iter()
-        .zip(&pred)
-        .map(|(a, p)| (a - p) * (a - p))
-        .sum())
+    Ok(y.iter().zip(&pred).map(|(a, p)| (a - p) * (a - p)).sum())
 }
 
 fn fit_weights(

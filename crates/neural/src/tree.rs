@@ -146,7 +146,11 @@ impl RegressionTree {
             let node = &self.nodes[idx];
             match (&node.split, node.left, node.right) {
                 (Some(split), Some(l), Some(r)) => {
-                    idx = if x[split.feature] <= split.threshold { l } else { r };
+                    idx = if x[split.feature] <= split.threshold {
+                        l
+                    } else {
+                        r
+                    };
                 }
                 _ => return node.mean_y,
             }
@@ -229,8 +233,7 @@ impl RegressionTree {
         });
         if let (Some(split), Some(l), Some(r)) = (&node.split, node.left, node.right) {
             let (subtree_sse, leaves) = self.subtree_cost(idx);
-            let gain_per_leaf =
-                (node.sse - subtree_sse) / (leaves.saturating_sub(1).max(1)) as f64;
+            let gain_per_leaf = (node.sse - subtree_sse) / (leaves.saturating_sub(1).max(1)) as f64;
             if gain_per_leaf > alpha {
                 let nl = self.copy_pruned(l, alpha, out);
                 let nr = self.copy_pruned(r, alpha, out);
@@ -271,9 +274,8 @@ impl RegressionTree {
         if decrease < sse_floor {
             return node_idx;
         }
-        let (left, right): (Vec<usize>, Vec<usize>) = samples
-            .iter()
-            .partition(|&&s| x[(s, feature)] <= threshold);
+        let (left, right): (Vec<usize>, Vec<usize>) =
+            samples.iter().partition(|&&s| x[(s, feature)] <= threshold);
         debug_assert!(!left.is_empty() && !right.is_empty());
         let l = self.grow(x, y, left, depth + 1, params, sse_floor);
         let r = self.grow(x, y, right, depth + 1, params, sse_floor);
@@ -408,7 +410,18 @@ mod tests {
 
     #[test]
     fn constant_target_single_node() {
-        let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[2.0], &[3.0], &[4.0], &[5.0], &[6.0], &[7.0], &[8.0]]);
+        let x = Matrix::from_rows(&[
+            &[0.0],
+            &[0.5],
+            &[1.0],
+            &[2.0],
+            &[3.0],
+            &[4.0],
+            &[5.0],
+            &[6.0],
+            &[7.0],
+            &[8.0],
+        ]);
         let y = vec![3.0; 10];
         let tree = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
         assert_eq!(tree.node_count(), 1);

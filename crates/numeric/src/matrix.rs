@@ -235,7 +235,9 @@ impl Matrix {
     /// definite.
     pub fn cholesky(&self) -> Result<Matrix, NumericError> {
         if self.rows != self.cols {
-            return Err(NumericError::NotSquare { shape: self.shape() });
+            return Err(NumericError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
@@ -269,7 +271,9 @@ impl Matrix {
     /// [`NumericError::NotSquare`] or [`NumericError::Singular`].
     pub fn lu(&self) -> Result<(Matrix, Vec<usize>), NumericError> {
         if self.rows != self.cols {
-            return Err(NumericError::NotSquare { shape: self.shape() });
+            return Err(NumericError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         let mut lu = self.clone();
@@ -374,7 +378,11 @@ impl Sub<&Matrix> for &Matrix {
     ///
     /// Panics on shape mismatch.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

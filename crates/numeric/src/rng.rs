@@ -1,10 +1,17 @@
-//! Deterministic seed derivation.
+//! Deterministic random-number generation and seed derivation.
 //!
 //! Every stochastic component in the workspace (workload generation, Latin
 //! hypercube sampling, network initialization) derives its RNG seed from an
 //! experiment-level seed plus a domain label, so a whole experiment is
 //! reproducible from a single `u64` while distinct components remain
 //! decorrelated.
+//!
+//! [`Rng`] is the workspace's only generator: a xoshiro256++ core seeded by
+//! SplitMix64 expansion, with the handful of distribution helpers the
+//! workspace needs (uniform ints/floats, exponential and geometric draws,
+//! Fisher–Yates shuffling). It is self-contained — no external crates — so
+//! the whole workspace builds and tests offline, and its stream is stable
+//! across platforms and releases.
 
 /// Derives a sub-seed from `(seed, label)` using the SplitMix64 finalizer
 /// over an FNV-1a hash of the label.
@@ -47,6 +54,187 @@ pub fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// The 256-bit state is expanded from a `u64` seed with SplitMix64, per the
+/// reference implementation's recommendation, so nearby seeds still yield
+/// decorrelated streams. Statistical quality is ample for the workspace's
+/// synthetic-workload and sampling needs; the generator is **not**
+/// cryptographically secure.
+///
+/// # Examples
+///
+/// ```
+/// use dynawave_numeric::rng::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        // Canonical SplitMix64 stream: state += gamma, output = finalizer.
+        // [`splitmix64`] performs both, so only the state bump is explicit.
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(state);
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Creates a generator seeded by [`derive_seed`]`(seed, label)`.
+    ///
+    /// This is the idiomatic way to give each workspace component its own
+    /// decorrelated stream under a single experiment seed.
+    pub fn from_label(seed: u64, label: &str) -> Self {
+        Rng::new(derive_seed(seed, label))
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// A fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit; xoshiro256++'s low bits are its weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool_with(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open, like `rand::gen_range`).
+    ///
+    /// Uses Lemire-style rejection so the draw is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty integer range {lo}..{hi}");
+        let span = hi - lo;
+        // Rejection sampling on the top bits: draw until the value falls in
+        // the largest multiple of `span` below 2^64.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite range bound");
+        assert!(lo < hi, "empty float range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Exponential draw with the given `mean` (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Guard the log: next_f64 can return exactly 0.
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Geometric draw: number of Bernoulli(`p`) trials up to and including
+    /// the first success (support `1, 2, 3, ...`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        1 + (u.ln() / (1.0 - p).ln()) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws an index in `[0, cdf.len())` from a cumulative weight vector
+    /// (non-decreasing, last element = total weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cdf` is empty.
+    pub fn index_from_cdf(&mut self, cdf: &[f64]) -> usize {
+        assert!(!cdf.is_empty(), "empty CDF");
+        let total = cdf[cdf.len() - 1];
+        let r = self.next_f64() * total;
+        match cdf.binary_search_by(|w| w.partial_cmp(&r).expect("finite weight")) {
+            Ok(i) | Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +267,183 @@ mod tests {
         let hi = vals.iter().cloned().fold(0.0, f64::max);
         assert!(lo < 0.05);
         assert!(hi > 0.95);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(10);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_mean_and_variance_in_tolerance() {
+        // U(0,1): mean 1/2, variance 1/12. With n = 100k draws the sample
+        // mean has sigma ~ 0.0009, so +-0.01 is a >10-sigma band.
+        let mut rng = Rng::new(123);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "variance {var}");
+    }
+
+    #[test]
+    fn range_u64_is_in_bounds_and_covers_all_values() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.range_u64(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut rng = Rng::new(11);
+        for _ in 0..1000 {
+            let v = rng.range_f64(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(5);
+        let mut data: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        // And it actually permutes: 100 elements staying put has
+        // probability 1/100!.
+        assert_ne!(data, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_moves_mass_roughly_uniformly() {
+        // Position 0 should receive each element about equally often.
+        let mut counts = [0u32; 8];
+        for seed in 0..4000u64 {
+            let mut rng = Rng::new(seed);
+            let mut data: Vec<usize> = (0..8).collect();
+            rng.shuffle(&mut data);
+            counts[data[0]] += 1;
+        }
+        for &c in &counts {
+            // Expected 500 per bin; binomial sigma ~ 21.
+            assert!((350..650).contains(&c), "biased shuffle: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        // Streams derived from the same experiment seed under different
+        // labels must not be shifted copies of each other; check that the
+        // fraction of equal leading draws is nil and that pairwise
+        // correlation of uniforms is small.
+        let mut a = Rng::from_label(42, "workload/gcc");
+        let mut b = Rng::from_label(42, "workload/mcf");
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|_| a.next_f64()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| b.next_f64()).collect();
+        assert!(xs.iter().zip(&ys).filter(|(x, y)| x == y).count() == 0);
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let cov = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n as f64;
+        let corr = cov / (1.0 / 12.0);
+        assert!(corr.abs() < 0.05, "correlated streams: r = {corr}");
+    }
+
+    #[test]
+    fn exponential_mean_tracks_parameter() {
+        let mut rng = Rng::new(3);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "exponential mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_tracks_parameter() {
+        let mut rng = Rng::new(3);
+        let p = 0.25;
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.geometric(p) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / p).abs() < 0.1, "geometric mean {mean}");
+        assert_eq!(rng.geometric(1.0), 1);
+    }
+
+    #[test]
+    fn next_bool_is_roughly_fair() {
+        let mut rng = Rng::new(17);
+        let heads = (0..10_000).filter(|_| rng.next_bool()).count();
+        assert!((4700..5300).contains(&heads), "biased coin: {heads}");
+    }
+
+    #[test]
+    fn index_from_cdf_respects_weights() {
+        let mut rng = Rng::new(29);
+        // Weights 1, 3 -> CDF [1, 4]; index 1 should win ~75%.
+        let hits = (0..10_000)
+            .filter(|_| rng.index_from_cdf(&[1.0, 4.0]) == 1)
+            .count();
+        assert!((7200..7800).contains(&hits), "weighted draw off: {hits}");
+    }
+
+    #[test]
+    fn xoshiro_reference_vectors() {
+        // xoshiro256++ outputs under SplitMix64 seeding, matching the
+        // Blackman & Vigna reference implementation (and rand_xoshiro's
+        // seed_from_u64). Pins the stream bit-for-bit so every seeded
+        // trace in the workspace survives refactors unchanged.
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64()
+            ],
+            [
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+            ]
+        );
+        let mut rng = Rng::new(42);
+        assert_eq!(
+            [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64()
+            ],
+            [
+                0xd0764d4f4476689f,
+                0x519e4174576f3791,
+                0xfbe07cfb0c24ed8c,
+                0xb37d9f600cd835b8,
+            ]
+        );
     }
 }

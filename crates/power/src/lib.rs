@@ -389,9 +389,7 @@ mod tests {
         missy.dl1_misses = 200;
         missy.l2_accesses = 200;
         missy.l2_misses = 100;
-        assert!(
-            model.interval_power(&missy).total() > model.interval_power(&base).total()
-        );
+        assert!(model.interval_power(&missy).total() > model.interval_power(&base).total());
     }
 
     #[test]

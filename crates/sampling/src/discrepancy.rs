@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn uniform_grid_beats_clustered() {
-        let grid: Vec<Vec<f64>> = (0..16)
-            .map(|i| vec![(i as f64 + 0.5) / 16.0])
-            .collect();
+        let grid: Vec<Vec<f64>> = (0..16).map(|i| vec![(i as f64 + 0.5) / 16.0]).collect();
         let clustered: Vec<Vec<f64>> = (0..16).map(|i| vec![0.1 + 0.01 * i as f64]).collect();
         assert!(l2_star(&grid) < l2_star(&clustered));
     }

@@ -55,12 +55,7 @@ impl Iterator for FullFactorial<'_> {
             .map(|(&idx, p)| p.levels(self.split)[idx])
             .collect();
         // Increment the mixed-radix counter, last digit fastest.
-        for (digit, param) in self
-            .counter
-            .iter_mut()
-            .zip(self.space.parameters())
-            .rev()
-        {
+        for (digit, param) in self.counter.iter_mut().zip(self.space.parameters()).rev() {
             *digit += 1;
             if *digit < param.levels(self.split).len() {
                 break;

@@ -80,8 +80,7 @@ mod tests {
     use super::*;
     use crate::discrepancy::l2_star_squared;
     use crate::DesignSpace;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dynawave_numeric::rng::Rng;
 
     #[test]
     fn radical_inverse_base2_bit_reversal() {
@@ -104,9 +103,9 @@ mod tests {
     #[test]
     fn lower_discrepancy_than_random() {
         let halton: Vec<Vec<f64>> = (0..64).map(|i| halton_point(i, 4)).collect();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let random: Vec<Vec<f64>> = (0..64)
-            .map(|_| (0..4).map(|_| rng.gen::<f64>()).collect())
+            .map(|_| (0..4).map(|_| rng.next_f64()).collect())
             .collect();
         assert!(
             l2_star_squared(&halton) < l2_star_squared(&random),

@@ -2,9 +2,7 @@
 
 use crate::discrepancy::l2_star_squared;
 use crate::space::{DesignPoint, DesignSpace, Split};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dynawave_numeric::rng::Rng;
 
 /// Number of candidate LHS matrices generated per [`sample`] call; the one
 /// with the lowest L2-star discrepancy wins (the paper's strategy).
@@ -37,7 +35,7 @@ pub fn sample_with_candidates(
 ) -> Vec<DesignPoint> {
     assert!(n > 0, "cannot draw an empty design");
     assert!(candidates > 0, "need at least one candidate matrix");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
     for _ in 0..candidates {
         let unit = lhs_unit(space.dims(), n, &mut rng);
@@ -54,13 +52,13 @@ pub fn sample_with_candidates(
 
 /// One raw LHS matrix in `[0, 1)^d`: each dimension is an independent
 /// random permutation of `n` jittered strata.
-fn lhs_unit(dims: usize, n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+fn lhs_unit(dims: usize, n: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
     let mut cols: Vec<Vec<f64>> = Vec::with_capacity(dims);
     for _ in 0..dims {
         let mut strata: Vec<f64> = (0..n)
-            .map(|i| (i as f64 + rng.gen::<f64>()) / n as f64)
+            .map(|i| (i as f64 + rng.next_f64()) / n as f64)
             .collect();
-        strata.shuffle(rng);
+        rng.shuffle(&mut strata);
         cols.push(strata);
     }
     (0..n)

@@ -1,8 +1,7 @@
 //! Independent uniform sampling of discrete design points.
 
 use crate::space::{DesignPoint, DesignSpace, Split};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dynawave_numeric::rng::Rng;
 
 /// Draws `n` design points with each parameter sampled uniformly and
 /// independently from the levels of the chosen [`Split`].
@@ -17,7 +16,7 @@ use rand::{Rng, SeedableRng};
 /// Panics if `n == 0`.
 pub fn sample(space: &DesignSpace, n: usize, split: Split, seed: u64) -> Vec<DesignPoint> {
     assert!(n > 0, "cannot draw an empty design");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     (0..n)
         .map(|_| {
             let values = space
@@ -25,7 +24,7 @@ pub fn sample(space: &DesignSpace, n: usize, split: Split, seed: u64) -> Vec<Des
                 .iter()
                 .map(|p| {
                     let levels = p.levels(split);
-                    levels[rng.gen_range(0..levels.len())]
+                    levels[rng.range_usize(0, levels.len())]
                 })
                 .collect();
             DesignPoint::new(values)

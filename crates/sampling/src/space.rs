@@ -81,7 +81,11 @@ impl DesignSpace {
             Parameter::new("Fetch_width", vec![2.0, 4.0, 8.0, 16.0], vec![2.0, 8.0]),
             Parameter::new("ROB_size", vec![96.0, 128.0, 160.0], vec![128.0, 160.0]),
             Parameter::new("IQ_size", vec![32.0, 64.0, 96.0, 128.0], vec![32.0, 64.0]),
-            Parameter::new("LSQ_size", vec![16.0, 24.0, 32.0, 64.0], vec![16.0, 24.0, 32.0]),
+            Parameter::new(
+                "LSQ_size",
+                vec![16.0, 24.0, 32.0, 64.0],
+                vec![16.0, 24.0, 32.0],
+            ),
             Parameter::new(
                 "L2_size",
                 vec![256.0, 1024.0, 2048.0, 4096.0],
@@ -92,8 +96,16 @@ impl DesignSpace {
                 vec![8.0, 12.0, 14.0, 16.0, 20.0],
                 vec![8.0, 12.0, 14.0],
             ),
-            Parameter::new("il1_size", vec![8.0, 16.0, 32.0, 64.0], vec![8.0, 16.0, 32.0]),
-            Parameter::new("dl1_size", vec![8.0, 16.0, 32.0, 64.0], vec![16.0, 32.0, 64.0]),
+            Parameter::new(
+                "il1_size",
+                vec![8.0, 16.0, 32.0, 64.0],
+                vec![8.0, 16.0, 32.0],
+            ),
+            Parameter::new(
+                "dl1_size",
+                vec![8.0, 16.0, 32.0, 64.0],
+                vec![16.0, 32.0, 64.0],
+            ),
             Parameter::new("dl1_lat", vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 2.0, 3.0]),
         ])
     }

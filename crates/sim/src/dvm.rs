@@ -62,7 +62,7 @@ impl DvmState {
             last_ace: 0.0,
             last_cycle: 0,
             triggers: 0,
-        stall_cycles: 0,
+            stall_cycles: 0,
         }
     }
 

@@ -1,8 +1,8 @@
 //! The one-pass out-of-order timing model.
 
 use crate::branch::{Bimodal, Btb, Gshare, ReturnAddressStack};
-use crate::config::BranchPredictorKind;
 use crate::cache::{Cache, Tlb};
+use crate::config::BranchPredictorKind;
 use crate::config::MachineConfig;
 use crate::dtm::DtmState;
 use crate::dvm::DvmState;
@@ -115,8 +115,7 @@ impl Simulator {
             opts.interval_instructions > 0,
             "need a positive interval length"
         );
-        let total =
-            warmup_instructions + opts.samples as u64 * opts.interval_instructions;
+        let total = warmup_instructions + opts.samples as u64 * opts.interval_instructions;
         let mut trace = TraceGenerator::new(benchmark, total, opts.seed);
         if warmup_instructions == 0 {
             return self.run_trace(trace, opts);
@@ -175,7 +174,10 @@ impl Simulator {
 
             if in_interval >= opts.interval_instructions {
                 current.instructions = in_interval;
-                current.cycles = engine.last_commit.saturating_sub(interval_start_cycle).max(1);
+                current.cycles = engine
+                    .last_commit
+                    .saturating_sub(interval_start_cycle)
+                    .max(1);
                 if let Some(dvm) = engine.dvm.as_ref() {
                     current.dvm_triggers = dvm.triggers() - engine.reported_triggers;
                     engine.reported_triggers = dvm.triggers();
@@ -183,8 +185,7 @@ impl Simulator {
                     engine.reported_stalls = dvm.stall_cycles();
                 }
                 if let Some(dtm) = engine.dtm.as_ref() {
-                    current.dtm_engaged_windows =
-                        dtm.engaged_windows() - engine.reported_engaged;
+                    current.dtm_engaged_windows = dtm.engaged_windows() - engine.reported_engaged;
                     engine.reported_engaged = dtm.engaged_windows();
                 }
                 interval_start_cycle = engine.last_commit;
@@ -195,7 +196,10 @@ impl Simulator {
         // A trailing partial interval (trace not divisible) is recorded too.
         if in_interval > 0 {
             current.instructions = in_interval;
-            current.cycles = engine.last_commit.saturating_sub(interval_start_cycle).max(1);
+            current.cycles = engine
+                .last_commit
+                .saturating_sub(interval_start_cycle)
+                .max(1);
             intervals.push(current);
         }
         RunResult {
@@ -385,81 +389,82 @@ impl Engine {
         };
 
         // ---- Execute ----
-        let complete = issue + match instr.class {
-            OpClass::IntAlu => 1,
-            OpClass::IntMul => 3,
-            OpClass::FpAlu => 2,
-            OpClass::FpMul => 4,
-            OpClass::Branch => 1,
-            OpClass::Store => {
-                // Stores retire through the store buffer; the cache state
-                // is still updated (write-allocate) for later loads.
-                stats.dl1_accesses += 1;
-                if !self.dtlb.access(instr.addr) {
-                    stats.dtlb_misses += 1;
-                }
-                if !self.dl1.access(instr.addr) {
-                    stats.dl1_misses += 1;
-                    stats.l2_accesses += 1;
-                    if !self.l2.access(instr.addr) {
-                        stats.l2_misses += 1;
+        let complete = issue
+            + match instr.class {
+                OpClass::IntAlu => 1,
+                OpClass::IntMul => 3,
+                OpClass::FpAlu => 2,
+                OpClass::FpMul => 4,
+                OpClass::Branch => 1,
+                OpClass::Store => {
+                    // Stores retire through the store buffer; the cache state
+                    // is still updated (write-allocate) for later loads.
+                    stats.dl1_accesses += 1;
+                    if !self.dtlb.access(instr.addr) {
+                        stats.dtlb_misses += 1;
                     }
-                }
-                // Track for store-to-load forwarding (8-byte granules).
-                let slot = ((instr.addr >> 3) as usize) & (STORE_TRACKER - 1);
-                self.store_addrs[slot] = instr.addr >> 3;
-                self.store_meta[slot] = (self.instr_index, issue + 1);
-                1
-            }
-            OpClass::Load => {
-                // Store-to-load forwarding: a load that hits a store still
-                // in the LSQ window reads from the store buffer at unit
-                // latency.
-                let slot = ((instr.addr >> 3) as usize) & (STORE_TRACKER - 1);
-                let mut forwarded = None;
-                if self.forwarding && self.store_addrs[slot] == instr.addr >> 3 {
-                    let (st_index, st_ready) = self.store_meta[slot];
-                    if self.instr_index - st_index <= self.lsq_span {
-                        stats.store_forwards += 1;
-                        stats.dl1_accesses += 1;
-                        // The forwarded value is ready one cycle after
-                        // both the load issues and the store's data is.
-                        forwarded = Some(st_ready.saturating_sub(issue).max(1));
+                    if !self.dl1.access(instr.addr) {
+                        stats.dl1_misses += 1;
+                        stats.l2_accesses += 1;
+                        if !self.l2.access(instr.addr) {
+                            stats.l2_misses += 1;
+                        }
                     }
+                    // Track for store-to-load forwarding (8-byte granules).
+                    let slot = ((instr.addr >> 3) as usize) & (STORE_TRACKER - 1);
+                    self.store_addrs[slot] = instr.addr >> 3;
+                    self.store_meta[slot] = (self.instr_index, issue + 1);
+                    1
                 }
-                if let Some(lat) = forwarded {
-                    lat
-                } else {
-                stats.dl1_accesses += 1;
-                let mut lat = self.dl1_lat;
-                if !self.dtlb.access(instr.addr) {
-                    stats.dtlb_misses += 1;
-                    lat += self.tlb_miss_lat;
-                }
-                if !self.dl1.access(instr.addr) {
-                    stats.dl1_misses += 1;
-                    stats.l2_accesses += 1;
-                    if self.l2.access(instr.addr) {
-                        lat += self.l2_lat;
+                OpClass::Load => {
+                    // Store-to-load forwarding: a load that hits a store still
+                    // in the LSQ window reads from the store buffer at unit
+                    // latency.
+                    let slot = ((instr.addr >> 3) as usize) & (STORE_TRACKER - 1);
+                    let mut forwarded = None;
+                    if self.forwarding && self.store_addrs[slot] == instr.addr >> 3 {
+                        let (st_index, st_ready) = self.store_meta[slot];
+                        if self.instr_index - st_index <= self.lsq_span {
+                            stats.store_forwards += 1;
+                            stats.dl1_accesses += 1;
+                            // The forwarded value is ready one cycle after
+                            // both the load issues and the store's data is.
+                            forwarded = Some(st_ready.saturating_sub(issue).max(1));
+                        }
+                    }
+                    if let Some(lat) = forwarded {
+                        lat
                     } else {
-                        stats.l2_misses += 1;
-                        lat += self.l2_lat + self.mem_lat;
-                        if let Some(dvm) = self.dvm.as_mut() {
-                            dvm.on_l2_miss(issue + lat);
+                        stats.dl1_accesses += 1;
+                        let mut lat = self.dl1_lat;
+                        if !self.dtlb.access(instr.addr) {
+                            stats.dtlb_misses += 1;
+                            lat += self.tlb_miss_lat;
                         }
-                    }
-                    if self.prefetch {
-                        let next = instr.addr + self.dl1_line_bytes;
-                        self.l2.install(next);
-                        if !self.dl1.install(next) {
-                            stats.prefetch_fills += 1;
+                        if !self.dl1.access(instr.addr) {
+                            stats.dl1_misses += 1;
+                            stats.l2_accesses += 1;
+                            if self.l2.access(instr.addr) {
+                                lat += self.l2_lat;
+                            } else {
+                                stats.l2_misses += 1;
+                                lat += self.l2_lat + self.mem_lat;
+                                if let Some(dvm) = self.dvm.as_mut() {
+                                    dvm.on_l2_miss(issue + lat);
+                                }
+                            }
+                            if self.prefetch {
+                                let next = instr.addr + self.dl1_line_bytes;
+                                self.l2.install(next);
+                                if !self.dl1.install(next) {
+                                    stats.prefetch_fills += 1;
+                                }
+                            }
                         }
+                        lat
                     }
                 }
-                lat
-                }
-            }
-        };
+            };
 
         // ---- Branch resolution ----
         if instr.is_branch() {
@@ -474,9 +479,7 @@ impl Engine {
             };
             if !correct {
                 stats.mispredicts += 1;
-                self.fetch_ready = self
-                    .fetch_ready
-                    .max(complete + self.mispredict_extra);
+                self.fetch_ready = self.fetch_ready.max(complete + self.mispredict_extra);
             } else if instr.taken && !self.btb.access(instr.pc) {
                 stats.btb_misses += 1;
                 self.fetch_ready = self.fetch_ready.max(fetch + BTB_MISS_BUBBLE);
@@ -487,7 +490,10 @@ impl Engine {
 
         // ---- Commit (in order, width-limited) ----
         let commit_ready = (complete + 1).max(self.last_commit);
-        let commit = self.commit_pool.allocate(commit_ready, 1).max(self.last_commit);
+        let commit = self
+            .commit_pool
+            .allocate(commit_ready, 1)
+            .max(self.last_commit);
         self.last_commit = commit;
 
         // ---- Bookkeeping ----
@@ -685,8 +691,8 @@ mod tests {
             cold.intervals[0].il1_misses
         );
         // Zero warm-up is exactly the plain run.
-        let same = Simulator::new(MachineConfig::baseline())
-            .run_with_warmup(Benchmark::Eon, &opts, 0);
+        let same =
+            Simulator::new(MachineConfig::baseline()).run_with_warmup(Benchmark::Eon, &opts, 0);
         assert_eq!(same.cpi_trace(), cold.cpi_trace());
     }
 
@@ -699,17 +705,12 @@ mod tests {
         );
         let forwards: u64 = r.intervals.iter().map(|i| i.store_forwards).sum();
         assert!(forwards > 0, "no store-to-load forwarding observed");
-        let loads: u64 = r
-            .intervals
-            .iter()
-            .map(|i| i.dl1_accesses)
-            .sum();
+        let loads: u64 = r.intervals.iter().map(|i| i.dl1_accesses).sum();
         assert!(forwards < loads, "forwarding cannot exceed memory ops");
         // Forwarded loads shortcut the cache: CPI must not get worse.
         let plain = run(Benchmark::Vortex, MachineConfig::baseline());
         assert!(r.aggregate_cpi() <= plain.aggregate_cpi() * 1.001);
-        let plain_forwards: u64 =
-            plain.intervals.iter().map(|i| i.store_forwards).sum();
+        let plain_forwards: u64 = plain.intervals.iter().map(|i| i.store_forwards).sum();
         assert_eq!(plain_forwards, 0, "forwarding must be off by default");
     }
 
@@ -743,7 +744,11 @@ mod tests {
         });
         let plain = run(Benchmark::Crafty, MachineConfig::baseline());
         let managed = run(Benchmark::Crafty, hot);
-        let engaged: u64 = managed.intervals.iter().map(|i| i.dtm_engaged_windows).sum();
+        let engaged: u64 = managed
+            .intervals
+            .iter()
+            .map(|i| i.dtm_engaged_windows)
+            .sum();
         assert!(engaged > 0, "DTM never engaged");
         assert!(
             managed.aggregate_cpi() > plain.aggregate_cpi(),

@@ -176,7 +176,7 @@ mod tests {
         assert_eq!(r.earliest_slot(), 0);
         r.push(100); // item 0 frees at 100
         r.push(50); // item 1 frees at 50
-        // Item 2 reuses item 0's slot: must wait to 100.
+                    // Item 2 reuses item 0's slot: must wait to 100.
         assert_eq!(r.earliest_slot(), 100);
         r.push(120);
         assert_eq!(r.earliest_slot(), 50);

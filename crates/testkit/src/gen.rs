@@ -1,0 +1,125 @@
+//! Composable input generators.
+//!
+//! A generator is any `Fn(&mut Rng) -> T`; these helpers cover the common
+//! shapes (uniform scalars, bounded vectors, choices) and compose with
+//! plain closures for everything else:
+//!
+//! ```
+//! use dynawave_testkit::{check, gen, Rng};
+//!
+//! // A custom generator is just a closure.
+//! let point = |rng: &mut Rng| (rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0));
+//! check("points in unit square").run(point, |(x, y)| {
+//!     if (0.0..1.0).contains(x) && (0.0..1.0).contains(y) {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("({x}, {y}) escaped"))
+//!     }
+//! });
+//! ```
+
+use crate::Rng;
+
+/// Uniform `f64` in `[lo, hi)`.
+///
+/// ```
+/// use dynawave_testkit::{gen, Rng};
+/// let mut rng = Rng::new(1);
+/// let x = gen::f64_in(2.0, 3.0)(&mut rng);
+/// assert!((2.0..3.0).contains(&x));
+/// ```
+pub fn f64_in(lo: f64, hi: f64) -> impl Fn(&mut Rng) -> f64 {
+    move |rng| rng.range_f64(lo, hi)
+}
+
+/// Uniform `u64` in `[lo, hi)`.
+pub fn u64_in(lo: u64, hi: u64) -> impl Fn(&mut Rng) -> u64 {
+    move |rng| rng.range_u64(lo, hi)
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+pub fn usize_in(lo: usize, hi: usize) -> impl Fn(&mut Rng) -> usize {
+    move |rng| rng.range_usize(lo, hi)
+}
+
+/// `Vec<f64>` with uniform elements in `[lo, hi)` and length in
+/// `[min_len, max_len]`.
+///
+/// ```
+/// use dynawave_testkit::{gen, Rng};
+/// let mut rng = Rng::new(1);
+/// let v = gen::vec_f64(-1.0, 1.0, 3, 6)(&mut rng);
+/// assert!((3..=6).contains(&v.len()));
+/// ```
+pub fn vec_f64(lo: f64, hi: f64, min_len: usize, max_len: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
+    vec_of(f64_in(lo, hi), min_len, max_len)
+}
+
+/// `Vec<T>` from an element generator, length uniform in
+/// `[min_len, max_len]`.
+pub fn vec_of<T, G>(element: G, min_len: usize, max_len: usize) -> impl Fn(&mut Rng) -> Vec<T>
+where
+    G: Fn(&mut Rng) -> T,
+{
+    move |rng| {
+        let len = rng.range_usize(min_len, max_len + 1);
+        (0..len).map(|_| element(rng)).collect()
+    }
+}
+
+/// One of the given choices, uniformly.
+///
+/// ```
+/// use dynawave_testkit::{gen, Rng};
+/// let mut rng = Rng::new(1);
+/// let n = gen::one_of(&[8usize, 16, 32, 64])(&mut rng);
+/// assert!([8, 16, 32, 64].contains(&n));
+/// ```
+pub fn one_of<T: Clone>(choices: &[T]) -> impl Fn(&mut Rng) -> T + '_ {
+    assert!(!choices.is_empty(), "one_of needs at least one choice");
+    move |rng| choices[rng.range_usize(0, choices.len())].clone()
+}
+
+/// `Vec<f64>` whose length is one of the given power-of-two sizes — the
+/// shape wavelet-transform properties need.
+pub fn pow2_vec_f64(lo: f64, hi: f64, lengths: &[usize]) -> impl Fn(&mut Rng) -> Vec<f64> + '_ {
+    assert!(!lengths.is_empty(), "need at least one length");
+    move |rng| {
+        let len = lengths[rng.range_usize(0, lengths.len())];
+        (0..len).map(|_| rng.range_f64(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            let v = vec_f64(0.0, 1.0, 2, 5)(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn one_of_draws_each_choice() {
+        let mut rng = Rng::new(4);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[one_of(&[0usize, 1, 2])(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pow2_vec_only_uses_listed_lengths() {
+        let mut rng = Rng::new(5);
+        for _ in 0..50 {
+            let v = pow2_vec_f64(-1.0, 1.0, &[8, 16])(&mut rng);
+            assert!(v.len() == 8 || v.len() == 16);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Input shrinking by halving and truncation.
+
+/// Produces smaller candidate inputs from a failing one.
+///
+/// Candidates are ordered most-aggressive first; the harness greedily takes
+/// the first candidate that still fails and repeats, so a cheap, small
+/// candidate list per step is enough to converge quickly.
+///
+/// ```
+/// use dynawave_testkit::Shrink;
+/// let candidates = 100u64.shrink();
+/// assert!(candidates.contains(&0));
+/// assert!(candidates.contains(&50));
+/// ```
+pub trait Shrink: Sized {
+    /// Candidate replacements, smaller than `self`, most aggressive first.
+    /// An empty vector means fully shrunk.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            0 => vec![],
+            1 => vec![0],
+            v => vec![0, v / 2, v - 1],
+        }
+    }
+}
+
+impl Shrink for u32 {
+    fn shrink(&self) -> Vec<Self> {
+        u64::from(*self)
+            .shrink()
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64)
+            .shrink()
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+impl Shrink for i64 {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            0 => vec![],
+            v => vec![0, v / 2, v - v.signum()],
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 || !v.is_finite() {
+            return vec![];
+        }
+        let mut out = vec![0.0, v / 2.0];
+        let trunc = v.trunc();
+        if trunc != v {
+            out.push(trunc);
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            vec![]
+        }
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    /// Shrinks by truncation first (front half, back half, drop one
+    /// element), then element-wise value shrinking.
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+            let mut minus_last = self.clone();
+            minus_last.pop();
+            out.push(minus_last);
+        }
+        // Value shrinking: replace one element at a time with its first
+        // shrink candidate.
+        for i in 0..n {
+            for candidate in self[i].shrink().into_iter().take(1) {
+                let mut smaller = self.clone();
+                smaller[i] = candidate;
+                out.push(smaller);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Clone + Shrink, B: Clone + Shrink> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Clone + Shrink, B: Clone + Shrink, C: Clone + Shrink> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let (a, b, c) = self;
+        let mut out: Vec<Self> = a
+            .shrink()
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone()))
+            .collect();
+        out.extend(b.shrink().into_iter().map(|x| (a.clone(), x, c.clone())));
+        out.extend(c.shrink().into_iter().map(|x| (a.clone(), b.clone(), x)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        assert_eq!(0u64.shrink(), Vec::<u64>::new());
+        assert_eq!(1u64.shrink(), vec![0]);
+        assert!(100u64.shrink().contains(&50));
+    }
+
+    #[test]
+    fn floats_shrink_by_halving_and_truncation() {
+        let c = 7.5f64.shrink();
+        assert!(c.contains(&0.0));
+        assert!(c.contains(&3.75));
+        assert!(c.contains(&7.0));
+        assert!(0.0f64.shrink().is_empty());
+        assert!(f64::NAN.shrink().is_empty());
+    }
+
+    #[test]
+    fn vectors_shrink_by_halving_length() {
+        let v = vec![1.0f64, 2.0, 3.0, 4.0];
+        let c = v.shrink();
+        assert!(c.contains(&vec![1.0, 2.0]));
+        assert!(c.contains(&vec![3.0, 4.0]));
+        assert!(c.contains(&vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let c = (4u64, 2u64).shrink();
+        assert!(c.contains(&(0, 2)));
+        assert!(c.contains(&(4, 0)));
+    }
+}

@@ -19,7 +19,11 @@ pub struct Decomposition {
 
 impl Decomposition {
     pub(crate) fn new(coeffs: Vec<f64>, len: usize, wavelet: Wavelet) -> Self {
-        Decomposition { coeffs, len, wavelet }
+        Decomposition {
+            coeffs,
+            len,
+            wavelet,
+        }
     }
 
     /// Builds a decomposition directly from a coefficient vector, as when
@@ -37,7 +41,11 @@ impl Decomposition {
             coeffs.len()
         );
         let len = coeffs.len();
-        Decomposition { coeffs, len, wavelet }
+        Decomposition {
+            coeffs,
+            len,
+            wavelet,
+        }
     }
 
     /// The original signal length (== the number of coefficients).

@@ -32,7 +32,10 @@ impl fmt::Display for WaveletError {
                 write!(f, "unsupported input length {len}: {requirement}")
             }
             WaveletError::CoefficientMismatch { expected, got } => {
-                write!(f, "coefficient count mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "coefficient count mismatch: expected {expected}, got {got}"
+                )
             }
         }
     }

@@ -40,7 +40,10 @@ impl Band {
         match self {
             Band::Approximation => 0..1,
             Band::Detail(d) => {
-                assert!(d < levels, "detail band {d} does not exist at {levels} levels");
+                assert!(
+                    d < levels,
+                    "detail band {d} does not exist at {levels} levels"
+                );
                 let start = 1usize << d;
                 start..start * 2
             }

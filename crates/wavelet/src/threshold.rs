@@ -110,8 +110,7 @@ pub fn denoise(dec: &Decomposition, rule: Rule) -> Decomposition {
 mod tests {
     use super::*;
     use crate::{wavedec, waverec, Wavelet};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dynawave_numeric::rng::Rng;
 
     #[test]
     fn hard_keeps_or_kills() {
@@ -141,15 +140,12 @@ mod tests {
         // Plateau-structured signals (like phase-driven workload
         // dynamics) have sparse Haar representations - the setting where
         // wavelet denoising shines.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::new(7);
         let n = 128;
         let clean: Vec<f64> = (0..n)
             .map(|i| if (i / 16) % 2 == 0 { 6.0 } else { 2.0 })
             .collect();
-        let noisy: Vec<f64> = clean
-            .iter()
-            .map(|v| v + rng.gen_range(-0.5..0.5))
-            .collect();
+        let noisy: Vec<f64> = clean.iter().map(|v| v + rng.range_f64(-0.5, 0.5)).collect();
         let dec = wavedec(&noisy, Wavelet::Haar).unwrap();
         // Hard thresholding: the universal threshold's soft variant is
         // known to over-smooth at moderate SNR.
@@ -167,13 +163,13 @@ mod tests {
 
     #[test]
     fn noise_sigma_tracks_injected_noise() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::new(3);
         let n = 256;
         let sigma_true = 0.3;
         // Gaussian-ish noise via CLT of uniforms.
         let noise: Vec<f64> = (0..n)
             .map(|_| {
-                let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+                let s: f64 = (0..12).map(|_| rng.next_f64()).sum();
                 (s - 6.0) * sigma_true
             })
             .collect();

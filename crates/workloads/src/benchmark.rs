@@ -1,8 +1,6 @@
 //! The twelve SPEC CPU 2000 benchmark personalities used by the paper.
 
-use crate::model::{
-    BenchmarkProfile, BranchModel, DynamicsSignals, InstructionMix, MemoryModel,
-};
+use crate::model::{BenchmarkProfile, BranchModel, DynamicsSignals, InstructionMix, MemoryModel};
 use crate::phase::{Component, PhaseSignal};
 
 /// The SPEC CPU 2000 benchmarks evaluated in the paper (§3: *bzip2,
@@ -114,18 +112,30 @@ impl Benchmark {
                 dead_fraction: 0.28,
                 signals: DynamicsSignals {
                     // Compress / reorder blocks: crisp square phases.
-                    memory: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.8 },
-                    ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.35 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.0, duty: 0.5, phase: 0.35, amp: 0.4 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.0, duty: 0.45, phase: 0.1, amp: 0.75 },
-                    ]),
+                    memory: PhaseSignal::new(vec![Component::Square {
+                        freq: 3.0,
+                        duty: 0.45,
+                        phase: 0.1,
+                        amp: 0.8,
+                    }]),
+                    ilp: PhaseSignal::new(vec![Component::Square {
+                        freq: 3.0,
+                        duty: 0.45,
+                        phase: 0.1,
+                        amp: 0.35,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Square {
+                        freq: 3.0,
+                        duty: 0.5,
+                        phase: 0.35,
+                        amp: 0.4,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Square {
+                        freq: 3.0,
+                        duty: 0.45,
+                        phase: 0.1,
+                        amp: 0.75,
+                    }]),
                 },
             },
             Benchmark::Crafty => BenchmarkProfile {
@@ -152,19 +162,40 @@ impl Benchmark {
                 signals: DynamicsSignals {
                     // Search-tree depth changes: fast, large power swings.
                     memory: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.45 },
-                        Component::Sine { freq: 9.0, phase: 0.3, amp: 0.25 },
+                        Component::Sine {
+                            freq: 4.0,
+                            phase: 0.0,
+                            amp: 0.45,
+                        },
+                        Component::Sine {
+                            freq: 9.0,
+                            phase: 0.3,
+                            amp: 0.25,
+                        },
                     ]),
                     ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.5, amp: 0.5 },
-                        Component::Spikes { count: 5, width: 0.03, amp: 0.8, seed: 0xC4A },
+                        Component::Sine {
+                            freq: 4.0,
+                            phase: 0.5,
+                            amp: 0.5,
+                        },
+                        Component::Spikes {
+                            count: 5,
+                            width: 0.03,
+                            amp: 0.8,
+                            seed: 0xC4A,
+                        },
                     ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 6.0, phase: 0.2, amp: 0.5 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.1, amp: 0.625 },
-                    ]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 6.0,
+                        phase: 0.2,
+                        amp: 0.5,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.1,
+                        amp: 0.625,
+                    }]),
                 },
             },
             Benchmark::Eon => BenchmarkProfile {
@@ -199,18 +230,26 @@ impl Benchmark {
                 mean_dep_distance: 6.5,
                 dead_fraction: 0.22,
                 signals: DynamicsSignals {
-                    memory: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.2 },
-                    ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.25, amp: 0.15 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.15 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.5, amp: 0.55 },
-                    ]),
+                    memory: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.0,
+                        amp: 0.2,
+                    }]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.25,
+                        amp: 0.15,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.0,
+                        amp: 0.15,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.5,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Gap => BenchmarkProfile {
@@ -237,18 +276,37 @@ impl Benchmark {
                 signals: DynamicsSignals {
                     // Wide CPI swings (paper Figure 1): big square + spikes.
                     memory: PhaseSignal::new(vec![
-                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 1.2 },
-                        Component::Spikes { count: 6, width: 0.02, amp: 1.0, seed: 0x6A9 },
+                        Component::Square {
+                            freq: 2.5,
+                            duty: 0.35,
+                            phase: 0.0,
+                            amp: 1.2,
+                        },
+                        Component::Spikes {
+                            count: 6,
+                            width: 0.02,
+                            amp: 1.0,
+                            seed: 0x6A9,
+                        },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 0.4 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Square { freq: 2.5, duty: 0.4, phase: 0.15, amp: 0.35 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Square { freq: 2.5, duty: 0.35, phase: 0.0, amp: 0.55 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Square {
+                        freq: 2.5,
+                        duty: 0.35,
+                        phase: 0.0,
+                        amp: 0.4,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Square {
+                        freq: 2.5,
+                        duty: 0.4,
+                        phase: 0.15,
+                        amp: 0.35,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Square {
+                        freq: 2.5,
+                        duty: 0.35,
+                        phase: 0.0,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Gcc => BenchmarkProfile {
@@ -285,19 +343,49 @@ impl Benchmark {
                 signals: DynamicsSignals {
                     // Per-function compilation bursts: irregular spikes.
                     memory: PhaseSignal::new(vec![
-                        Component::Spikes { count: 8, width: 0.035, amp: 1.6, seed: 0x9CC },
-                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.3 },
+                        Component::Spikes {
+                            count: 8,
+                            width: 0.035,
+                            amp: 1.6,
+                            seed: 0x9CC,
+                        },
+                        Component::Sine {
+                            freq: 4.0,
+                            phase: 0.0,
+                            amp: 0.3,
+                        },
                     ]),
                     ilp: PhaseSignal::new(vec![
-                        Component::Spikes { count: 6, width: 0.03, amp: 0.9, seed: 0x9CD },
-                        Component::Sine { freq: 3.0, phase: 0.4, amp: 0.25 },
+                        Component::Spikes {
+                            count: 6,
+                            width: 0.03,
+                            amp: 0.9,
+                            seed: 0x9CD,
+                        },
+                        Component::Sine {
+                            freq: 3.0,
+                            phase: 0.4,
+                            amp: 0.25,
+                        },
                     ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Spikes { count: 7, width: 0.035, amp: 0.8, seed: 0x9CE },
-                    ]),
+                    branch: PhaseSignal::new(vec![Component::Spikes {
+                        count: 7,
+                        width: 0.035,
+                        amp: 0.8,
+                        seed: 0x9CE,
+                    }]),
                     deadness: PhaseSignal::new(vec![
-                        Component::Spikes { count: 6, width: 0.035, amp: 1.25, seed: 0x9CF },
-                        Component::Sine { freq: 4.0, phase: 0.2, amp: 0.55 },
+                        Component::Spikes {
+                            count: 6,
+                            width: 0.035,
+                            amp: 1.25,
+                            seed: 0x9CF,
+                        },
+                        Component::Sine {
+                            freq: 4.0,
+                            phase: 0.2,
+                            amp: 0.55,
+                        },
                     ]),
                 },
             },
@@ -327,18 +415,31 @@ impl Benchmark {
                 signals: DynamicsSignals {
                     // Long memory-bound plateaus.
                     memory: PhaseSignal::new(vec![
-                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.9 },
+                        Component::Square {
+                            freq: 1.5,
+                            duty: 0.55,
+                            phase: 0.2,
+                            amp: 0.9,
+                        },
                         Component::Ramp { amp: 0.3 },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.25 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 2.0, phase: 0.0, amp: 0.2 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Square { freq: 1.5, duty: 0.55, phase: 0.2, amp: 0.55 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Square {
+                        freq: 1.5,
+                        duty: 0.55,
+                        phase: 0.2,
+                        amp: 0.25,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 2.0,
+                        phase: 0.0,
+                        amp: 0.2,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Square {
+                        freq: 1.5,
+                        duty: 0.55,
+                        phase: 0.2,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Parser => BenchmarkProfile {
@@ -368,18 +469,27 @@ impl Benchmark {
                     // Sentence-length drift plus parse bursts.
                     memory: PhaseSignal::new(vec![
                         Component::Ramp { amp: 0.5 },
-                        Component::Spikes { count: 6, width: 0.03, amp: 1.0, seed: 0x9A7 },
+                        Component::Spikes {
+                            count: 6,
+                            width: 0.03,
+                            amp: 1.0,
+                            seed: 0x9A7,
+                        },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.3 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.0,
+                        amp: 0.3,
+                    }]),
                     branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.3, amp: 0.3 },
+                        Component::Sine {
+                            freq: 3.0,
+                            phase: 0.3,
+                            amp: 0.3,
+                        },
                         Component::Ramp { amp: 0.2 },
                     ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Ramp { amp: 0.625 },
-                    ]),
+                    deadness: PhaseSignal::new(vec![Component::Ramp { amp: 0.625 }]),
                 },
             },
             Benchmark::Perlbmk => BenchmarkProfile {
@@ -415,18 +525,33 @@ impl Benchmark {
                 dead_fraction: 0.33,
                 signals: DynamicsSignals {
                     memory: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.4 },
-                        Component::Square { freq: 2.0, duty: 0.5, phase: 0.0, amp: 0.3 },
+                        Component::Sine {
+                            freq: 3.0,
+                            phase: 0.0,
+                            amp: 0.4,
+                        },
+                        Component::Square {
+                            freq: 2.0,
+                            duty: 0.5,
+                            phase: 0.0,
+                            amp: 0.3,
+                        },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.5, amp: 0.3 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.1, amp: 0.35 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.3, amp: 0.55 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.5,
+                        amp: 0.3,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.1,
+                        amp: 0.35,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.3,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Swim => BenchmarkProfile {
@@ -454,16 +579,22 @@ impl Benchmark {
                 dead_fraction: 0.25,
                 signals: DynamicsSignals {
                     // Clean periodic stencil sweeps.
-                    memory: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.5 },
-                    ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.25, amp: 0.3 },
-                    ]),
+                    memory: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.0,
+                        amp: 0.5,
+                    }]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.25,
+                        amp: 0.3,
+                    }]),
                     branch: PhaseSignal::constant(),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.5, amp: 0.55 },
-                    ]),
+                    deadness: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.5,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Twolf => BenchmarkProfile {
@@ -496,18 +627,28 @@ impl Benchmark {
                 signals: DynamicsSignals {
                     // Annealing temperature steps.
                     memory: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.5, duty: 0.5, phase: 0.0, amp: 0.5 },
+                        Component::Square {
+                            freq: 3.5,
+                            duty: 0.5,
+                            phase: 0.0,
+                            amp: 0.5,
+                        },
                         Component::Ramp { amp: -0.3 },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 5.0, phase: 0.0, amp: 0.25 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 5.0,
+                        phase: 0.0,
+                        amp: 0.25,
+                    }]),
                     branch: PhaseSignal::new(vec![
                         Component::Ramp { amp: -0.35 }, // acceptance rate falls
                     ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Square { freq: 3.5, duty: 0.5, phase: 0.25, amp: 0.55 },
-                    ]),
+                    deadness: PhaseSignal::new(vec![Component::Square {
+                        freq: 3.5,
+                        duty: 0.5,
+                        phase: 0.25,
+                        amp: 0.55,
+                    }]),
                 },
             },
             Benchmark::Vortex => BenchmarkProfile {
@@ -543,18 +684,29 @@ impl Benchmark {
                 dead_fraction: 0.35,
                 signals: DynamicsSignals {
                     // Transaction mix shifts: gentle squares.
-                    memory: PhaseSignal::new(vec![
-                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.1, amp: 0.35 },
-                    ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.1, amp: 0.2 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 4.0, phase: 0.0, amp: 0.2 },
-                    ]),
-                    deadness: PhaseSignal::new(vec![
-                        Component::Square { freq: 4.0, duty: 0.6, phase: 0.35, amp: 0.625 },
-                    ]),
+                    memory: PhaseSignal::new(vec![Component::Square {
+                        freq: 4.0,
+                        duty: 0.6,
+                        phase: 0.1,
+                        amp: 0.35,
+                    }]),
+                    ilp: PhaseSignal::new(vec![Component::Square {
+                        freq: 4.0,
+                        duty: 0.6,
+                        phase: 0.1,
+                        amp: 0.2,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 4.0,
+                        phase: 0.0,
+                        amp: 0.2,
+                    }]),
+                    deadness: PhaseSignal::new(vec![Component::Square {
+                        freq: 4.0,
+                        duty: 0.6,
+                        phase: 0.35,
+                        amp: 0.625,
+                    }]),
                 },
             },
             Benchmark::Vpr => BenchmarkProfile {
@@ -587,19 +739,41 @@ impl Benchmark {
                 dead_fraction: 0.32,
                 signals: DynamicsSignals {
                     memory: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 0.35 },
-                        Component::Spikes { count: 4, width: 0.04, amp: 0.7, seed: 0x7B1 },
+                        Component::Sine {
+                            freq: 3.0,
+                            phase: 0.0,
+                            amp: 0.35,
+                        },
+                        Component::Spikes {
+                            count: 4,
+                            width: 0.04,
+                            amp: 0.7,
+                            seed: 0x7B1,
+                        },
                     ]),
-                    ilp: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.35, amp: 0.25 },
-                    ]),
-                    branch: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.1, amp: 0.3 },
-                    ]),
+                    ilp: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.35,
+                        amp: 0.25,
+                    }]),
+                    branch: PhaseSignal::new(vec![Component::Sine {
+                        freq: 3.0,
+                        phase: 0.1,
+                        amp: 0.3,
+                    }]),
                     // The paper's Figure 1 shows vpr's AVF swinging widely.
                     deadness: PhaseSignal::new(vec![
-                        Component::Sine { freq: 3.0, phase: 0.0, amp: 1.0 },
-                        Component::Spikes { count: 5, width: 0.04, amp: 1.6, seed: 0x7B2 },
+                        Component::Sine {
+                            freq: 3.0,
+                            phase: 0.0,
+                            amp: 1.0,
+                        },
+                        Component::Spikes {
+                            count: 5,
+                            width: 0.04,
+                            amp: 1.6,
+                            seed: 0x7B2,
+                        },
                     ]),
                 },
             },
@@ -646,7 +820,10 @@ mod tests {
             let p = b.profile();
             let total = p.mix.total();
             assert!(total > 0.9 && total < 1.1, "{b}: mix total {total}");
-            assert!(p.memory.p_hot + p.memory.p_warm + p.memory.p_cold < 1.0, "{b}");
+            assert!(
+                p.memory.p_hot + p.memory.p_warm + p.memory.p_cold < 1.0,
+                "{b}"
+            );
             assert!(p.dead_fraction > 0.0 && p.dead_fraction < 0.5, "{b}");
             assert!(p.mean_dep_distance >= 1.0, "{b}");
             assert!(p.branch.sites > 0, "{b}");

@@ -53,7 +53,12 @@ impl InstructionMix {
 
     /// Sum of all weights.
     pub fn total(&self) -> f64 {
-        self.int_alu + self.int_mul + self.fp_alu + self.fp_mul + self.load + self.store
+        self.int_alu
+            + self.int_mul
+            + self.fp_alu
+            + self.fp_mul
+            + self.load
+            + self.store
             + self.branch
     }
 }
@@ -313,7 +318,10 @@ mod tests {
 
     #[test]
     fn mixes_are_normalizable() {
-        for mix in [InstructionMix::integer_default(), InstructionMix::fp_default()] {
+        for mix in [
+            InstructionMix::integer_default(),
+            InstructionMix::fp_default(),
+        ] {
             let t = mix.total();
             assert!(t > 0.9 && t < 1.1, "weight total {t} far from 1");
         }

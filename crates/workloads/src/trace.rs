@@ -3,9 +3,7 @@
 use crate::benchmark::Benchmark;
 use crate::instruction::{Instruction, OpClass};
 use crate::model::BenchmarkProfile;
-use dynawave_numeric::rng::derive_seed;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dynawave_numeric::rng::Rng;
 
 /// How often (in instructions) the phase-signal knobs are re-evaluated.
 /// Signals vary on the scale of whole sample intervals (thousands of
@@ -61,7 +59,7 @@ pub struct TraceGenerator {
     profile: BenchmarkProfile,
     total: u64,
     index: u64,
-    rng: SmallRng,
+    rng: Rng,
     // Instruction-mix CDF over OpClass::ALL order.
     mix_cdf: [f64; 7],
     sites: Vec<BranchSite>,
@@ -75,7 +73,6 @@ pub struct TraceGenerator {
     loop_iters_left: u32,
     // Zipf CDF over static loop bodies (code footprint model).
     loop_cdf: Vec<f64>,
-    loop_weight_total: f64,
     // Streaming pointer.
     stream_ptr: u64,
     // Spatial-locality cursors: most accesses continue near the previous
@@ -108,10 +105,16 @@ impl TraceGenerator {
     /// Panics if `total_instructions == 0`.
     pub fn from_profile(profile: BenchmarkProfile, total_instructions: u64, seed: u64) -> Self {
         assert!(total_instructions > 0, "empty trace requested");
-        let mut rng = SmallRng::seed_from_u64(derive_seed(seed, profile.name));
+        let mut rng = Rng::from_label(seed, profile.name);
         let mix = &profile.mix;
         let weights = [
-            mix.int_alu, mix.int_mul, mix.fp_alu, mix.fp_mul, mix.load, mix.store, mix.branch,
+            mix.int_alu,
+            mix.int_mul,
+            mix.fp_alu,
+            mix.fp_mul,
+            mix.load,
+            mix.store,
+            mix.branch,
         ];
         let total_w: f64 = weights.iter().sum();
         let mut mix_cdf = [0.0; 7];
@@ -130,7 +133,6 @@ impl TraceGenerator {
             acc += 1.0 / ((k + 1) as f64).powf(0.9);
             loop_cdf.push(acc);
         }
-        let loop_weight_total = acc;
         let mut gen = TraceGenerator {
             profile,
             total: total_instructions,
@@ -144,7 +146,6 @@ impl TraceGenerator {
             loop_len: 256,
             loop_iters_left: 8,
             loop_cdf,
-            loop_weight_total,
             stream_ptr: STREAM_BASE,
             hot_cursor: 0,
             warm_cursor: 0,
@@ -183,7 +184,7 @@ impl TraceGenerator {
     }
 
     fn sample_class(&mut self) -> OpClass {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.next_f64();
         for (i, &c) in self.mix_cdf.iter().enumerate() {
             if r < c {
                 return OpClass::ALL[i];
@@ -196,8 +197,7 @@ impl TraceGenerator {
         // Geometric-ish distance with phase-scaled mean; 1 is the minimum
         // (depend on the immediately preceding instruction).
         let mean = (self.profile.mean_dep_distance * self.knob_ilp.powf(1.3)).max(1.0);
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
-        let d = 1.0 - mean * u.ln();
+        let d = 1.0 + self.rng.exponential(mean);
         d.min(f64::from(MAX_DEP)) as u16
     }
 
@@ -213,16 +213,16 @@ impl TraceGenerator {
         let w_cold = m.p_cold * pressure;
         let w_stream = (1.0 - m.p_hot - m.p_warm - m.p_cold).max(0.0) * pressure;
         let total = w_hot + w_warm + w_cold + w_stream;
-        let r: f64 = self.rng.gen::<f64>() * total;
+        let r: f64 = self.rng.next_f64() * total;
         // Structure walks: usually advance the region cursor a few words,
         // occasionally jump to a fresh spot. This gives the address stream
         // the spatial locality real data structures have.
-        let walk = |cursor: &mut u64, kb: u32, p_jump: f64, rng: &mut SmallRng| -> u64 {
+        let walk = |cursor: &mut u64, kb: u32, p_jump: f64, rng: &mut Rng| -> u64 {
             let span = (u64::from(kb) * 1024).max(8);
-            if rng.gen::<f64>() < p_jump {
-                *cursor = rng.gen_range(0..span / 8) * 8;
+            if rng.next_bool_with(p_jump) {
+                *cursor = rng.range_u64(0, span / 8) * 8;
             } else {
-                *cursor = (*cursor + rng.gen_range(1..9) * 8) % span;
+                *cursor = (*cursor + rng.range_u64(1, 9) * 8) % span;
             }
             *cursor
         };
@@ -266,9 +266,9 @@ impl TraceGenerator {
                     true
                 }
             }
-            SiteKind::Biased { p_taken } => self.rng.gen::<f64>() < *p_taken,
+            SiteKind::Biased { p_taken } => self.rng.next_bool_with(*p_taken),
             SiteKind::Hard { last } => {
-                if self.rng.gen::<f64>() < hard_flip {
+                if self.rng.next_bool_with(hard_flip) {
                     *last = !*last;
                 }
                 *last
@@ -289,41 +289,35 @@ impl TraceGenerator {
                 self.loop_iters_left -= 1;
                 self.pc = self.loop_start;
             } else {
-                let r: f64 = self.rng.gen::<f64>() * self.loop_weight_total;
-                let idx = match self
-                    .loop_cdf
-                    .binary_search_by(|w| w.partial_cmp(&r).expect("finite weight"))
-                {
-                    Ok(i) => i,
-                    Err(i) => i,
-                }
-                .min(self.loop_cdf.len() - 1);
+                let idx = self.rng.index_from_cdf(&self.loop_cdf);
                 let body = u64::from(LOOP_BODY_BYTES);
                 self.loop_start = CODE_BASE + idx as u64 * body;
-                self.loop_len = self.rng.gen_range(8..body / 4) * 4;
-                self.loop_iters_left = self.rng.gen_range(2..24);
+                self.loop_len = self.rng.range_u64(8, body / 4) * 4;
+                self.loop_iters_left = self.rng.range_u32(2, 24);
                 self.pc = self.loop_start;
             }
         }
     }
 }
 
-fn build_sites(profile: &BenchmarkProfile, rng: &mut SmallRng) -> Vec<BranchSite> {
+fn build_sites(profile: &BenchmarkProfile, rng: &mut Rng) -> Vec<BranchSite> {
     let b = &profile.branch;
     (0..b.sites.max(1))
         .map(|_| {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             let kind = if r < b.loop_fraction {
                 let spread = (b.mean_loop_period / 2).max(1);
-                let period = b.mean_loop_period - spread / 2 + rng.gen_range(0..spread);
+                let period = b.mean_loop_period - spread / 2 + rng.range_u32(0, spread);
                 SiteKind::Loop {
                     period: period.max(2),
-                    counter: rng.gen_range(0..period.max(2)),
+                    counter: rng.range_u32(0, period.max(2)),
                 }
             } else if r < b.loop_fraction + b.biased_fraction {
                 SiteKind::Biased { p_taken: b.bias }
             } else {
-                SiteKind::Hard { last: rng.gen() }
+                SiteKind::Hard {
+                    last: rng.next_bool(),
+                }
             };
             BranchSite { kind }
         })
@@ -343,7 +337,7 @@ impl Iterator for TraceGenerator {
         let pc = self.pc;
         let class = self.sample_class();
         let dep1 = self.sample_dep();
-        let dep2 = if self.rng.gen::<f64>() < 0.5 {
+        let dep2 = if self.rng.next_bool() {
             self.sample_dep()
         } else {
             0
@@ -359,7 +353,7 @@ impl Iterator for TraceGenerator {
             false
         };
         let dead_p = (self.profile.dead_fraction * self.knob_dead).clamp(0.0, 0.8);
-        let dead = self.rng.gen::<f64>() < dead_p;
+        let dead = self.rng.next_bool_with(dead_p);
         self.advance_pc(class == OpClass::Branch && taken);
         self.index += 1;
         Some(Instruction {
@@ -407,10 +401,7 @@ mod tests {
     fn mix_fractions_are_respected() {
         let trace = gen(Benchmark::Gcc, 50_000);
         let branches = trace.iter().filter(|i| i.is_branch()).count() as f64;
-        let loads = trace
-            .iter()
-            .filter(|i| i.class == OpClass::Load)
-            .count() as f64;
+        let loads = trace.iter().filter(|i| i.class == OpClass::Load).count() as f64;
         let n = trace.len() as f64;
         let mix = Benchmark::Gcc.profile().mix;
         let t = mix.total();
@@ -444,7 +435,10 @@ mod tests {
         let trace = gen(Benchmark::Vortex, 50_000);
         let dead = trace.iter().filter(|i| i.dead).count() as f64 / trace.len() as f64;
         let base = Benchmark::Vortex.profile().dead_fraction;
-        assert!(dead > base * 0.4 && dead < base * 2.5, "dead fraction {dead}");
+        assert!(
+            dead > base * 0.4 && dead < base * 2.5,
+            "dead fraction {dead}"
+        );
     }
 
     #[test]
@@ -480,7 +474,9 @@ mod tests {
         // differ between halves of the interval.
         let trace = gen(Benchmark::Gap, 200_000);
         let cold = |s: &[Instruction]| {
-            s.iter().filter(|i| i.addr >= COLD_BASE && i.addr < STREAM_BASE).count() as f64
+            s.iter()
+                .filter(|i| i.addr >= COLD_BASE && i.addr < STREAM_BASE)
+                .count() as f64
                 / s.len() as f64
         };
         let n = trace.len();

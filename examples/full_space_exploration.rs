@@ -91,9 +91,5 @@ fn main() {
 
 /// Predicted worst-case (peak) power at a design point.
 fn cpi_model_peak(model: &WaveletNeuralPredictor, point: &dynawave_sampling::DesignPoint) -> f64 {
-    model
-        .predict(point)
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max)
+    model.predict(point).iter().cloned().fold(0.0f64, f64::max)
 }

@@ -32,7 +32,10 @@ fn main() {
         seed: 42,
     };
     let train_points = lhs::sample(&space, 60, 7);
-    println!("simulating {} training configurations ...", train_points.len());
+    println!(
+        "simulating {} training configurations ...",
+        train_points.len()
+    );
     let train = collect_traces(Benchmark::Gcc, &train_points, Metric::Cpi, &opts);
 
     // 3. Train: one RBF network per important wavelet coefficient.

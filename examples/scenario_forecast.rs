@@ -44,7 +44,12 @@ fn main() {
         let forecast = model.predict(p);
         let frac = exceedance_fraction(&forecast, BUDGET_WATTS);
         let mean = forecast.iter().sum::<f64>() / forecast.len() as f64;
-        println!("{:<10} {:>15.1}% {:>14.1}", format!("#{i}"), 100.0 * frac, mean);
+        println!(
+            "{:<10} {:>15.1}% {:>14.1}",
+            format!("#{i}"),
+            100.0 * frac,
+            mean
+        );
         if frac > 0.0 {
             flagged.push((i, p.clone()));
         }

@@ -136,11 +136,14 @@ fn test_design_points_are_always_simulable() {
     let space = DesignSpace::micro2007_with_dvm();
     for p in random::sample(&space, 30, Split::Test, 123) {
         let config = MachineConfig::from_design_values(p.values());
-        let run = Simulator::new(config).run(Benchmark::Eon, &SimOptions {
-            samples: 4,
-            interval_instructions: 500,
-            seed: 3,
-        });
+        let run = Simulator::new(config).run(
+            Benchmark::Eon,
+            &SimOptions {
+                samples: 4,
+                interval_instructions: 500,
+                seed: 3,
+            },
+        );
         assert_eq!(run.intervals.len(), 4);
     }
 }

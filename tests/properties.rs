@@ -1,57 +1,73 @@
-//! Property-based tests (proptest) on the core data structures and
-//! numerical invariants.
+//! Property-based tests on the core data structures and numerical
+//! invariants, running on the in-tree `dynawave-testkit` harness.
+//!
+//! Each property preserves the invariant of its `proptest` predecessor and
+//! runs >= 64 seeded cases; cases recorded in the former
+//! `proptest-regressions` file live on as explicit named `#[test]`s at the
+//! bottom of this file.
 
 use dynawave_core::accuracy::{directional_symmetry, Thresholds};
 use dynawave_numeric::stats::{nmse_percent, BoxplotSummary};
 use dynawave_numeric::{solve, Matrix};
 use dynawave_sampling::{lhs, DesignSpace};
+use dynawave_testkit::{check, ensure, gen, Rng};
 use dynawave_wavelet::{select, wavedec, waverec, Decomposition, Wavelet};
-use proptest::prelude::*;
 
 /// Signals of power-of-two length 8/16/32/64 with bounded values.
-fn pow2_signal() -> impl Strategy<Value = Vec<f64>> {
-    prop_oneof![Just(8usize), Just(16), Just(32), Just(64)].prop_flat_map(|n| {
-        proptest::collection::vec(-1e3..1e3f64, n..=n)
-    })
+fn pow2_signal() -> impl Fn(&mut Rng) -> Vec<f64> {
+    gen::pow2_vec_f64(-1e3, 1e3, &[8, 16, 32, 64])
 }
 
-proptest! {
-    #[test]
-    fn wavelet_roundtrip_is_lossless(signal in pow2_signal()) {
+#[test]
+fn wavelet_roundtrip_is_lossless() {
+    check("wavelet roundtrip is lossless").run(pow2_signal(), |signal| {
         for wavelet in [Wavelet::Haar, Wavelet::Daubechies4] {
-            let dec = wavedec(&signal, wavelet).unwrap();
+            let dec = wavedec(signal, wavelet).unwrap();
             let back = waverec(&dec).unwrap();
             for (a, b) in signal.iter().zip(&back) {
-                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+                ensure!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn haar_preserves_mean_in_first_coefficient(signal in pow2_signal()) {
-        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
+#[test]
+fn haar_preserves_mean_in_first_coefficient() {
+    check("haar preserves mean").run(pow2_signal(), |signal| {
+        let dec = wavedec(signal, Wavelet::Haar).unwrap();
         let mean = signal.iter().sum::<f64>() / signal.len() as f64;
-        prop_assert!((dec.as_slice()[0] - mean).abs() < 1e-9 * (1.0 + mean.abs()));
-    }
+        ensure!(
+            (dec.as_slice()[0] - mean).abs() < 1e-9 * (1.0 + mean.abs()),
+            "first coefficient {} vs mean {mean}",
+            dec.as_slice()[0]
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn partial_reconstruction_error_shrinks_with_k(signal in pow2_signal()) {
-        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
+#[test]
+fn partial_reconstruction_error_shrinks_with_k() {
+    check("reconstruction error shrinks with k").run(pow2_signal(), |signal| {
+        let dec = wavedec(signal, Wavelet::Haar).unwrap();
         let err = |k: usize| {
             let keep = select::top_k_by_magnitude(dec.as_slice(), k);
             let partial = dec.retain_indices(&keep);
-            nmse_percent(&signal, &waverec(&partial).unwrap())
+            nmse_percent(signal, &waverec(&partial).unwrap())
         };
         let n = signal.len();
         // Keeping more of the largest coefficients never hurts.
-        prop_assert!(err(n) <= err(n / 2) + 1e-9);
-        prop_assert!(err(n / 2) <= err(n / 4) + 1e-9);
-        prop_assert!(err(n) < 1e-9);
-    }
+        ensure!(err(n) <= err(n / 2) + 1e-9, "k=n worse than k=n/2");
+        ensure!(err(n / 2) <= err(n / 4) + 1e-9, "k=n/2 worse than k=n/4");
+        ensure!(err(n) < 1e-9, "full reconstruction not exact");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn energy_capture_is_monotone_in_k(signal in pow2_signal()) {
-        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
+#[test]
+fn energy_capture_is_monotone_in_k() {
+    check("energy capture monotone in k").run(pow2_signal(), |signal| {
+        let dec = wavedec(signal, Wavelet::Haar).unwrap();
         let cap = |k: usize| {
             let keep = select::top_k_by_magnitude(dec.as_slice(), k);
             select::energy_captured(dec.as_slice(), &keep)
@@ -59,117 +75,193 @@ proptest! {
         let mut last = 0.0;
         for k in [1usize, 2, 4, 8] {
             let c = cap(k);
-            prop_assert!(c + 1e-12 >= last);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            ensure!(c + 1e-12 >= last, "capture dropped at k={k}: {c} < {last}");
+            ensure!((0.0..=1.0 + 1e-12).contains(&c), "capture {c} out of [0,1]");
             last = c;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn top_k_by_magnitude_is_truly_top(signal in pow2_signal(), k in 1usize..8) {
-        let idx = select::top_k_by_magnitude(&signal, k);
-        prop_assert_eq!(idx.len(), k.min(signal.len()));
+#[test]
+fn top_k_by_magnitude_is_truly_top() {
+    let input = |rng: &mut Rng| (pow2_signal()(rng), rng.range_usize(1, 8));
+    check("top-k by magnitude is truly top").run(input, |(signal, k)| {
+        let idx = select::top_k_by_magnitude(signal, *k);
+        ensure!(idx.len() == (*k).min(signal.len()), "wrong count");
         // Every selected coefficient is >= every unselected one.
-        let min_selected = idx.iter().map(|&i| signal[i].abs()).fold(f64::INFINITY, f64::min);
+        let min_selected = idx
+            .iter()
+            .map(|&i| signal[i].abs())
+            .fold(f64::INFINITY, f64::min);
         for (i, v) in signal.iter().enumerate() {
             if !idx.contains(&i) {
-                prop_assert!(v.abs() <= min_selected + 1e-12);
+                ensure!(
+                    v.abs() <= min_selected + 1e-12,
+                    "unselected |{v}| beats selected minimum {min_selected}"
+                );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn boxplot_summary_is_ordered(data in proptest::collection::vec(-1e4..1e4f64, 1..60)) {
-        let s = BoxplotSummary::from_data(&data).unwrap();
-        // Quartiles are ordered; whiskers stay within the data range and
-        // outside the fences. (A whisker can retract past its hinge when
-        // every point beyond the hinge is an outlier, so whisker <= q1 is
-        // deliberately NOT asserted.)
-        prop_assert!(s.q1 <= s.median + 1e-12);
-        prop_assert!(s.median <= s.q3 + 1e-12);
-        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(s.whisker_low >= lo - 1e-12);
-        prop_assert!(s.whisker_high <= hi + 1e-12);
-        let iqr = s.iqr();
-        for o in &s.outliers {
-            prop_assert!(*o < s.q1 - 1.5 * iqr || *o > s.q3 + 1.5 * iqr);
-        }
-        // Whiskers themselves are never outliers.
-        prop_assert!(s.whisker_low >= s.q1 - 1.5 * iqr - 1e-9);
-        prop_assert!(s.whisker_high <= s.q3 + 1.5 * iqr + 1e-9);
+/// The boxplot ordering invariant, shared by the generated property and the
+/// named regression case below.
+fn boxplot_summary_is_ordered_for(data: &[f64]) -> Result<(), String> {
+    let s = BoxplotSummary::from_data(data).unwrap();
+    // Quartiles are ordered; whiskers stay within the data range and
+    // outside the fences. (A whisker can retract past its hinge when
+    // every point beyond the hinge is an outlier, so whisker <= q1 is
+    // deliberately NOT asserted.)
+    ensure!(
+        s.q1 <= s.median + 1e-12,
+        "q1 {} > median {}",
+        s.q1,
+        s.median
+    );
+    ensure!(
+        s.median <= s.q3 + 1e-12,
+        "median {} > q3 {}",
+        s.median,
+        s.q3
+    );
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    ensure!(s.whisker_low >= lo - 1e-12, "low whisker below data range");
+    ensure!(
+        s.whisker_high <= hi + 1e-12,
+        "high whisker above data range"
+    );
+    let iqr = s.iqr();
+    for o in &s.outliers {
+        ensure!(
+            *o < s.q1 - 1.5 * iqr || *o > s.q3 + 1.5 * iqr,
+            "outlier {o} inside the fences"
+        );
     }
+    // Whiskers themselves are never outliers.
+    ensure!(
+        s.whisker_low >= s.q1 - 1.5 * iqr - 1e-9,
+        "low whisker is an outlier"
+    );
+    ensure!(
+        s.whisker_high <= s.q3 + 1.5 * iqr + 1e-9,
+        "high whisker is an outlier"
+    );
+    Ok(())
+}
 
-    #[test]
-    fn directional_symmetry_bounds_and_self_agreement(
-        trace in proptest::collection::vec(0.0..10.0f64, 4..50),
-        tau in 0.0..10.0f64,
-    ) {
-        let ds = directional_symmetry(&trace, &trace, tau);
-        prop_assert_eq!(ds, 1.0);
+#[test]
+fn boxplot_summary_is_ordered() {
+    check("boxplot summary is ordered").run(gen::vec_f64(-1e4, 1e4, 1, 59), |data| {
+        boxplot_summary_is_ordered_for(data)
+    });
+}
+
+#[test]
+fn directional_symmetry_bounds_and_self_agreement() {
+    let input = |rng: &mut Rng| {
+        (
+            gen::vec_f64(0.0, 10.0, 4, 49)(rng),
+            rng.range_f64(0.0, 10.0),
+        )
+    };
+    check("directional symmetry bounds").run(input, |(trace, tau)| {
+        let ds = directional_symmetry(trace, trace, *tau);
+        ensure!(ds == 1.0, "self-agreement {ds} != 1");
         let inverted: Vec<f64> = trace.iter().map(|v| 10.0 - v).collect();
-        let ds2 = directional_symmetry(&trace, &inverted, tau);
-        prop_assert!((0.0..=1.0).contains(&ds2));
-    }
+        let ds2 = directional_symmetry(trace, &inverted, *tau);
+        ensure!((0.0..=1.0).contains(&ds2), "ds {ds2} out of [0,1]");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn thresholds_are_ordered_and_inside_range(
-        trace in proptest::collection::vec(-5.0..5.0f64, 2..64),
-    ) {
-        let t = Thresholds::from_trace(&trace);
+#[test]
+fn thresholds_are_ordered_and_inside_range() {
+    check("thresholds ordered and in range").run(gen::vec_f64(-5.0, 5.0, 2, 63), |trace| {
+        let t = Thresholds::from_trace(trace);
         let lo = trace.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo <= t.q1 && t.q1 <= t.q2 && t.q2 <= t.q3 && t.q3 <= hi);
-    }
+        ensure!(
+            lo <= t.q1 && t.q1 <= t.q2 && t.q2 <= t.q3 && t.q3 <= hi,
+            "thresholds out of order: {lo} {} {} {} {hi}",
+            t.q1,
+            t.q2,
+            t.q3
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lu_solve_recovers_solution(
-        vals in proptest::collection::vec(-3.0..3.0f64, 9..=9),
-        x in proptest::collection::vec(-5.0..5.0f64, 3..=3),
-    ) {
+#[test]
+fn lu_solve_recovers_solution() {
+    let input = |rng: &mut Rng| {
+        (
+            gen::vec_f64(-3.0, 3.0, 9, 9)(rng),
+            gen::vec_f64(-5.0, 5.0, 3, 3)(rng),
+        )
+    };
+    check("lu solve recovers solution").run(input, |(vals, x)| {
         // Diagonally dominate to guarantee invertibility.
-        let mut m = Matrix::from_vec(3, 3, vals).unwrap();
+        let mut m = Matrix::from_vec(3, 3, vals.clone()).unwrap();
         for i in 0..3 {
             m[(i, i)] += 10.0;
         }
-        let b = m.matvec(&x).unwrap();
+        let b = m.matvec(x).unwrap();
         let got = solve::lu_solve(&m, &b).unwrap();
         for (a, g) in x.iter().zip(&got) {
-            prop_assert!((a - g).abs() < 1e-8);
+            ensure!((a - g).abs() < 1e-8, "{a} vs {g}");
         }
-    }
-
-    #[test]
-    fn lhs_respects_level_sets(n in 1usize..40, seed in 0u64..1000) {
-        let space = DesignSpace::micro2007();
-        let pts = lhs::sample(&space, n, seed);
-        prop_assert_eq!(pts.len(), n);
-        for p in &pts {
-            for (v, param) in p.values().iter().zip(space.parameters()) {
-                prop_assert!(param.train_levels().contains(v));
-            }
-        }
-    }
-
-    #[test]
-    fn decomposition_from_coeffs_roundtrips(signal in pow2_signal()) {
-        let dec = wavedec(&signal, Wavelet::Haar).unwrap();
-        let rebuilt = Decomposition::from_coeffs(dec.as_slice().to_vec(), Wavelet::Haar);
-        prop_assert_eq!(waverec(&rebuilt).unwrap(), waverec(&dec).unwrap());
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn lhs_respects_level_sets() {
+    let input = |rng: &mut Rng| (rng.range_usize(1, 40), rng.range_u64(0, 1000));
+    check("lhs respects level sets").run(input, |(n, seed)| {
+        let space = DesignSpace::micro2007();
+        let pts = lhs::sample(&space, *n, *seed);
+        ensure!(pts.len() == *n, "wrong point count {}", pts.len());
+        for p in &pts {
+            for (v, param) in p.values().iter().zip(space.parameters()) {
+                ensure!(
+                    param.train_levels().contains(v),
+                    "{v} not a train level of {}",
+                    param.name()
+                );
+            }
+        }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn simulator_cpi_is_finite_and_positive_everywhere(
-        seed in 0u64..50,
-        fetch_idx in 0usize..4,
-        dl1_idx in 0usize..4,
-    ) {
-        use dynawave_sim::{MachineConfig, SimOptions, Simulator};
-        use dynawave_workloads::Benchmark;
+#[test]
+fn decomposition_from_coeffs_roundtrips() {
+    check("decomposition from coeffs roundtrips").run(pow2_signal(), |signal| {
+        let dec = wavedec(signal, Wavelet::Haar).unwrap();
+        let rebuilt = Decomposition::from_coeffs(dec.as_slice().to_vec(), Wavelet::Haar);
+        ensure!(
+            waverec(&rebuilt).unwrap() == waverec(&dec).unwrap(),
+            "rebuilt decomposition reconstructs differently"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn simulator_cpi_is_finite_and_positive_everywhere() {
+    use dynawave_sim::{MachineConfig, SimOptions, Simulator};
+    use dynawave_workloads::Benchmark;
+    let input = |rng: &mut Rng| {
+        (
+            rng.range_u64(0, 50),
+            rng.range_usize(0, 4),
+            rng.range_usize(0, 4),
+        )
+    };
+    check("simulator cpi finite and positive").run(input, |&(seed, fetch_idx, dl1_idx)| {
         let fetch = [2.0, 4.0, 8.0, 16.0][fetch_idx];
         let dl1 = [8.0, 16.0, 32.0, 64.0][dl1_idx];
         let config = MachineConfig::from_design_values(&[
@@ -177,11 +269,36 @@ proptest! {
         ]);
         let run = Simulator::new(config).run(
             Benchmark::Parser,
-            &SimOptions { samples: 4, interval_instructions: 400, seed },
+            &SimOptions {
+                samples: 4,
+                interval_instructions: 400,
+                seed,
+            },
         );
         for i in &run.intervals {
             let cpi = i.cpi();
-            prop_assert!(cpi.is_finite() && cpi > 0.05 && cpi < 100.0, "cpi {cpi}");
+            ensure!(
+                cpi.is_finite() && cpi > 0.05 && cpi < 100.0,
+                "cpi {cpi} at seed {seed}, fetch {fetch}, dl1 {dl1}"
+            );
         }
-    }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Named regression cases, formerly `tests/properties.proptest-regressions`.
+// ---------------------------------------------------------------------------
+
+/// proptest shrink from 2020-era CI: a 4-point sample whose q1 == q3 makes
+/// the IQR zero, so every whisker/fence comparison degenerates.
+#[test]
+fn regression_boxplot_zero_iqr_four_points() {
+    boxplot_summary_is_ordered_for(&[
+        0.0,
+        -2565.839013194435,
+        -7533.139534578149,
+        -2080.858604479113,
+    ])
+    .unwrap();
 }

@@ -14,6 +14,12 @@ cargo build --release --offline --workspace
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline --workspace
 
+echo "=== dynawave-lint ==="
+# Static analysis gate: determinism, panic-freedom, hermetic deps
+# (rules D001-D006, see DESIGN.md). Exits nonzero on any finding not
+# covered by lint-baseline.toml.
+cargo run -q --release --offline -p dynawave-lint
+
 echo "=== cargo fmt --check ==="
 cargo fmt --check
 

@@ -12,7 +12,7 @@
 //! 200-train / 50-test / 128-sample methodology.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use dynawave_core::experiment::ExperimentConfig;
 use std::time::Instant;

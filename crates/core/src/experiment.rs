@@ -58,6 +58,7 @@ impl ExperimentConfig {
     /// falling back to the paper-scale defaults.
     pub fn from_env() -> Self {
         fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+            // dynalint:allow(D004) -- from_env() is the documented, explicit config entry point
             std::env::var(name)
                 .ok()
                 .and_then(|v| v.parse().ok())

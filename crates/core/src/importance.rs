@@ -29,9 +29,9 @@ impl StarPlot {
         self.spokes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite spokes"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty")
+            .unwrap_or(0)
     }
 
     /// Parameters sorted by decreasing spoke length.
@@ -42,7 +42,7 @@ impl StarPlot {
             .cloned()
             .zip(self.spokes.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite spokes"));
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
         pairs
     }
 }

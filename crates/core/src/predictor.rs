@@ -148,7 +148,7 @@ impl WaveletNeuralPredictor {
         for p in &train.points {
             xdata.extend_from_slice(p.values());
         }
-        let x = Matrix::from_vec(train.len(), dims, xdata).expect("design shape");
+        let x = Matrix::from_vec(train.len(), dims, xdata)?;
         // One regressor per selected coefficient; training is independent
         // per coefficient, which is what keeps each sub-network simple.
         let mut models = Vec::with_capacity(indices.len());

@@ -1,0 +1,174 @@
+//! Checked-in baseline of grandfathered findings.
+//!
+//! The baseline (`lint-baseline.toml` at the workspace root) maps
+//! `"file:RULE"` keys to the number of findings that are tolerated in
+//! that file for that rule. This lets the tool land green on a codebase
+//! with existing violations and then ratchet: new findings fail CI, and
+//! fixing old ones lets the baseline shrink (stale entries are reported
+//! so they get burned down rather than lingering).
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `"file:RULE"` → tolerated finding count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+/// Outcome of checking findings against a [`Baseline`].
+#[derive(Debug, Clone, Default)]
+pub struct BaselineReport {
+    /// Findings not covered by the baseline — these fail the build. When
+    /// a file/rule group exceeds its allowance, the whole group is listed
+    /// so the offending lines are all visible.
+    pub new: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries whose allowance exceeds the current finding count
+    /// (`key`, allowed, found): candidates for ratcheting down.
+    pub stale: Vec<(String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format: `"file:RULE" = count` lines under
+    /// a `[counts]` section; `#` comments and blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line == "[counts]" {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("baseline line {}: expected `key = count`", idx + 1));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline line {}: count is not a number", idx + 1))?;
+            counts.insert(key, count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the canonical baseline file for a set of findings.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut grouped: BTreeMap<String, usize> = BTreeMap::new();
+        for f in findings {
+            *grouped.entry(format!("{}:{}", f.file, f.rule)).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# dynalint baseline — grandfathered findings per file and rule.\n\
+             # Regenerate with `cargo run -p dynawave-lint -- --update-baseline`.\n\
+             # The goal is to burn this file down to nothing, never to grow it.\n\
+             [counts]\n",
+        );
+        for (key, count) in grouped {
+            out.push_str(&format!("\"{key}\" = {count}\n"));
+        }
+        out
+    }
+
+    /// Number of entries in the baseline.
+    pub fn entry_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total tolerated findings across all entries.
+    pub fn total_allowance(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Splits findings into new vs. baselined and reports stale entries.
+    pub fn check(&self, findings: &[Finding]) -> BaselineReport {
+        let mut grouped: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            grouped
+                .entry(format!("{}:{}", f.file, f.rule))
+                .or_default()
+                .push(f);
+        }
+        let mut report = BaselineReport::default();
+        for (key, group) in &grouped {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if group.len() <= allowed {
+                report.baselined += group.len();
+            } else {
+                report.new.extend(group.iter().map(|&f| f.clone()));
+            }
+        }
+        for (key, &allowed) in &self.counts {
+            let found = grouped.get(key).map(|g| g.len()).unwrap_or(0);
+            if found < allowed {
+                report.stale.push((key.clone(), allowed, found));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(file: &str, rule: RuleId, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let fs = [
+            finding("a.rs", RuleId::D001, 1),
+            finding("a.rs", RuleId::D001, 2),
+            finding("b.rs", RuleId::D004, 9),
+        ];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).expect("parses");
+        assert_eq!(b.entry_count(), 2);
+        assert_eq!(b.total_allowance(), 3);
+        let report = b.check(&fs);
+        assert!(report.new.is_empty());
+        assert_eq!(report.baselined, 3);
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_allowance_reports_whole_group() {
+        let b = Baseline::parse("[counts]\n\"a.rs:D001\" = 1\n").expect("parses");
+        let fs = [
+            finding("a.rs", RuleId::D001, 1),
+            finding("a.rs", RuleId::D001, 2),
+        ];
+        let report = b.check(&fs);
+        assert_eq!(report.new.len(), 2);
+        assert_eq!(report.baselined, 0);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let b = Baseline::parse("\"a.rs:D001\" = 3\n").expect("parses");
+        let fs = [finding("a.rs", RuleId::D001, 1)];
+        let report = b.check(&fs);
+        assert!(report.new.is_empty());
+        assert_eq!(report.stale, vec![("a.rs:D001".to_string(), 3, 1)]);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("nonsense without equals\n").is_err());
+        assert!(Baseline::parse("\"a.rs:D001\" = many\n").is_err());
+    }
+}

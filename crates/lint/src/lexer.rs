@@ -1,0 +1,553 @@
+//! A hand-rolled Rust lexer producing tokens with line/column spans.
+//!
+//! The lexer is deliberately small: it only needs to be good enough that
+//! lint rules never fire inside string literals, character literals,
+//! comments or doc comments (which is where a grep-based checker falls
+//! over). It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! * plain, raw (`r"…"`, `r#"…"#`), byte (`b"…"`) and raw-byte strings,
+//! * character literals vs. lifetimes (`'a'` vs. `'a`),
+//! * integer and float literals, including hex/octal/binary prefixes,
+//!   exponents and type suffixes (`1e3`, `2.5f32`, `0x1E` is *not* a
+//!   float),
+//! * multi-character operators (`==`, `!=`, `::`, `..=`, `<<=`, …).
+//!
+//! Comments are kept out of the token stream but returned alongside it so
+//! the suppression parser can see `// dynalint:allow(...)` annotations.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `unwrap`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `4f64`).
+    Float,
+    /// String literal of any flavour (plain, raw, byte).
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Operator or punctuation (`==`, `.`, `{`, `::`).
+    Op,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Raw text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+}
+
+/// A comment, kept separate from the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: usize,
+    /// True when no token precedes the comment on its starting line, i.e.
+    /// the comment owns the whole line. Suppression comments that own
+    /// their line apply to the *next* line instead.
+    pub owns_line: bool,
+}
+
+/// Output of [`lex`]: the token stream plus the comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so matching can be greedy.
+const OPS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "::", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "?",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes
+/// are emitted as single-character [`TokenKind::Op`] tokens so the rule
+/// engine always sees the full file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_has_token: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    line_has_token: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c == '\n' {
+                self.bump();
+                continue;
+            }
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+                continue;
+            }
+            if c == '"' {
+                self.string(line, col);
+                continue;
+            }
+            if c == '\'' {
+                self.char_or_lifetime(line, col);
+                continue;
+            }
+            if self.raw_or_byte_string(line, col) {
+                continue;
+            }
+            if c == '_' || c.is_alphabetic() {
+                self.ident(line, col);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                self.number(line, col);
+                continue;
+            }
+            self.operator(line, col);
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_token = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.line_has_token = true;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let owns_line = !self.line_has_token;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            owns_line,
+        });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let owns_line = !self.line_has_token;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            owns_line,
+        });
+    }
+
+    /// Consumes a plain or byte string body starting at the opening quote.
+    fn string(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        text.extend(self.bump()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.extend(self.bump());
+                text.extend(self.bump());
+                continue;
+            }
+            text.push(c);
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Str, text, line, col);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` at the current
+    /// position. Returns false when the position is not a raw/byte string
+    /// (e.g. an identifier starting with `r` or `b`).
+    fn raw_or_byte_string(&mut self, line: usize, col: usize) -> bool {
+        let c = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        if c != 'r' && c != 'b' {
+            return false;
+        }
+        // Look past the `r` / `b` / `br` prefix for `#...#"` or `"`.
+        let mut idx = 1;
+        if c == 'b' && self.peek(1) == Some('r') {
+            idx = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(idx + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(idx + hashes) != Some('"') {
+            // `b"…"` without `r` and without hashes is a plain byte string.
+            if c == 'b' && hashes == 0 && self.peek(1) == Some('"') {
+                let mut text = String::new();
+                text.extend(self.bump()); // b
+                self.string_into(&mut text);
+                self.push_token(TokenKind::Str, text, line, col);
+                return true;
+            }
+            return false;
+        }
+        if c == 'b' && idx == 1 {
+            // `b#…` is not valid Rust; treat as identifier territory.
+            return false;
+        }
+        // Raw string: consume prefix, hashes, quote, then scan for the
+        // closing `"` followed by the same number of hashes.
+        let mut text = String::new();
+        for _ in 0..(idx + hashes + 1) {
+            text.extend(self.bump());
+        }
+        loop {
+            let c = match self.bump() {
+                Some(c) => c,
+                None => break,
+            };
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    text.extend(self.bump());
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push_token(TokenKind::Str, text, line, col);
+        true
+    }
+
+    /// Appends a plain string (starting at the opening quote) to `text`.
+    fn string_into(&mut self, text: &mut String) {
+        text.extend(self.bump()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.extend(self.bump());
+                text.extend(self.bump());
+                continue;
+            }
+            text.push(c);
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        // `'a'` / `'\n'` are char literals; `'a` / `'static` are
+        // lifetimes. Disambiguation: a backslash or a closing quote two
+        // characters ahead means char literal.
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => true, // `''` or `'\''`-ish degenerate cases
+        };
+        let mut text = String::new();
+        text.extend(self.bump()); // opening quote
+        if is_char {
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.extend(self.bump());
+                    text.extend(self.bump());
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Char, text, line, col);
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn ident(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut is_float = false;
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        if radix_prefixed {
+            text.extend(self.bump());
+            text.extend(self.bump());
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.digits_into(&mut text);
+            // Fractional part: `.` must be followed by a digit, otherwise
+            // it is a method call (`1.max(2)`) or a range (`1..5`).
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.extend(self.bump());
+                self.digits_into(&mut text);
+            }
+            // Exponent: only for decimal literals.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign_len = usize::from(matches!(self.peek(1), Some('+') | Some('-')));
+                if self.peek(1 + sign_len).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    for _ in 0..(1 + sign_len) {
+                        text.extend(self.bump());
+                    }
+                    self.digits_into(&mut text);
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …). An `f` suffix makes it a float.
+        if self.peek(0).is_some_and(|c| c == '_' || c.is_alphabetic()) {
+            if self.peek(0) == Some('f') && !radix_prefixed {
+                is_float = true;
+            }
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push_token(kind, text, line, col);
+    }
+
+    fn digits_into(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn operator(&mut self, line: usize, col: usize) {
+        for op in OPS {
+            let len = op.chars().count();
+            let matches = op
+                .chars()
+                .enumerate()
+                .all(|(i, expected)| self.peek(i) == Some(expected));
+            if matches {
+                for _ in 0..len {
+                    self.bump();
+                }
+                self.push_token(TokenKind::Op, op.to_string(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push_token(TokenKind::Op, c.to_string(), line, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        assert_eq!(texts("a.unwrap()"), ["a", ".", "unwrap", "(", ")"]);
+        assert_eq!(texts("x == 0.0"), ["x", "==", "0.0"]);
+        assert_eq!(texts("a..=b"), ["a", "..=", "b"]);
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let out = lex("let x = 1; // foo.unwrap()\n/* panic!() */ let y = 2;");
+        assert!(out.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(out.tokens.iter().all(|t| t.text != "panic"));
+        assert_eq!(out.comments.len(), 2);
+        assert!(!out.comments[0].owns_line);
+        assert!(out.comments[1].owns_line);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let out = lex("/* a /* b */ c */ token");
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "token");
+    }
+
+    #[test]
+    fn strings_swallow_contents() {
+        let out = lex(r#"let s = "calls .unwrap() and panic!";"#);
+        assert!(out.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings() {
+        let out = lex(r###"let s = r#"embedded "quote" and unwrap()"#; x"###);
+        assert!(out.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(out.tokens.last().map(|t| t.text.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let out = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let kinds: Vec<TokenKind> = lex("1 1.5 1e3 0x1E 2f64 1_000 3.0f32 1.max(2)")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokenKind::Int);
+        assert_eq!(kinds[1], TokenKind::Float);
+        assert_eq!(kinds[2], TokenKind::Float);
+        assert_eq!(kinds[3], TokenKind::Int); // hex, not a float exponent
+        assert_eq!(kinds[4], TokenKind::Float);
+        assert_eq!(kinds[5], TokenKind::Int);
+        assert_eq!(kinds[6], TokenKind::Float);
+        assert_eq!(kinds[7], TokenKind::Int); // `1.max` is not a float
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+}

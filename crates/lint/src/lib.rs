@@ -1,0 +1,41 @@
+//! `dynawave-lint` ("dynalint") — hermetic in-tree static analysis.
+//!
+//! PR 1 made the workspace hermetic and bit-reproducible *by
+//! construction*; this crate makes those properties hold *by
+//! enforcement*. It is a zero-dependency linter with a hand-rolled Rust
+//! lexer (so rules never fire inside string literals, comments or doc
+//! examples) and six rules:
+//!
+//! * **D001** — `.unwrap()` / `.expect()` in non-test library code.
+//! * **D002** — `panic!` / `todo!` / `unimplemented!` outside tests/bins.
+//! * **D003** — float `==` / `!=` comparisons (literal heuristic).
+//! * **D004** — nondeterminism sources (`std::time`, `thread::sleep`,
+//!   `std::env`, `HashMap`/`HashSet` randomized iteration) outside the
+//!   `bench`/`testkit` harness crates.
+//! * **D005** — non-`path` dependencies in any `Cargo.toml`.
+//! * **D006** — `unsafe` anywhere, tests included.
+//!
+//! Individual lines opt out with an audited suppression:
+//!
+//! ```text
+//! let x = v.last().expect("…"); // dynalint:allow(D001) -- checked non-empty above
+//! ```
+//!
+//! A reason after `--` is mandatory; a suppression without one is itself
+//! a finding (D000). Pre-existing violations live in `lint-baseline.toml`
+//! at the workspace root, which only ever ratchets down: new findings
+//! fail, fixed ones are reported as stale baseline entries.
+//!
+//! Run it via `cargo run -p dynawave-lint --release` (wired into `ci.sh`)
+//! or use [`walk::lint_workspace`] programmatically.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{Baseline, BaselineReport};
+pub use rules::{classify, lint_manifest, lint_rust_source, FileKind, Finding, RuleId};

@@ -1,0 +1,157 @@
+//! CLI for `dynawave-lint`.
+//!
+//! ```text
+//! dynawave-lint [ROOT] [--no-baseline] [--update-baseline] [--verbose]
+//! ```
+//!
+//! Walks the workspace at `ROOT` (default: the nearest ancestor of the
+//! current directory containing `lint-baseline.toml` or a workspace
+//! `Cargo.toml`), lints every `.rs` and `Cargo.toml`, subtracts the
+//! committed baseline and exits nonzero on any new finding. Findings are
+//! printed as `file:line:col: RULE: message` so terminals make them
+//! clickable.
+
+use dynawave_lint::{walk, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    use_baseline: bool,
+    update_baseline: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::new(),
+        use_baseline: true,
+        update_baseline: false,
+        verbose: false,
+    };
+    let mut root: Option<PathBuf> = None;
+    // dynalint:allow(D004) -- CLI arguments are the tool's intended input
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-baseline" => opts.use_baseline = false,
+            "--update-baseline" => opts.update_baseline = true,
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dynawave-lint [ROOT] [--no-baseline] [--update-baseline] \
+                            [--verbose]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    opts.root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the workspace root, identified
+/// by `lint-baseline.toml` or a `Cargo.toml` declaring `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("lint-baseline.toml").is_file() {
+            return Ok(dir);
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match walk::lint_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dynawave-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts.root.join("lint-baseline.toml");
+    if opts.update_baseline {
+        let rendered = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &rendered) {
+            eprintln!(
+                "dynawave-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} findings grandfathered)",
+            baseline_path.display(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.use_baseline && baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dynawave-lint: cannot read baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dynawave-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let report = baseline.check(&findings);
+    for f in &report.new {
+        println!("{f}");
+    }
+    for (key, allowed, found) in &report.stale {
+        println!(
+            "stale baseline entry {key}: allows {allowed}, found {found} — \
+             ratchet down with --update-baseline"
+        );
+    }
+    if opts.verbose || !report.new.is_empty() {
+        println!(
+            "dynawave-lint: {} new, {} baselined, {} stale baseline entries",
+            report.new.len(),
+            report.baselined,
+            report.stale.len()
+        );
+    }
+    if report.new.is_empty() {
+        if opts.verbose {
+            println!("dynawave-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,624 @@
+//! The dynalint rule engine: file classification, `#[cfg(test)]` region
+//! tracking, inline suppressions and the D001–D006 rules themselves.
+//!
+//! | Rule | Fires on | Why |
+//! |------|----------|-----|
+//! | D001 | `.unwrap()` / `.expect(…)` in non-test library code | library panics abort whole experiment runs |
+//! | D002 | `panic!` / `todo!` / `unimplemented!` outside tests and bins | same; use the crate error types |
+//! | D003 | `==` / `!=` against a float literal | bit-level float equality is almost never intended |
+//! | D004 | `std::time`, `thread::sleep`, `std::env`, `Instant`, `SystemTime`, `HashMap`, `HashSet` outside the harness crates | wall-clock, environment and randomized hash iteration break bit-reproducibility |
+//! | D005 | non-`path` dependencies in any `Cargo.toml` | the workspace is hermetic by policy |
+//! | D006 | `unsafe` anywhere | `#![forbid(unsafe_code)]` is workspace policy |
+//! | D000 | malformed `dynalint:allow` suppressions | suppressions must name rules and carry a reason |
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Malformed or reason-less `dynalint:allow` comment.
+    D000,
+    /// `unwrap()` / `expect()` in non-test library code.
+    D001,
+    /// `panic!` / `todo!` / `unimplemented!` outside tests and bins.
+    D002,
+    /// Float `==` / `!=` comparison.
+    D003,
+    /// Nondeterminism source outside the harness crates.
+    D004,
+    /// External (non-path) dependency in a manifest.
+    D005,
+    /// `unsafe` block or function.
+    D006,
+}
+
+impl RuleId {
+    /// All real rules, in order (excludes the D000 meta-rule).
+    pub const ALL: [RuleId; 6] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::D005,
+        RuleId::D006,
+    ];
+
+    /// Parses `"D001"` → [`RuleId::D001`]; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D000" => Some(RuleId::D000),
+            "D001" => Some(RuleId::D001),
+            "D002" => Some(RuleId::D002),
+            "D003" => Some(RuleId::D003),
+            "D004" => Some(RuleId::D004),
+            "D005" => Some(RuleId::D005),
+            "D006" => Some(RuleId::D006),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (`"D001"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D000 => "D000",
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding, pointing at a `file:line:col` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the workspace, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under `crates/*/src` (not `src/bin`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Test, bench or example source (`tests/**`, `benches/**`,
+    /// `examples/**`).
+    Test,
+    /// Source in a harness crate (`crates/bench`, `crates/testkit`),
+    /// exempt from the determinism and panic-freedom rules.
+    Harness,
+}
+
+/// Classifies a workspace-relative path (with `/` separators).
+pub fn classify(path: &str) -> FileKind {
+    let in_harness = path.starts_with("crates/bench/") || path.starts_with("crates/testkit/");
+    if path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+    {
+        return FileKind::Test;
+    }
+    if in_harness {
+        return FileKind::Harness;
+    }
+    if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// Per-line suppression state parsed from `dynalint:allow` comments.
+struct Suppressions {
+    /// line → rules allowed on that line.
+    allowed: BTreeMap<usize, Vec<RuleId>>,
+    /// Malformed suppressions become D000 findings.
+    errors: Vec<(usize, String)>,
+}
+
+/// Parses `// dynalint:allow(D001, D004) -- reason` comments.
+///
+/// A suppression applies to its own line; a comment that owns its line
+/// (nothing but the comment on it) applies to the next line instead. A
+/// missing rule list or missing `-- reason` is itself a finding (D000):
+/// silent, unexplained suppressions defeat the point of the tool.
+fn parse_suppressions(comments: &[Comment]) -> Suppressions {
+    let mut sup = Suppressions {
+        allowed: BTreeMap::new(),
+        errors: Vec::new(),
+    };
+    for c in comments {
+        // Doc comments mention the marker in prose (like this crate's own
+        // documentation); only plain comments carry directives.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = c.text.find("dynalint:allow") else {
+            continue;
+        };
+        let rest = &c.text[at + "dynalint:allow".len()..];
+        let Some(open) = rest.find('(') else {
+            sup.errors
+                .push((c.line, "dynalint:allow without a rule list".to_string()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            sup.errors
+                .push((c.line, "dynalint:allow with unclosed rule list".to_string()));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for part in rest[open + 1..close].split(',') {
+            match RuleId::parse(part.trim()) {
+                Some(r) => rules.push(r),
+                None => {
+                    sup.errors.push((
+                        c.line,
+                        format!("unknown rule {:?} in dynalint:allow", part.trim()),
+                    ));
+                    bad = true;
+                }
+            }
+        }
+        let after = &rest[close + 1..];
+        let reason = after
+            .split_once("--")
+            .map(|(_, r)| r.trim())
+            .unwrap_or_default();
+        if reason.is_empty() {
+            sup.errors.push((
+                c.line,
+                "dynalint:allow needs a reason: `-- why this is sound`".to_string(),
+            ));
+            bad = true;
+        }
+        if bad || rules.is_empty() {
+            continue;
+        }
+        let target = if c.owns_line { c.line + 1 } else { c.line };
+        sup.allowed.entry(target).or_default().extend(rules);
+    }
+    sup
+}
+
+/// Line ranges covered by `#[test]` / `#[cfg(test)]` items.
+///
+/// Token-level heuristic: after a test attribute, the annotated item
+/// extends to the first `;` before any brace, or to the matching `}` of
+/// the first `{`. Good enough for inline `mod tests { … }` and
+/// `#[test] fn …` items, which is how the workspace writes tests.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr: Vec<&str> = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                t => attr.push(t),
+            }
+            j += 1;
+        }
+        let is_test_attr = attr.first() == Some(&"test")
+            || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes on the same item.
+        let mut k = j;
+        while k < tokens.len()
+            && tokens[k].text == "#"
+            && tokens.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+        {
+            let mut depth = 1usize;
+            k += 2;
+            while k < tokens.len() && depth > 0 {
+                match tokens[k].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Find the item extent.
+        let mut brace_depth = 0usize;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => brace_depth += 1,
+                "}" => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end_line = tokens[k].line;
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if brace_depth == 0 => {
+                    end_line = tokens[k].line;
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[k].line;
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        i = k;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Nondeterministic two-segment paths (`std::time`, `thread::sleep`, …).
+const NONDET_PATHS: [(&str, &str); 6] = [
+    ("std", "time"),
+    ("thread", "sleep"),
+    ("env", "var"),
+    ("env", "vars"),
+    ("env", "var_os"),
+    ("env", "args"),
+];
+
+/// Nondeterministic bare identifiers. `HashMap` / `HashSet` use a
+/// randomized hasher, so their iteration order differs between runs.
+const NONDET_IDENTS: [&str; 4] = ["Instant", "SystemTime", "HashMap", "HashSet"];
+
+/// Lints one Rust source file. `path` must be workspace-relative with
+/// `/` separators; it determines which rules apply (see [`classify`]).
+pub fn lint_rust_source(path: &str, src: &str) -> Vec<Finding> {
+    let kind = classify(path);
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let regions = test_regions(tokens);
+    let sup = parse_suppressions(&lexed.comments);
+    let mut findings = Vec::new();
+    let mut push = |rule: RuleId, tok: &Token, message: String| {
+        findings.push(Finding {
+            rule,
+            file: path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let panic_free_scope = kind == FileKind::Lib;
+    let deterministic_scope = matches!(kind, FileKind::Lib | FileKind::Bin);
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(i + 1);
+        let in_test = in_regions(&regions, tok.line);
+
+        // D006: unsafe anywhere, tests included.
+        if tok.kind == TokenKind::Ident && tok.text == "unsafe" {
+            push(
+                RuleId::D006,
+                tok,
+                "`unsafe` is forbidden workspace-wide".to_string(),
+            );
+        }
+        if in_test {
+            continue;
+        }
+
+        // D001: .unwrap() / .expect( in library code.
+        if panic_free_scope
+            && tok.kind == TokenKind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && prev.is_some_and(|p| p.text == ".")
+            && next.is_some_and(|n| n.text == "(")
+        {
+            push(
+                RuleId::D001,
+                tok,
+                format!(
+                    "`.{}()` in library code; return the crate's error type instead",
+                    tok.text
+                ),
+            );
+        }
+
+        // D002: panic-family macros in library code.
+        if panic_free_scope
+            && tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "panic" | "todo" | "unimplemented")
+            && next.is_some_and(|n| n.text == "!")
+        {
+            push(
+                RuleId::D002,
+                tok,
+                format!("`{}!` in library code; return an error instead", tok.text),
+            );
+        }
+
+        // D003: ==/!= with a float literal on either side.
+        if panic_free_scope && tok.kind == TokenKind::Op && (tok.text == "==" || tok.text == "!=") {
+            let float_neighbor = prev.is_some_and(|p| p.kind == TokenKind::Float)
+                || next.is_some_and(|n| n.kind == TokenKind::Float);
+            if float_neighbor {
+                push(
+                    RuleId::D003,
+                    tok,
+                    format!(
+                        "float `{}` comparison; use an epsilon or `total_cmp`",
+                        tok.text
+                    ),
+                );
+            }
+        }
+
+        // D004: nondeterminism sources outside the harness crates.
+        if deterministic_scope && tok.kind == TokenKind::Ident {
+            if NONDET_IDENTS.contains(&tok.text.as_str()) {
+                push(
+                    RuleId::D004,
+                    tok,
+                    format!(
+                        "`{}` is a nondeterminism source (wall clock / randomized hasher)",
+                        tok.text
+                    ),
+                );
+            }
+            if next.is_some_and(|n| n.text == "::") {
+                if let Some(seg2) = tokens.get(i + 2) {
+                    for (a, b) in NONDET_PATHS {
+                        if tok.text == a && seg2.text == b {
+                            push(
+                                RuleId::D004,
+                                tok,
+                                format!("`{}::{}` is a nondeterminism source", a, b),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    apply_suppressions(findings, sup, path)
+}
+
+/// Drops findings covered by a `dynalint:allow` on their line and appends
+/// D000 findings for malformed suppressions.
+fn apply_suppressions(findings: Vec<Finding>, sup: Suppressions, path: &str) -> Vec<Finding> {
+    let mut kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            !sup.allowed
+                .get(&f.line)
+                .is_some_and(|rules| rules.contains(&f.rule))
+        })
+        .collect();
+    for (line, msg) in sup.errors {
+        kept.push(Finding {
+            rule: RuleId::D000,
+            file: path.to_string(),
+            line,
+            col: 1,
+            message: msg,
+        });
+    }
+    kept.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    kept
+}
+
+/// Lints a `Cargo.toml`. Every entry in a dependency section must be a
+/// `path` dependency (hermetic workspace policy); `workspace = true` is
+/// accepted because `[workspace.dependencies]` itself is checked.
+pub fn lint_manifest(path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.starts_with('[') {
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = section == "dependencies"
+                || section == "dev-dependencies"
+                || section == "build-dependencies"
+                || section == "workspace.dependencies"
+                || (section.starts_with("target.") && section.ends_with("dependencies"));
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let hermetic =
+            value.contains("path") && value.contains('=') || value.contains("workspace = true");
+        if !hermetic {
+            findings.push(Finding {
+                rule: RuleId::D005,
+                file: path.to_string(),
+                line: line_no,
+                col: raw.len() - raw.trim_start().len() + 1,
+                message: format!(
+                    "dependency `{key}` is not a path dependency; the workspace is hermetic"
+                ),
+            });
+        }
+        if value.contains("git") && value.contains('=') && value.contains("//") {
+            findings.push(Finding {
+                rule: RuleId::D005,
+                file: path.to_string(),
+                line: line_no,
+                col: 1,
+                message: format!("dependency `{key}` pulls from git; the workspace is hermetic"),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<RuleId> {
+        lint_rust_source(path, src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_in_lib_only() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_fired(LIB, src), [RuleId::D001]);
+        assert!(rules_fired("crates/demo/src/bin/tool.rs", src).is_empty());
+        assert!(rules_fired("crates/demo/tests/it.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d001_skips_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f(x: Option<u8>) { x.unwrap(); }\n}";
+        assert!(rules_fired(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn d002_fires_on_panic_family() {
+        assert_eq!(
+            rules_fired(LIB, "fn f() { panic!(\"boom\") }"),
+            [RuleId::D002]
+        );
+        assert_eq!(rules_fired(LIB, "fn f() { todo!() }"), [RuleId::D002]);
+        // assert! is allowed: documented contract checks are fine.
+        assert!(rules_fired(LIB, "fn f(x: u8) { assert!(x > 0); }").is_empty());
+    }
+
+    #[test]
+    fn d003_fires_on_float_literal_compare() {
+        assert_eq!(
+            rules_fired(LIB, "fn f(x: f64) -> bool { x == 0.0 }"),
+            [RuleId::D003]
+        );
+        assert_eq!(
+            rules_fired(LIB, "fn f(x: f64) -> bool { 1e-3 != x }"),
+            [RuleId::D003]
+        );
+        assert!(rules_fired(LIB, "fn f(x: u8) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn d004_fires_on_nondeterminism() {
+        assert_eq!(
+            rules_fired(LIB, "use std::time::Instant;"),
+            [RuleId::D004, RuleId::D004] // std::time and Instant
+        );
+        assert_eq!(
+            rules_fired(LIB, "fn f() { let m = HashMap::new(); m.len(); }"),
+            [RuleId::D004]
+        );
+        assert!(rules_fired("crates/testkit/src/lib.rs", "use std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn d006_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { unsafe { } }\n}";
+        assert_eq!(rules_fired(LIB, src), [RuleId::D006]);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // dynalint:allow(D001) -- demo";
+        assert!(rules_fired(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_own_line_covers_next_line() {
+        let src = "// dynalint:allow(D001) -- demo\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(rules_fired(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_d000() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // dynalint:allow(D001)";
+        let fired = rules_fired(LIB, src);
+        assert!(fired.contains(&RuleId::D000));
+        assert!(fired.contains(&RuleId::D001));
+    }
+
+    #[test]
+    fn rules_never_fire_in_strings_or_comments() {
+        let src = "pub fn f() -> &'static str { \"x.unwrap() panic! unsafe\" } // .unwrap()";
+        assert!(rules_fired(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn manifest_path_deps_are_clean() {
+        let src = "[dependencies]\nfoo = { path = \"../foo\" }\nbar = { workspace = true }\n";
+        assert!(lint_manifest("crates/demo/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn manifest_registry_dep_fires() {
+        let src = "[dependencies]\nserde = \"1.0\"\n";
+        let f = lint_manifest("crates/demo/Cargo.toml", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::D005);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn manifest_non_dep_sections_ignored() {
+        let src = "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[[test]]\npath = \"t.rs\"\n";
+        assert!(lint_manifest("crates/demo/Cargo.toml", src).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `.rs` and `Cargo.toml` under the workspace root in a
+//! stable (sorted) order, skipping build output, VCS metadata, lint test
+//! fixtures (which deliberately contain violations) and generated
+//! results. The walker itself uses no wall clock and no randomized data
+//! structure, so two runs over the same tree visit identical sequences.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "results", ".claude"];
+
+/// Errors from walking or reading the workspace.
+#[derive(Debug)]
+pub struct WalkError {
+    /// Path the operation failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error, stringified.
+    pub error: String,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Returns workspace-relative paths (with `/` separators) of every
+/// lintable file under `root`, sorted lexicographically.
+///
+/// # Errors
+///
+/// Returns a [`WalkError`] naming the first unreadable directory.
+pub fn lintable_files(root: &Path) -> Result<Vec<String>, WalkError> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), WalkError> {
+    let entries = fs::read_dir(dir).map_err(|e| WalkError {
+        path: dir.to_path_buf(),
+        error: e.to_string(),
+    })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| WalkError {
+            path: dir.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: Vec<&str> = rel
+                    .components()
+                    .filter_map(|c| c.as_os_str().to_str())
+                    .collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads and lints every lintable file under `root`, returning all
+/// findings in walk order.
+///
+/// # Errors
+///
+/// Returns a [`WalkError`] for the first unreadable file or directory.
+pub fn lint_workspace(root: &Path) -> Result<Vec<crate::rules::Finding>, WalkError> {
+    let mut findings = Vec::new();
+    for rel in lintable_files(root)? {
+        let full = root.join(&rel);
+        let src = fs::read_to_string(&full).map_err(|e| WalkError {
+            path: full.clone(),
+            error: e.to_string(),
+        })?;
+        if rel.ends_with("Cargo.toml") {
+            findings.extend(crate::rules::lint_manifest(&rel, &src));
+        } else {
+            findings.extend(crate::rules::lint_rust_source(&rel, &src));
+        }
+    }
+    Ok(findings)
+}

@@ -1,0 +1,26 @@
+//! D001 negative fixture: unwrap in strings, comments, doc examples,
+//! `#[cfg(test)]` modules and suppressed lines must stay silent.
+
+/// Doc example mentioning `.unwrap()`:
+///
+/// ```
+/// let x: Option<u8> = Some(1);
+/// x.unwrap();
+/// ```
+pub fn in_string() -> &'static str {
+    // a comment calling .unwrap() changes nothing
+    "code in a string: v.unwrap() and v.expect(\"boom\")"
+}
+
+pub fn suppressed(v: &[u8]) -> u8 {
+    *v.first().unwrap() // dynalint:allow(D001) -- fixture demonstrating an audited escape hatch
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+//! D001 positive fixture: unwrap/expect in plain library code must fire.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: &[u8]) -> u8 {
+    *v.last().expect("non-empty")
+}

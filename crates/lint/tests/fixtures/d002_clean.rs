@@ -1,0 +1,20 @@
+//! D002 negative fixture: panics in test modules, strings and asserts
+//! (documented contract checks) must stay silent.
+
+pub fn contract(x: usize) -> usize {
+    assert!(x > 0, "caller contract");
+    x - 1
+}
+
+pub fn message() -> &'static str {
+    "this string says panic!(...) and todo!()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_are_test_machinery() {
+        panic!("expected in tests");
+    }
+}

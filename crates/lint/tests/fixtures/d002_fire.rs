@@ -1,0 +1,8 @@
+//! D002 positive fixture: panic-family macros in library code must fire.
+
+pub fn explode(flag: bool) {
+    if flag {
+        panic!("library code must not panic");
+    }
+    todo!()
+}

@@ -1,0 +1,22 @@
+//! D003 negative fixture: integer equality, epsilon comparisons and
+//! float equality inside tests must stay silent.
+
+pub fn int_eq(x: usize) -> bool {
+    x == 0
+}
+
+pub fn epsilon(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+pub fn range_not_float(i: usize) -> usize {
+    (0..10).map(|k| k + i).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_float_checks_are_test_assertions() {
+        assert!(super::epsilon(0.5, 0.5) == (0.5 == 0.5));
+    }
+}

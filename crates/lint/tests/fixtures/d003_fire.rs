@@ -1,0 +1,9 @@
+//! D003 positive fixture: comparing floats with ==/!= must fire.
+
+pub fn exact_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_one(x: f32) -> bool {
+    1.0f32 != x
+}

@@ -1,0 +1,24 @@
+//! D004 negative fixture: deterministic containers, seeded state and
+//! mentions of timers in strings/comments must stay silent.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_iteration() -> usize {
+    // BTreeMap iterates in key order; no Instant, no SystemTime needed.
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}
+
+pub fn describe() -> &'static str {
+    "strings may say std::time::Instant and HashMap freely"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1u8);
+        assert_eq!(s.len(), 1);
+    }
+}

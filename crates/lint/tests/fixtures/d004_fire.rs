@@ -1,0 +1,19 @@
+//! D004 positive fixture: wall-clock, sleeping, environment reads and
+//! randomized-hash containers must fire in non-harness code.
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(core::time::Duration::from_millis(1));
+}
+
+pub fn env_read() -> Option<String> {
+    std::env::var("SEED").ok()
+}
+
+pub fn randomized_iteration() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}

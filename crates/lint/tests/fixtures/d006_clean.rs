@@ -1,0 +1,8 @@
+//! D006 negative fixture: the word unsafe in strings, comments and doc
+//! text must stay silent.
+
+/// Docs may discuss unsafe code without firing.
+pub fn describe() -> &'static str {
+    // a comment about unsafe { } blocks
+    "this string contains unsafe { } but no actual unsafe block"
+}

@@ -1,0 +1,11 @@
+//! D006 positive fixture: unsafe fires anywhere, even inside tests.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_use_unsafe() {
+        let x = [1u8, 2];
+        let first = unsafe { *x.as_ptr() };
+        assert_eq!(first, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Golden-fixture tests: every rule must fire on its positive fixture
+//! and stay silent on its negative fixture.
+
+use dynawave_lint::{lint_manifest, lint_rust_source, RuleId};
+use std::path::Path;
+
+/// Virtual path that classifies fixtures as plain library code.
+const LIB_PATH: &str = "crates/demo/src/lib.rs";
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn rust_rules(name: &str) -> Vec<RuleId> {
+    lint_rust_source(LIB_PATH, &fixture(name))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn assert_fires(fired: &[RuleId], rule: RuleId, fixture_name: &str) {
+    assert!(
+        fired.contains(&rule),
+        "{fixture_name}: expected {rule} to fire, got {fired:?}"
+    );
+    assert!(
+        fired.iter().all(|&r| r == rule),
+        "{fixture_name}: only {rule} may fire, got {fired:?}"
+    );
+}
+
+#[test]
+fn d001_fires_and_clean() {
+    let fired = rust_rules("d001_fire.rs");
+    assert_fires(&fired, RuleId::D001, "d001_fire.rs");
+    assert_eq!(fired.len(), 2, "one finding per unwrap/expect site");
+    assert_eq!(
+        rust_rules("d001_clean.rs"),
+        [],
+        "d001_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn d002_fires_and_clean() {
+    let fired = rust_rules("d002_fire.rs");
+    assert_fires(&fired, RuleId::D002, "d002_fire.rs");
+    assert_eq!(fired.len(), 2, "panic! and todo! each fire");
+    assert_eq!(
+        rust_rules("d002_clean.rs"),
+        [],
+        "d002_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn d003_fires_and_clean() {
+    let fired = rust_rules("d003_fire.rs");
+    assert_fires(&fired, RuleId::D003, "d003_fire.rs");
+    assert_eq!(fired.len(), 2, "== and != against float literals");
+    assert_eq!(
+        rust_rules("d003_clean.rs"),
+        [],
+        "d003_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn d004_fires_and_clean() {
+    let fired = rust_rules("d004_fire.rs");
+    assert_fires(&fired, RuleId::D004, "d004_fire.rs");
+    assert!(fired.len() >= 4, "clock, sleep, env and HashMap all fire");
+    assert_eq!(
+        rust_rules("d004_clean.rs"),
+        [],
+        "d004_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn d004_exempts_harness_crates() {
+    let src = fixture("d004_fire.rs");
+    assert!(lint_rust_source("crates/bench/src/lib.rs", &src).is_empty());
+    assert!(lint_rust_source("crates/testkit/src/gen.rs", &src).is_empty());
+}
+
+#[test]
+fn d005_fires_and_clean() {
+    let fired: Vec<RuleId> = lint_manifest("crates/demo/Cargo.toml", &fixture("d005_fire.toml"))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_fires(&fired, RuleId::D005, "d005_fire.toml");
+    assert!(fired.len() >= 3, "serde, rand and the git dep all fire");
+    assert!(
+        lint_manifest("crates/demo/Cargo.toml", &fixture("d005_clean.toml")).is_empty(),
+        "d005_clean.toml must be silent"
+    );
+}
+
+#[test]
+fn d006_fires_and_clean() {
+    let fired = rust_rules("d006_fire.rs");
+    assert_fires(&fired, RuleId::D006, "d006_fire.rs");
+    assert_eq!(
+        rust_rules("d006_clean.rs"),
+        [],
+        "d006_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn findings_carry_clickable_spans() {
+    let findings = lint_rust_source(LIB_PATH, &fixture("d001_fire.rs"));
+    let first = &findings[0];
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with(&format!("{}:{}:{}: D001:", LIB_PATH, first.line, first.col)),
+        "expected file:line:col prefix, got {rendered}"
+    );
+    assert!(first.line > 1, "line numbers are 1-based and past the docs");
+}

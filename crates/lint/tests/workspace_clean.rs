@@ -1,0 +1,78 @@
+//! The workspace itself must lint clean against the committed baseline.
+//!
+//! This is the same check `ci.sh` runs via the CLI; having it as a test
+//! means `cargo test` alone catches a PR that introduces a panic site,
+//! a nondeterminism source or an external dependency.
+
+use dynawave_lint::{walk, Baseline};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean_against_baseline() {
+    let root = workspace_root();
+    let findings = walk::lint_workspace(root).expect("workspace is readable");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let report = baseline.check(&findings);
+    assert!(
+        report.new.is_empty(),
+        "new lint findings (fix them or, for audited exceptions, add a \
+         `// dynalint:allow(RULE) -- reason`):\n{}",
+        report
+            .new
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_has_no_stale_entries() {
+    let root = workspace_root();
+    let findings = walk::lint_workspace(root).expect("workspace is readable");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let report = baseline.check(&findings);
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries — ratchet down with \
+         `cargo run -p dynawave-lint -- --update-baseline`: {:?}",
+        report.stale
+    );
+}
+
+#[test]
+fn baseline_is_small_and_shrinking() {
+    // The seed tree had 26 D001/D002 findings; the committed baseline
+    // must stay under half of that so the ratchet only ever tightens.
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let panics_allowed: usize = baseline_text
+        .lines()
+        .filter(|l| l.contains(":D001\"") || l.contains(":D002\""))
+        .filter_map(|l| l.split('=').nth(1))
+        .filter_map(|v| v.trim().parse::<usize>().ok())
+        .sum();
+    assert!(
+        panics_allowed <= 13,
+        "D001/D002 allowance grew to {panics_allowed}; the baseline only ratchets down"
+    );
+    assert!(
+        baseline.total_allowance() <= 20,
+        "total baseline allowance grew to {}",
+        baseline.total_allowance()
+    );
+}

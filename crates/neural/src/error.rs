@@ -24,6 +24,12 @@ pub enum ModelError {
     },
     /// An underlying linear-algebra routine failed.
     Numeric(NumericError),
+    /// An internal invariant was violated.
+    ///
+    /// Reaching this is a bug in the library, not a caller error; it
+    /// exists so library code can propagate broken invariants instead of
+    /// panicking (workspace rule D001/D002).
+    Internal(&'static str),
 }
 
 impl fmt::Display for ModelError {
@@ -41,6 +47,7 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            ModelError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -58,9 +58,11 @@ impl LinearModel {
             data.extend_from_slice(xn.row(r));
             data.push(1.0);
         }
-        let design = Matrix::from_vec(n, d + 1, data).expect("design shape");
+        let design = Matrix::from_vec(n, d + 1, data)?;
         let mut w = solve::ridge_regression(&design, y, lambda)?;
-        let bias = w.pop().expect("bias column present");
+        let bias = w
+            .pop()
+            .ok_or(ModelError::Internal("ridge fit returned no weights"))?;
         Ok(LinearModel {
             normalizer,
             weights: w,

@@ -103,6 +103,7 @@ impl Normalizer {
         for r in 0..x.rows() {
             data.extend(self.transform(x.row(r)));
         }
+        // dynalint:allow(D001) -- transform() preserves row length, so the shape always matches
         Matrix::from_vec(x.rows(), x.cols(), data).expect("shape preserved")
     }
 }

@@ -325,7 +325,7 @@ fn forward_select(
                 best = Some((pos, sse));
             }
         }
-        let (pos, _) = best.expect("remaining candidates non-empty");
+        let (pos, _) = best.ok_or(ModelError::Internal("candidate pool exhausted early"))?;
         chosen.push(remaining.swap_remove(pos));
     }
     Ok(chosen.into_iter().map(|i| candidates[i].clone()).collect())
@@ -349,9 +349,9 @@ fn ridge_sse(
             data.push(1.0);
         }
     }
-    let phi = Matrix::from_vec(n, cols, data).expect("design shape");
+    let phi = Matrix::from_vec(n, cols, data)?;
     let w = solve::ridge_regression(&phi, y, params.ridge_lambda)?;
-    let pred = phi.matvec(&w).expect("shapes agree");
+    let pred = phi.matvec(&w)?;
     Ok(y.iter().zip(&pred).map(|(a, p)| (a - p) * (a - p)).sum())
 }
 
@@ -373,7 +373,7 @@ fn fit_weights(
             design.push(1.0);
         }
     }
-    let phi = Matrix::from_vec(n, cols, design).expect("design shape");
+    let phi = Matrix::from_vec(n, cols, design)?;
     let mut w = solve::ridge_regression(&phi, y, params.ridge_lambda)?;
     let bias_weight = if params.bias { w.pop() } else { None };
     Ok((w, bias_weight))

@@ -348,11 +348,7 @@ fn best_split(
     let mut best: Option<(usize, f64, f64)> = None;
     for feature in 0..x.cols() {
         let mut order: Vec<usize> = samples.to_vec();
-        order.sort_by(|&a, &b| {
-            x[(a, feature)]
-                .partial_cmp(&x[(b, feature)])
-                .expect("NaN feature value")
-        });
+        order.sort_by(|&a, &b| x[(a, feature)].total_cmp(&x[(b, feature)]));
         // Prefix sums over the sorted order for O(1) SSE of both sides.
         let mut sum_left = 0.0;
         let mut sumsq_left = 0.0;

@@ -55,7 +55,7 @@ pub fn cross_validate(
                 yt.push(y[r]);
             }
         }
-        let xt = Matrix::from_vec(yt.len(), x.cols(), xt).expect("fold shape");
+        let xt = Matrix::from_vec(yt.len(), x.cols(), xt)?;
         let model = RbfNetwork::fit(&xt, &yt, params)?;
         for r in lo..hi {
             let err = model.predict(x.row(r)) - y[r];
@@ -101,7 +101,7 @@ pub fn grid_search(
             best = Some((i, score));
         }
     }
-    let (idx, cv_mse) = best.expect("candidates non-empty");
+    let (idx, cv_mse) = best.ok_or(ModelError::Internal("no grid-search candidate scored"))?;
     Ok(GridSearchResult {
         params: candidates[idx].clone(),
         cv_mse,

@@ -34,6 +34,7 @@ impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
+            // dynalint:allow(D001) -- documented panic: overflowing usize is unrecoverable
             .expect("matrix dimensions overflow usize");
         Matrix {
             rows,
@@ -169,6 +170,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
+                // dynalint:allow(D003) -- exact-zero skip: only bit-zero entries may be elided
                 if aik == 0.0 {
                     continue;
                 }
@@ -207,6 +209,7 @@ impl Matrix {
             let row = self.row(r);
             for i in 0..self.cols {
                 let ri = row[i];
+                // dynalint:allow(D003) -- exact-zero skip: only bit-zero entries may be elided
                 if ri == 0.0 {
                     continue;
                 }

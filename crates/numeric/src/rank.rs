@@ -19,7 +19,7 @@ use crate::NumericError;
 pub fn ranks(data: &[f64]) -> Vec<f64> {
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in rank input"));
+    order.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -229,7 +229,7 @@ impl Rng {
         assert!(!cdf.is_empty(), "empty CDF");
         let total = cdf[cdf.len() - 1];
         let r = self.next_f64() * total;
-        match cdf.binary_search_by(|w| w.partial_cmp(&r).expect("finite weight")) {
+        match cdf.binary_search_by(|w| w.total_cmp(&r)) {
             Ok(i) | Err(i) => i.min(cdf.len() - 1),
         }
     }

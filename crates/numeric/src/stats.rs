@@ -38,7 +38,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, NumericError> {
         return Err(NumericError::Empty);
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(quantile_sorted(&sorted, q))
 }
 
@@ -103,7 +103,7 @@ impl BoxplotSummary {
             return Err(NumericError::Empty);
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q1 = quantile_sorted(&sorted, 0.25);
         let med = quantile_sorted(&sorted, 0.5);
         let q3 = quantile_sorted(&sorted, 0.75);

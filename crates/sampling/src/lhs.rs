@@ -36,15 +36,16 @@ pub fn sample_with_candidates(
     assert!(n > 0, "cannot draw an empty design");
     assert!(candidates > 0, "need at least one candidate matrix");
     let mut rng = Rng::new(seed);
-    let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
-    for _ in 0..candidates {
-        let unit = lhs_unit(space.dims(), n, &mut rng);
-        let disc = l2_star_squared(&unit);
-        if best.as_ref().is_none_or(|(d, _)| disc < *d) {
-            best = Some((disc, unit));
+    let mut unit = lhs_unit(space.dims(), n, &mut rng);
+    let mut best_disc = l2_star_squared(&unit);
+    for _ in 1..candidates {
+        let trial = lhs_unit(space.dims(), n, &mut rng);
+        let disc = l2_star_squared(&trial);
+        if disc < best_disc {
+            best_disc = disc;
+            unit = trial;
         }
     }
-    let (_, unit) = best.expect("candidates >= 1");
     unit.into_iter()
         .map(|row| unit_to_point(space, &row))
         .collect()

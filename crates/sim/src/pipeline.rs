@@ -126,8 +126,9 @@ impl Simulator {
         let c = &self.config;
         let mut engine = Engine::new(c);
         let mut scratch = IntervalStats::default();
-        for _ in 0..warmup_instructions {
-            let instr = trace.next().expect("warmup within trace length");
+        // The generator produces warmup + samples * interval instructions,
+        // so this prefix always exists; take() makes that panic-free.
+        for instr in trace.by_ref().take(warmup_instructions as usize) {
             engine.step(&instr, &mut scratch);
         }
         self.run_trace_on_engine(engine, trace, opts)

@@ -45,7 +45,7 @@
 //! variables, so CI can widen coverage without touching test code.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use dynawave_numeric::rng::Rng;
 use dynawave_numeric::rng::{derive_seed, splitmix64};

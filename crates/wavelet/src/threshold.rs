@@ -59,7 +59,7 @@ pub fn noise_sigma(dec: &Decomposition) -> f64 {
     // The finest detail band is the last half of the coefficient vector.
     let finest = &dec.as_slice()[n / 2..];
     let mut mags: Vec<f64> = finest.iter().map(|c| c.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    mags.sort_by(|a, b| a.total_cmp(b));
     let median = mags[mags.len() / 2];
     median / 0.6745
 }

@@ -32,11 +32,7 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// Fraction of instructions in `class`.
     pub fn fraction_of(&self, class: OpClass) -> f64 {
-        let idx = OpClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class in ALL");
-        self.class_fractions[idx]
+        self.class_fractions[class.index()]
     }
 
     /// Data footprint in KB (64-byte lines).
@@ -70,11 +66,7 @@ where
     let mut data_pages = HashSet::new();
     for i in trace {
         n += 1;
-        let idx = OpClass::ALL
-            .iter()
-            .position(|&c| c == i.class)
-            .expect("class in ALL");
-        class_counts[idx] += 1;
+        class_counts[i.class.index()] += 1;
         if i.is_branch() {
             branches += 1;
             if i.taken {

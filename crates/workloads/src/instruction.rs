@@ -18,6 +18,19 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    /// Position of this class in [`OpClass::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::Branch => 6,
+        }
+    }
+
     /// All classes, in a stable order.
     pub const ALL: [OpClass; 7] = [
         OpClass::IntAlu,

@@ -1,9 +1,13 @@
 #!/bin/bash
 # Paper-scale runs for the main accuracy figures
 cd /root/repo
-# Tier-1 gate first: hermetic build + tests + formatting. A broken or
-# non-reproducible workspace must not spend hours regenerating figures.
+# Tier-1 gate first: hermetic build + tests + static analysis +
+# formatting. A broken or non-reproducible workspace must not spend
+# hours regenerating figures.
 ./ci.sh || { echo CI_FAILED; exit 1; }
+# Belt-and-braces: the figures below are only trustworthy if the run is
+# bit-reproducible, so re-assert the lint gate explicitly.
+cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
   echo "=== $fig ==="

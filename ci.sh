@@ -8,11 +8,28 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# --chaos adds the deterministic fault-injection pass: every `chaos_`
+# test (seeded FaultPlan runs exercising the recovery ladder) plus the
+# campaign checkpoint/resume suite.
+CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) CHAOS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
 echo "=== cargo build --release --offline ==="
 cargo build --release --offline --workspace
 
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline --workspace
+
+if [ "$CHAOS" = 1 ]; then
+  echo "=== chaos: deterministic fault-injection suite ==="
+  cargo test -q --offline -p dynawave-core chaos
+  cargo test -q --offline -p dynawave-core --test campaign
+fi
 
 echo "=== dynawave-lint ==="
 # Static analysis gate: determinism, panic-freedom, hermetic deps

@@ -19,8 +19,20 @@ use std::time::Instant;
 
 /// Prints the standard experiment banner and returns the env-derived
 /// configuration plus a start instant for the closing footer.
+///
+/// # Panics
+///
+/// Exits with the parse error if a `DYNAWAVE_*` variable is set but
+/// unparseable — a typo'd scale knob must not silently run at a
+/// different scale.
 pub fn start(figure: &str, description: &str) -> (ExperimentConfig, Instant) {
-    let cfg = ExperimentConfig::from_env();
+    let cfg = match ExperimentConfig::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("================================================================");
     println!("dynawave reproduction :: {figure}");
     println!("{description}");

@@ -1,0 +1,816 @@
+//! Fault-tolerant DSE campaigns: checkpoint/resume over simulation units.
+//!
+//! A paper-scale accuracy campaign simulates hundreds of design points per
+//! `(benchmark, metric)` pair before a single model is trained. On shared
+//! clusters those jobs get preempted, killed by OOM sweeps, or rebooted —
+//! and restarting a multi-hour campaign from scratch is the difference
+//! between "ran the full Table 2 sweep" and "gave up".
+//!
+//! This module decomposes an [`ExperimentConfig`] campaign into
+//! [`WorkUnit`]s — one simulated trace per `(benchmark, metric, role,
+//! design-point)` — and journals every completed unit to an append-only,
+//! human-inspectable text file. A killed campaign resumes by replaying the
+//! journal: completed units are never re-simulated, a partially written
+//! trailing line (the kill signature) is dropped, and the final report is
+//! **byte-identical** to an uninterrupted run because traces round-trip
+//! through the journal with Rust's shortest-exact float formatting.
+//!
+//! The journal is guarded by a fingerprint of the campaign spec, so a
+//! journal written under one configuration can never silently poison a
+//! resumed run under another.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dynawave_core::campaign::{run_journaled, CampaignSpec};
+//! use dynawave_core::experiment::ExperimentConfig;
+//! use dynawave_core::{report, Metric};
+//! use dynawave_workloads::Benchmark;
+//!
+//! let spec = CampaignSpec::single(Benchmark::Gcc, Metric::Cpi, ExperimentConfig::default());
+//! // Re-running after a kill resumes from the journal instead of
+//! // re-simulating completed units.
+//! let evals = run_journaled(&spec, std::path::Path::new("gcc_cpi.journal"))?;
+//! let doc = report::full_report("gcc / cpi campaign", &evals);
+//! # Ok::<(), dynawave_core::campaign::CampaignError>(())
+//! ```
+
+use crate::dataset::{trace_for, Metric, TraceSet};
+use crate::experiment::{score_model, BenchmarkEvaluation, ExperimentConfig};
+use crate::predictor::WaveletNeuralPredictor;
+use dynawave_neural::ModelError;
+use dynawave_sampling::DesignPoint;
+use dynawave_workloads::Benchmark;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Format tag on the first line of every campaign journal.
+const MAGIC: &str = "dynawave-campaign v1";
+
+/// Whether a design point belongs to the training or the test design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UnitRole {
+    /// Point from the LHS training design.
+    Train,
+    /// Point from the independent random test design.
+    Test,
+}
+
+impl UnitRole {
+    /// Stable lowercase name used in journal lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitRole::Train => "train",
+            UnitRole::Test => "test",
+        }
+    }
+
+    /// Inverse of [`UnitRole::name`].
+    pub fn parse(name: &str) -> Option<UnitRole> {
+        match name {
+            "train" => Some(UnitRole::Train),
+            "test" => Some(UnitRole::Test),
+            _ => None,
+        }
+    }
+}
+
+/// The atomic unit of campaign progress: one simulated dynamics trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Benchmark to simulate.
+    pub benchmark: Benchmark,
+    /// Metric to extract from the run.
+    pub metric: Metric,
+    /// Which design the point belongs to.
+    pub role: UnitRole,
+    /// Index of the point within its design.
+    pub point_index: usize,
+}
+
+impl WorkUnit {
+    /// The unit's stable journal key, e.g. `gcc cpi train 17`.
+    pub fn key(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.benchmark.name(),
+            self.metric.name(),
+            self.role.name(),
+            self.point_index
+        )
+    }
+}
+
+/// What a campaign runs: which `(benchmark, metric)` pairs, at what scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Benchmarks to evaluate, in order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Metrics to evaluate per benchmark, in order.
+    pub metrics: Vec<Metric>,
+    /// Scale, seeds and predictor hyper-parameters.
+    pub config: ExperimentConfig,
+}
+
+impl CampaignSpec {
+    /// A one-pair campaign.
+    pub fn single(benchmark: Benchmark, metric: Metric, config: ExperimentConfig) -> Self {
+        CampaignSpec {
+            benchmarks: vec![benchmark],
+            metrics: vec![metric],
+            config,
+        }
+    }
+
+    /// A deterministic fingerprint of every spec field. Journals record it
+    /// so a resume under a different configuration is rejected instead of
+    /// silently mixing incompatible traces.
+    pub fn fingerprint(&self) -> u64 {
+        let names: Vec<&str> = self.benchmarks.iter().map(|b| b.name()).collect();
+        let metrics: Vec<&str> = self.metrics.iter().map(|m| m.name()).collect();
+        fnv1a64(&format!("{names:?}|{metrics:?}|{:?}", self.config))
+    }
+
+    /// Total number of work units in this campaign.
+    pub fn unit_count(&self) -> usize {
+        self.benchmarks.len()
+            * self.metrics.len()
+            * (self.config.train_points + self.config.test_points)
+    }
+}
+
+/// 64-bit FNV-1a over a canonical spec description. Not cryptographic —
+/// it guards against configuration mix-ups, not adversaries.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors raised while journaling or resuming a campaign.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The journal does not start with the expected magic line.
+    BadMagic,
+    /// A structural journal line was missing or malformed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected there.
+        expected: &'static str,
+    },
+    /// The journal was written under a different campaign spec.
+    SpecMismatch {
+        /// Fingerprint of the spec being resumed.
+        expected: u64,
+        /// Fingerprint recorded in the journal.
+        found: u64,
+    },
+    /// A journaled trace value was NaN or infinite.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A unit line names a benchmark/metric/point outside this campaign.
+    UnknownUnit {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A journaled trace has the wrong number of samples.
+    BadTraceLength {
+        /// 1-based line number.
+        line: usize,
+        /// Samples the spec requires.
+        expected: usize,
+        /// Samples found on the line.
+        got: usize,
+    },
+    /// The campaign still has pending units.
+    Incomplete {
+        /// Units not yet simulated.
+        remaining: usize,
+    },
+    /// Model training failed (possible only under a restrictive
+    /// [`crate::RecoveryPolicy`]).
+    Model(ModelError),
+    /// A journal file operation failed.
+    Io(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::BadMagic => write!(f, "not a dynawave campaign journal"),
+            CampaignError::Malformed { line, expected } => {
+                write!(f, "malformed journal at line {line}: expected {expected}")
+            }
+            CampaignError::SpecMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different campaign: \
+                 spec fingerprint {expected:016x}, journal has {found:016x}"
+            ),
+            CampaignError::NonFinite { line } => {
+                write!(f, "non-finite trace value in journal at line {line}")
+            }
+            CampaignError::UnknownUnit { line } => {
+                write!(f, "journal line {line} names a unit outside this campaign")
+            }
+            CampaignError::BadTraceLength {
+                line,
+                expected,
+                got,
+            } => write!(
+                f,
+                "journal line {line}: trace has {got} samples, spec requires {expected}"
+            ),
+            CampaignError::Incomplete { remaining } => {
+                write!(f, "campaign has {remaining} pending units")
+            }
+            CampaignError::Model(e) => write!(f, "model training failed: {e}"),
+            CampaignError::Io(msg) => write!(f, "journal I/O failed: {msg}"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CampaignError {
+    fn from(e: ModelError) -> Self {
+        CampaignError::Model(e)
+    }
+}
+
+/// Executes a campaign one [`WorkUnit`] at a time, tracking completion so
+/// an interrupted campaign resumes exactly where it stopped.
+///
+/// The runner itself is storage-agnostic: [`CampaignRunner::run_next`]
+/// hands back the journal line for each completed unit and
+/// [`CampaignRunner::resume`] rebuilds state from journal text. The
+/// file-backed driver is [`run_journaled`].
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    spec: CampaignSpec,
+    units: Vec<WorkUnit>,
+    /// Journal key → index into `units` (BTreeMap keeps iteration and
+    /// therefore behavior deterministic; workspace rule D004 bans
+    /// HashMap in library code).
+    index: BTreeMap<String, usize>,
+    /// Completed unit index → simulated trace.
+    completed: BTreeMap<usize, Vec<f64>>,
+    train_design: Vec<DesignPoint>,
+    test_design: Vec<DesignPoint>,
+    /// Index of the next pending unit (units complete in order on a
+    /// single runner; resume may leave arbitrary holes, which
+    /// `next_pending` skips over).
+    cursor: usize,
+}
+
+impl CampaignRunner {
+    /// Starts a fresh campaign with every unit pending.
+    pub fn new(spec: CampaignSpec) -> Self {
+        let mut units = Vec::with_capacity(spec.unit_count());
+        for &benchmark in &spec.benchmarks {
+            for &metric in &spec.metrics {
+                for (role, count) in [
+                    (UnitRole::Train, spec.config.train_points),
+                    (UnitRole::Test, spec.config.test_points),
+                ] {
+                    for point_index in 0..count {
+                        units.push(WorkUnit {
+                            benchmark,
+                            metric,
+                            role,
+                            point_index,
+                        });
+                    }
+                }
+            }
+        }
+        let index = units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.key(), i))
+            .collect();
+        let train_design = spec.config.train_design();
+        let test_design = spec.config.test_design();
+        CampaignRunner {
+            spec,
+            units,
+            index,
+            completed: BTreeMap::new(),
+            train_design,
+            test_design,
+            cursor: 0,
+        }
+    }
+
+    /// Rebuilds a runner from journal text written by a previous
+    /// (possibly killed) run.
+    ///
+    /// A trailing line without a terminating newline is treated as the
+    /// partial write of a killed process and dropped; every
+    /// newline-terminated line must parse cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::BadMagic`] / [`CampaignError::Malformed`] for a
+    /// broken header, [`CampaignError::SpecMismatch`] if the journal was
+    /// written under a different spec, and per-line errors for corrupt
+    /// unit records (non-finite values, wrong trace length, unknown
+    /// units).
+    pub fn resume(spec: CampaignSpec, journal: &str) -> Result<Self, CampaignError> {
+        let mut runner = CampaignRunner::new(spec);
+        // Only newline-terminated lines are trustworthy: a kill mid-write
+        // leaves a partial final line, which resume must ignore.
+        let complete = match journal.rfind('\n') {
+            Some(last) => &journal[..=last],
+            None => "",
+        };
+        let mut lines = complete.lines().enumerate();
+        let (_, magic) = lines.next().ok_or(CampaignError::Malformed {
+            line: 1,
+            expected: "magic header",
+        })?;
+        if magic != MAGIC {
+            return Err(CampaignError::BadMagic);
+        }
+        let (_, fp_line) = lines.next().ok_or(CampaignError::Malformed {
+            line: 2,
+            expected: "fingerprint <hex>",
+        })?;
+        let found = fp_line
+            .strip_prefix("fingerprint ")
+            .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+            .ok_or(CampaignError::Malformed {
+                line: 2,
+                expected: "fingerprint <hex>",
+            })?;
+        let expected = runner.spec.fingerprint();
+        if found != expected {
+            return Err(CampaignError::SpecMismatch { expected, found });
+        }
+        for (i, l) in lines {
+            let line = i + 1;
+            if l.trim().is_empty() {
+                continue;
+            }
+            let mut parts = l.split_whitespace();
+            if parts.next() != Some("unit") {
+                return Err(CampaignError::Malformed {
+                    line,
+                    expected: "unit <benchmark> <metric> <train|test> <index> <samples...>",
+                });
+            }
+            let (bench, metric, role, idx) = match (
+                parts.next().and_then(Benchmark::from_name),
+                parts.next().and_then(Metric::parse),
+                parts.next().and_then(UnitRole::parse),
+                parts.next().and_then(|v| v.parse::<usize>().ok()),
+            ) {
+                (Some(b), Some(m), Some(r), Some(i)) => (b, m, r, i),
+                _ => return Err(CampaignError::UnknownUnit { line }),
+            };
+            let key = WorkUnit {
+                benchmark: bench,
+                metric,
+                role,
+                point_index: idx,
+            }
+            .key();
+            let unit_index = *runner
+                .index
+                .get(&key)
+                .ok_or(CampaignError::UnknownUnit { line })?;
+            let mut trace = Vec::with_capacity(runner.spec.config.samples);
+            for p in parts {
+                let v: f64 = p.parse().map_err(|_| CampaignError::Malformed {
+                    line,
+                    expected: "floating-point trace sample",
+                })?;
+                if !v.is_finite() {
+                    return Err(CampaignError::NonFinite { line });
+                }
+                trace.push(v);
+            }
+            if trace.len() != runner.spec.config.samples {
+                return Err(CampaignError::BadTraceLength {
+                    line,
+                    expected: runner.spec.config.samples,
+                    got: trace.len(),
+                });
+            }
+            runner.completed.insert(unit_index, trace);
+        }
+        Ok(runner)
+    }
+
+    /// The campaign spec this runner executes.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// All work units, in execution order.
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Number of completed units.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Number of still-pending units.
+    pub fn remaining(&self) -> usize {
+        self.units.len() - self.completed.len()
+    }
+
+    /// `true` when every unit has a trace.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.units.len()
+    }
+
+    fn next_pending(&self) -> Option<usize> {
+        (self.cursor..self.units.len()).find(|i| !self.completed.contains_key(i))
+    }
+
+    fn design_point(&self, unit: &WorkUnit) -> &DesignPoint {
+        match unit.role {
+            UnitRole::Train => &self.train_design[unit.point_index],
+            UnitRole::Test => &self.test_design[unit.point_index],
+        }
+    }
+
+    /// Simulates the next pending unit and records its trace. Returns the
+    /// unit and its newline-terminated journal line, or `None` when the
+    /// campaign is complete. Append the line to durable storage *before*
+    /// acting on the result to keep the journal ahead of the computation.
+    pub fn run_next(&mut self) -> Option<(WorkUnit, String)> {
+        let i = self.next_pending()?;
+        self.cursor = i;
+        let unit = self.units[i];
+        let trace = trace_for(
+            unit.benchmark,
+            self.design_point(&unit),
+            unit.metric,
+            &self.spec.config.sim_options(),
+        );
+        let line = journal_line(&unit, &trace);
+        self.completed.insert(i, trace);
+        Some((unit, line))
+    }
+
+    /// The full journal text for the current state: header plus one line
+    /// per completed unit, in execution order. Writing this to disk
+    /// produces a journal that [`CampaignRunner::resume`] accepts and
+    /// that is free of any partial tail.
+    pub fn journal(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:016x}\n", self.spec.fingerprint()));
+        for (&i, trace) in &self.completed {
+            out.push_str(&journal_line(&self.units[i], trace));
+        }
+        out
+    }
+
+    /// Trains, predicts and scores every `(benchmark, metric)` pair from
+    /// the completed traces, using the spec's recovery policy (see
+    /// [`ExperimentConfig::recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Incomplete`] while units are pending;
+    /// [`CampaignError::Model`] if training fails outright (possible only
+    /// under a restrictive recovery policy).
+    pub fn finish(&self) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+        if !self.is_complete() {
+            return Err(CampaignError::Incomplete {
+                remaining: self.remaining(),
+            });
+        }
+        let cfg = &self.spec.config;
+        let mut evals = Vec::new();
+        for &benchmark in &self.spec.benchmarks {
+            for &metric in &self.spec.metrics {
+                let gather = |role: UnitRole| -> Vec<Vec<f64>> {
+                    self.units
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, u)| {
+                            u.benchmark == benchmark && u.metric == metric && u.role == role
+                        })
+                        .filter_map(|(i, _)| self.completed.get(&i).cloned())
+                        .collect()
+                };
+                let train = TraceSet {
+                    benchmark,
+                    metric,
+                    points: self.train_design.clone(),
+                    traces: gather(UnitRole::Train),
+                };
+                let (model, degradation) =
+                    WaveletNeuralPredictor::train_resilient(&train, &cfg.predictor, &cfg.recovery)?;
+                let test = TraceSet {
+                    benchmark,
+                    metric,
+                    points: self.test_design.clone(),
+                    traces: gather(UnitRole::Test),
+                };
+                let mut eval = score_model(benchmark, metric, model, test);
+                eval.degradation = degradation;
+                evals.push(eval);
+            }
+        }
+        Ok(evals)
+    }
+}
+
+/// Formats one completed unit as its journal line (newline-terminated).
+/// Floats use Rust's shortest round-trip representation, which is what
+/// makes a resumed campaign bit-identical to an uninterrupted one.
+fn journal_line(unit: &WorkUnit, trace: &[f64]) -> String {
+    let mut line = String::from("unit ");
+    line.push_str(&unit.key());
+    for v in trace {
+        line.push(' ');
+        line.push_str(&format!("{v}"));
+    }
+    line.push('\n');
+    line
+}
+
+fn io_err(e: std::io::Error) -> CampaignError {
+    CampaignError::Io(e.to_string())
+}
+
+/// Opens (or creates) the journal at `path` and runs at most `max_units`
+/// pending units, appending each completed unit's line before moving on.
+/// Returns the total number of completed units afterwards.
+///
+/// On resume the journal is first rewritten from the parsed state, which
+/// drops the partial tail a kill may have left behind.
+///
+/// # Errors
+///
+/// Journal parse errors from [`CampaignRunner::resume`] and I/O failures
+/// as [`CampaignError::Io`].
+pub fn advance_journaled(
+    spec: &CampaignSpec,
+    path: &Path,
+    max_units: usize,
+) -> Result<usize, CampaignError> {
+    let mut runner = load_runner(spec, path)?;
+    let mut appended = String::new();
+    for _ in 0..max_units {
+        match runner.run_next() {
+            Some((_, line)) => appended.push_str(&line),
+            None => break,
+        }
+    }
+    append(path, &appended)?;
+    Ok(runner.completed_count())
+}
+
+/// Runs a campaign to completion against the journal at `path` — creating
+/// it, resuming it, or simply finishing from it — and returns the scored
+/// evaluations. Killed runs resume by calling this again with the same
+/// spec and path; the final report is byte-identical either way.
+///
+/// # Errors
+///
+/// Journal parse errors, I/O failures, and model-training failures under
+/// restrictive recovery policies.
+pub fn run_journaled(
+    spec: &CampaignSpec,
+    path: &Path,
+) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+    let mut runner = load_runner(spec, path)?;
+    let mut pending_lines = String::new();
+    while let Some((_, line)) = runner.run_next() {
+        pending_lines.push_str(&line);
+        // Flush in small batches so a kill loses little work; one unit per
+        // write keeps the journal strictly ahead of anything expensive.
+        append(path, &pending_lines)?;
+        pending_lines.clear();
+    }
+    runner.finish()
+}
+
+/// Loads or initializes the journal-backed runner and rewrites the file
+/// so it is partial-tail-free before any new work starts.
+fn load_runner(spec: &CampaignSpec, path: &Path) -> Result<CampaignRunner, CampaignError> {
+    let runner = match std::fs::read_to_string(path) {
+        Ok(text) => CampaignRunner::resume(spec.clone(), &text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => CampaignRunner::new(spec.clone()),
+        Err(e) => return Err(io_err(e)),
+    };
+    std::fs::write(path, runner.journal()).map_err(io_err)?;
+    Ok(runner)
+}
+
+fn append(path: &Path, text: &str) -> Result<(), CampaignError> {
+    if text.is_empty() {
+        return Ok(());
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(io_err)?;
+    f.write_all(text.as_bytes()).map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::single(
+            Benchmark::Eon,
+            Metric::Cpi,
+            ExperimentConfig {
+                train_points: 12,
+                test_points: 4,
+                samples: 16,
+                interval_instructions: 400,
+                seed: 21,
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fresh_campaign_enumerates_units_in_order() {
+        let spec = tiny_spec();
+        let runner = CampaignRunner::new(spec.clone());
+        assert_eq!(runner.units().len(), 16);
+        assert_eq!(runner.units().len(), spec.unit_count());
+        assert_eq!(runner.units()[0].role, UnitRole::Train);
+        assert_eq!(runner.units()[12].role, UnitRole::Test);
+        assert_eq!(runner.units()[3].key(), "eon cpi train 3");
+        assert_eq!(runner.remaining(), 16);
+        assert!(!runner.is_complete());
+    }
+
+    #[test]
+    fn run_to_completion_and_finish() {
+        let mut runner = CampaignRunner::new(tiny_spec());
+        let mut executed = 0;
+        while runner.run_next().is_some() {
+            executed += 1;
+        }
+        assert_eq!(executed, 16);
+        assert!(runner.is_complete());
+        let evals = runner.finish().unwrap();
+        assert_eq!(evals.len(), 1);
+        assert_eq!(evals[0].nmse_per_test.len(), 4);
+        assert!(evals[0].degradation.is_pristine());
+    }
+
+    #[test]
+    fn finish_before_completion_is_rejected() {
+        let mut runner = CampaignRunner::new(tiny_spec());
+        runner.run_next();
+        assert!(matches!(
+            runner.finish(),
+            Err(CampaignError::Incomplete { remaining: 15 })
+        ));
+    }
+
+    #[test]
+    fn journal_roundtrip_restores_progress() {
+        let spec = tiny_spec();
+        let mut runner = CampaignRunner::new(spec.clone());
+        for _ in 0..5 {
+            runner.run_next();
+        }
+        let restored = CampaignRunner::resume(spec, &runner.journal()).unwrap();
+        assert_eq!(restored.completed_count(), 5);
+        assert_eq!(restored.remaining(), 11);
+    }
+
+    #[test]
+    fn resume_drops_partial_tail_but_rejects_corrupt_complete_lines() {
+        let spec = tiny_spec();
+        let mut runner = CampaignRunner::new(spec.clone());
+        for _ in 0..3 {
+            runner.run_next();
+        }
+        let journal = runner.journal();
+        // A kill mid-write: the last line loses its tail (and newline).
+        let cut = journal.len() - 10;
+        let killed = &journal[..cut];
+        let restored = CampaignRunner::resume(spec.clone(), killed).unwrap();
+        assert_eq!(restored.completed_count(), 2);
+        // But a *complete* line with garbage is corruption, not a kill.
+        let corrupt = journal.replacen("unit eon", "unit zzz", 1);
+        assert!(matches!(
+            CampaignRunner::resume(spec, &corrupt),
+            Err(CampaignError::UnknownUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_non_finite_and_short_traces() {
+        let spec = tiny_spec();
+        let mut runner = CampaignRunner::new(spec.clone());
+        runner.run_next();
+        let journal = runner.journal();
+        let header_len = journal.find("unit").unwrap();
+        let (header, unit_line) = journal.split_at(header_len);
+        // Replace the first sample with NaN.
+        let mut parts: Vec<&str> = unit_line.trim_end().split(' ').collect();
+        parts[6] = "NaN";
+        let poisoned = format!("{header}{}\n", parts.join(" "));
+        assert!(matches!(
+            CampaignRunner::resume(spec.clone(), &poisoned),
+            Err(CampaignError::NonFinite { .. })
+        ));
+        // Drop one sample: complete line, wrong length.
+        parts.remove(6);
+        let short = format!("{header}{}\n", parts.join(" "));
+        assert!(matches!(
+            CampaignRunner::resume(spec, &short),
+            Err(CampaignError::BadTraceLength {
+                expected: 16,
+                got: 15,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_other_specs_and_garbage() {
+        let spec = tiny_spec();
+        let runner = CampaignRunner::new(spec.clone());
+        let other = CampaignSpec::single(
+            Benchmark::Mcf,
+            Metric::Power,
+            ExperimentConfig {
+                seed: 999,
+                ..spec.config.clone()
+            },
+        );
+        assert!(matches!(
+            CampaignRunner::resume(other, &runner.journal()),
+            Err(CampaignError::SpecMismatch { .. })
+        ));
+        assert!(matches!(
+            CampaignRunner::resume(spec.clone(), "hello\nworld\n"),
+            Err(CampaignError::BadMagic)
+        ));
+        assert!(CampaignRunner::resume(spec, "").is_err());
+    }
+
+    #[test]
+    fn killed_and_resumed_campaign_report_is_byte_identical() {
+        let spec = tiny_spec();
+        // Uninterrupted reference run.
+        let mut reference = CampaignRunner::new(spec.clone());
+        while reference.run_next().is_some() {}
+        let ref_report = report::full_report("campaign", &reference.finish().unwrap());
+        // Killed after 7 units, mid-line, then resumed from the journal.
+        let mut first = CampaignRunner::new(spec.clone());
+        for _ in 0..7 {
+            first.run_next();
+        }
+        let journal = first.journal();
+        let killed = &journal[..journal.len() - 3];
+        let mut resumed = CampaignRunner::resume(spec, killed).unwrap();
+        assert_eq!(resumed.completed_count(), 6);
+        while resumed.run_next().is_some() {}
+        let resumed_report = report::full_report("campaign", &resumed.finish().unwrap());
+        assert_eq!(ref_report, resumed_report);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_knob() {
+        let spec = tiny_spec();
+        let base = spec.fingerprint();
+        assert_eq!(base, tiny_spec().fingerprint());
+        let mut other = spec.clone();
+        other.config.seed ^= 1;
+        assert_ne!(base, other.fingerprint());
+        let mut other = spec.clone();
+        other.benchmarks.push(Benchmark::Gcc);
+        assert_ne!(base, other.fingerprint());
+        let mut other = spec;
+        other.config.recovery.ridge_escalations += 1;
+        assert_ne!(base, other.fingerprint());
+    }
+}

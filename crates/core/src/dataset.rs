@@ -32,6 +32,17 @@ impl Metric {
             Metric::IqAvf => "iq_avf",
         }
     }
+
+    /// Inverse of [`Metric::name`]: parses a stable lowercase name.
+    pub fn parse(name: &str) -> Option<Metric> {
+        match name {
+            "cpi" => Some(Metric::Cpi),
+            "power" => Some(Metric::Power),
+            "avf" => Some(Metric::Avf),
+            "iq_avf" => Some(Metric::IqAvf),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Metric {
@@ -216,5 +227,13 @@ mod tests {
         assert_eq!(Metric::Cpi.to_string(), "cpi");
         assert_eq!(Metric::IqAvf.to_string(), "iq_avf");
         assert_eq!(Metric::DOMAINS.len(), 3);
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for m in [Metric::Cpi, Metric::Power, Metric::Avf, Metric::IqAvf] {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+        }
+        assert_eq!(Metric::parse("ipc"), None);
     }
 }

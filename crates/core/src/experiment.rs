@@ -14,11 +14,14 @@
 use crate::accuracy::ScenarioClassification;
 use crate::dataset::{collect_traces, Metric, TraceSet};
 use crate::predictor::{PredictorParams, WaveletNeuralPredictor};
+use crate::recovery::{DegradationReport, RecoveryPolicy};
 use dynawave_neural::ModelError;
 use dynawave_numeric::stats::nmse_percent;
 use dynawave_sampling::{lhs, random, DesignSpace, Split};
 use dynawave_sim::SimOptions;
 use dynawave_workloads::Benchmark;
+use std::error::Error;
+use std::fmt;
 
 /// Scale and hyper-parameters of one accuracy experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +40,9 @@ pub struct ExperimentConfig {
     pub predictor: PredictorParams,
     /// Use the 10-parameter space that includes the DVM flag (§5).
     pub with_dvm_parameter: bool,
+    /// How training recovers from per-coefficient fit failures (the full
+    /// ladder by default; see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ExperimentConfig {
@@ -49,30 +55,74 @@ impl Default for ExperimentConfig {
             seed: 0xD15EA5E,
             predictor: PredictorParams::default(),
             with_dvm_parameter: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
 
+/// A `DYNAWAVE_*` environment variable was set but unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// The offending variable.
+    pub name: &'static str,
+    /// Its value as found in the environment.
+    pub value: String,
+    /// What the variable must parse as.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "environment variable {} is set to {:?}, which is not {}; \
+             unset it or supply a valid value",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl Error for EnvConfigError {}
+
 impl ExperimentConfig {
     /// Builds a configuration from `DYNAWAVE_*` environment variables,
-    /// falling back to the paper-scale defaults.
-    pub fn from_env() -> Self {
-        fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+    /// falling back to the paper-scale defaults for unset variables.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvConfigError`] naming the variable, its value and the expected
+    /// type if a variable is **set but unparseable**. A typo like
+    /// `DYNAWAVE_TRAIN=2OO` must abort the campaign loudly, not silently
+    /// run at paper scale.
+    pub fn from_env() -> Result<Self, EnvConfigError> {
+        fn env<T: std::str::FromStr>(
+            name: &'static str,
+            expected: &'static str,
+            default: T,
+        ) -> Result<T, EnvConfigError> {
             // dynalint:allow(D004) -- from_env() is the documented, explicit config entry point
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
+            match std::env::var(name) {
+                Ok(value) => value.parse().map_err(|_| EnvConfigError {
+                    name,
+                    value,
+                    expected,
+                }),
+                Err(_) => Ok(default),
+            }
         }
         let d = ExperimentConfig::default();
-        ExperimentConfig {
-            train_points: env("DYNAWAVE_TRAIN", d.train_points),
-            test_points: env("DYNAWAVE_TEST", d.test_points),
-            samples: env("DYNAWAVE_SAMPLES", d.samples),
-            interval_instructions: env("DYNAWAVE_INTERVAL", d.interval_instructions),
-            seed: env("DYNAWAVE_SEED", d.seed),
+        Ok(ExperimentConfig {
+            train_points: env("DYNAWAVE_TRAIN", "a point count", d.train_points)?,
+            test_points: env("DYNAWAVE_TEST", "a point count", d.test_points)?,
+            samples: env("DYNAWAVE_SAMPLES", "a power-of-two sample count", d.samples)?,
+            interval_instructions: env(
+                "DYNAWAVE_INTERVAL",
+                "an instruction count",
+                d.interval_instructions,
+            )?,
+            seed: env("DYNAWAVE_SEED", "a 64-bit seed", d.seed)?,
             ..d
-        }
+        })
     }
 
     /// The design space this experiment explores.
@@ -127,6 +177,10 @@ pub struct BenchmarkEvaluation {
     pub nmse_per_test: Vec<f64>,
     /// Threshold-classification quality per test point (Figure 13 data).
     pub scenarios: Vec<ScenarioClassification>,
+    /// Which recovery rung each coefficient's model landed on. Pristine
+    /// (all-primary) unless training degraded under its
+    /// [`RecoveryPolicy`].
+    pub degradation: DegradationReport,
 }
 
 impl BenchmarkEvaluation {
@@ -155,11 +209,15 @@ impl BenchmarkEvaluation {
 
 /// Runs the full §3 methodology for one `(benchmark, metric)` pair:
 /// simulate training design → train → simulate test design → predict →
-/// score.
+/// score. Training honours `cfg.recovery`, so with the default policy a
+/// per-coefficient fit failure degrades the affected coefficient (recorded
+/// in [`BenchmarkEvaluation::degradation`]) instead of aborting the run.
 ///
 /// # Errors
 ///
-/// Propagates model-fitting failures.
+/// Propagates model-fitting failures that the recovery policy could not
+/// absorb (always possible under [`RecoveryPolicy::strict`], never under
+/// the default policy).
 pub fn evaluate_benchmark(
     benchmark: Benchmark,
     metric: Metric,
@@ -167,13 +225,19 @@ pub fn evaluate_benchmark(
 ) -> Result<BenchmarkEvaluation, ModelError> {
     let opts = cfg.sim_options();
     let train = collect_traces(benchmark, &cfg.train_design(), metric, &opts);
-    let model = WaveletNeuralPredictor::train(&train, &cfg.predictor)?;
+    let (model, degradation) =
+        WaveletNeuralPredictor::train_resilient(&train, &cfg.predictor, &cfg.recovery)?;
     let test = collect_traces(benchmark, &cfg.test_design(), metric, &opts);
-    Ok(score_model(benchmark, metric, model, test))
+    let mut eval = score_model(benchmark, metric, model, test);
+    eval.degradation = degradation;
+    Ok(eval)
 }
 
 /// Scores an already-trained model against a test [`TraceSet`]. Split out
 /// of [`evaluate_benchmark`] so sweeps can reuse simulated traces.
+///
+/// The returned evaluation carries a pristine [`DegradationReport`]
+/// (callers that trained resiliently overwrite it with the real one).
 pub fn score_model(
     benchmark: Benchmark,
     metric: Metric,
@@ -193,6 +257,7 @@ pub fn score_model(
         .zip(&predictions)
         .map(|(a, p)| ScenarioClassification::evaluate(a, p))
         .collect();
+    let degradation = DegradationReport::healthy(model.coefficient_indices());
     BenchmarkEvaluation {
         benchmark,
         metric,
@@ -201,6 +266,7 @@ pub fn score_model(
         predictions,
         nmse_per_test,
         scenarios,
+        degradation,
     }
 }
 
@@ -249,6 +315,78 @@ mod tests {
         };
         assert_eq!(cfg.space().dims(), 10);
         assert_eq!(cfg.train_design()[0].values().len(), 10);
+    }
+
+    #[test]
+    fn chaos_evaluate_benchmark_survives_injected_fit_faults() {
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        let cfg = tiny_config();
+        let plan = FaultPlan::new(0xFA11)
+            .rate(0.5)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::Singular, FaultKind::NonFinite]);
+        let (out, fault_report) = fault::with_plan(plan, || {
+            evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg)
+        });
+        let eval = out.unwrap();
+        assert!(fault_report.fired > 0, "the plan must actually inject");
+        // Every coefficient is accounted for in the degradation report...
+        assert_eq!(
+            eval.degradation.coefficient_count(),
+            eval.model.coefficient_indices().len()
+        );
+        assert_eq!(
+            eval.degradation.rung_counts().iter().sum::<usize>(),
+            eval.degradation.coefficient_count()
+        );
+        // ...a meaningful share (>=10%) of fits were forced to degrade...
+        let n = eval.degradation.coefficient_count();
+        assert!(
+            eval.degradation.degraded_count() * 10 >= n,
+            "expected >=10% degraded, got {}",
+            eval.degradation
+        );
+        // ...and the campaign still produced finite predictions & scores.
+        assert!(eval.predictions.iter().flatten().all(|v| v.is_finite()));
+        assert!(eval.nmse_per_test.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn from_env_parses_validates_and_defaults() {
+        // All from_env cases share one test: the environment is
+        // process-global and the test harness runs tests in parallel.
+        let vars = [
+            "DYNAWAVE_TRAIN",
+            "DYNAWAVE_TEST",
+            "DYNAWAVE_SAMPLES",
+            "DYNAWAVE_INTERVAL",
+            "DYNAWAVE_SEED",
+        ];
+        for v in vars {
+            std::env::remove_var(v);
+        }
+        // Unset everywhere: the paper-scale defaults.
+        assert_eq!(
+            ExperimentConfig::from_env().unwrap(),
+            ExperimentConfig::default()
+        );
+        // Set and valid: honoured.
+        std::env::set_var("DYNAWAVE_TRAIN", "33");
+        std::env::set_var("DYNAWAVE_SEED", "42");
+        let cfg = ExperimentConfig::from_env().unwrap();
+        assert_eq!(cfg.train_points, 33);
+        assert_eq!(cfg.seed, 42);
+        // Set but unparseable: a descriptive error, not a silent default.
+        std::env::set_var("DYNAWAVE_TRAIN", "2OO");
+        let err = ExperimentConfig::from_env().unwrap_err();
+        assert_eq!(err.name, "DYNAWAVE_TRAIN");
+        assert_eq!(err.value, "2OO");
+        let msg = err.to_string();
+        assert!(msg.contains("DYNAWAVE_TRAIN"), "{msg}");
+        assert!(msg.contains("2OO"), "{msg}");
+        for v in vars {
+            std::env::remove_var(v);
+        }
     }
 
     #[test]

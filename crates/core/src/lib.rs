@@ -49,12 +49,14 @@
 #![deny(missing_docs)]
 
 pub mod accuracy;
+pub mod campaign;
 pub mod cluster;
 mod dataset;
 pub mod experiment;
 pub mod importance;
 pub mod persist;
 mod predictor;
+pub mod recovery;
 pub mod report;
 
 pub use dataset::{collect_domain_traces, collect_traces, trace_for, Metric, TraceSet};
@@ -62,3 +64,4 @@ pub use predictor::{
     CoefficientSelection, ModelKind, PortableCoeffModel, PortableModel, PredictorParams,
     WaveletNeuralPredictor,
 };
+pub use recovery::{CoeffRecovery, DegradationReport, RecoveryPolicy, RecoveryRung};

@@ -47,6 +47,14 @@ pub enum PersistError {
         /// 1-based line number.
         line: usize,
     },
+    /// A float field parsed but was NaN or infinite.
+    ///
+    /// A snapshot with a single non-finite parameter would poison every
+    /// prediction of the loaded model, so it is rejected at parse time.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The parsed snapshot was rejected by the model itself.
     Inconsistent(String),
 }
@@ -60,6 +68,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::BadNumber { line } => {
                 write!(f, "unparseable number at line {line}")
+            }
+            PersistError::NonFinite { line } => {
+                write!(f, "non-finite value at line {line}")
             }
             PersistError::Inconsistent(msg) => write!(f, "inconsistent snapshot: {msg}"),
         }
@@ -115,6 +126,9 @@ pub fn to_string(model: &WaveletNeuralPredictor) -> String {
                 write_vec(&mut out, "weights", weights);
                 out.push_str(&format!("bias {bias}\n"));
             }
+            PortableCoeffModel::Constant(v) => {
+                out.push_str(&format!("model mean {v}\n"));
+            }
         }
         out.push_str("end\n");
     }
@@ -155,8 +169,20 @@ impl<'a> Parser<'a> {
         let (line, parts) = self.tagged(tag)?;
         parts
             .iter()
-            .map(|p| p.parse().map_err(|_| PersistError::BadNumber { line }))
+            .map(|p| {
+                let v: f64 = p.parse().map_err(|_| PersistError::BadNumber { line })?;
+                finite(v, line)
+            })
             .collect()
+    }
+}
+
+/// Accepts only finite floats; `NaN`/`inf` parse fine but poison models.
+fn finite(v: f64, line: usize) -> Result<f64, PersistError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(PersistError::NonFinite { line })
     }
 }
 
@@ -218,7 +244,10 @@ pub fn from_string(text: &str) -> Result<WaveletNeuralPredictor, PersistError> {
                 let (line, parts) = p.tagged("bias")?;
                 let bias = match parts.first().copied() {
                     Some("none") => None,
-                    Some(v) => Some(v.parse().map_err(|_| PersistError::BadNumber { line })?),
+                    Some(v) => {
+                        let b: f64 = v.parse().map_err(|_| PersistError::BadNumber { line })?;
+                        Some(finite(b, line)?)
+                    }
                     None => {
                         return Err(PersistError::Malformed {
                             line,
@@ -254,13 +283,20 @@ pub fn from_string(text: &str) -> Result<WaveletNeuralPredictor, PersistError> {
                     mins,
                     spans,
                     weights,
-                    bias,
+                    bias: finite(bias, line)?,
                 });
+            }
+            Some("mean") => {
+                let v: f64 = parts
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(PersistError::BadNumber { line })?;
+                models.push(PortableCoeffModel::Constant(finite(v, line)?));
             }
             _ => {
                 return Err(PersistError::Malformed {
                     line,
-                    expected: "model rbf|linear",
+                    expected: "model rbf|linear|mean",
                 })
             }
         }
@@ -359,6 +395,79 @@ mod tests {
         assert!(matches!(
             from_string(&corrupted),
             Err(PersistError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_floats() {
+        let model = trained(ModelKind::TreeRbf);
+        let text = to_string(&model);
+        // Corrupt one weight into NaN: parses as a float, must be rejected.
+        let first_weights = text
+            .lines()
+            .find(|l| l.starts_with("weights "))
+            .unwrap()
+            .to_string();
+        let mut parts: Vec<&str> = first_weights.split(' ').collect();
+        parts[1] = "NaN";
+        let poisoned = text.replacen(&first_weights, &parts.join(" "), 1);
+        assert!(matches!(
+            from_string(&poisoned),
+            Err(PersistError::NonFinite { .. })
+        ));
+        let inf_bias = text.lines().find(|l| l.starts_with("bias ")).unwrap();
+        let poisoned = text.replacen(inf_bias, "bias inf", 1);
+        assert!(matches!(
+            from_string(&poisoned),
+            Err(PersistError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_model_roundtrips_and_rejects_non_finite() {
+        use crate::recovery::RecoveryPolicy;
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        // Force every coefficient onto the mean rung to get Constant
+        // sub-models into the snapshot.
+        let mut points = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..12 {
+            points.push(DesignPoint::new(vec![(i % 4) as f64, (i / 4) as f64]));
+            traces.push((0..16).map(|s| 1.0 + 0.1 * (i + s) as f64).collect());
+        }
+        let set = TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points,
+            traces,
+        };
+        let plan = FaultPlan::new(2)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit, FaultSite::RidgeSolve])
+            .kinds(&[FaultKind::Singular]);
+        let (out, _) = fault::with_plan(plan, || {
+            WaveletNeuralPredictor::train_resilient(
+                &set,
+                &PredictorParams::default(),
+                &RecoveryPolicy::default(),
+            )
+        });
+        let (model, degradation) = out.unwrap();
+        assert_eq!(
+            degradation.rung_counts()[3],
+            degradation.coefficient_count()
+        );
+        let text = to_string(&model);
+        assert!(text.contains("model mean "));
+        let restored = from_string(&text).unwrap();
+        let probe = DesignPoint::new(vec![1.0, 2.0]);
+        assert_eq!(model.predict(&probe), restored.predict(&probe));
+        // A NaN mean is rejected at parse time.
+        let first_mean = text.lines().find(|l| l.starts_with("model mean")).unwrap();
+        let poisoned = text.replacen(first_mean, "model mean NaN", 1);
+        assert!(matches!(
+            from_string(&poisoned),
+            Err(PersistError::NonFinite { .. })
         ));
     }
 

@@ -1,6 +1,7 @@
 //! The hybrid neuro-wavelet predictive model (paper §2.3 / Figure 6).
 
 use crate::dataset::TraceSet;
+use crate::recovery::{CoeffRecovery, DegradationReport, RecoveryPolicy, RecoveryRung};
 use dynawave_neural::{LinearModel, ModelError, Normalizer, RbfNetwork, RbfNetworkData, RbfParams};
 use dynawave_numeric::Matrix;
 use dynawave_sampling::DesignPoint;
@@ -67,6 +68,8 @@ impl Default for PredictorParams {
 enum CoeffModel {
     Rbf(RbfNetwork),
     Linear(LinearModel),
+    /// Training-set-mean constant: the last rung of the recovery ladder.
+    Constant(f64),
 }
 
 impl CoeffModel {
@@ -74,6 +77,17 @@ impl CoeffModel {
         match self {
             CoeffModel::Rbf(m) => m.predict(x),
             CoeffModel::Linear(m) => m.predict(x),
+            CoeffModel::Constant(v) => *v,
+        }
+    }
+
+    /// `true` when every fitted parameter is finite (a non-finite model
+    /// predicts NaN everywhere and must be escalated, not kept).
+    fn parameters_are_finite(&self) -> bool {
+        match self {
+            CoeffModel::Rbf(m) => m.parameters_are_finite(),
+            CoeffModel::Linear(m) => m.parameters_are_finite(),
+            CoeffModel::Constant(v) => v.is_finite(),
         }
     }
 }
@@ -104,8 +118,37 @@ impl WaveletNeuralPredictor {
     ///
     /// Returns a [`ModelError`] if the training set is empty, traces have
     /// inconsistent or non-power-of-two lengths, or a regressor fails to
-    /// fit.
+    /// fit. Training fails fast on the first fit failure; use
+    /// [`WaveletNeuralPredictor::train_resilient`] for the recovery-ladder
+    /// variant that degrades instead of aborting.
     pub fn train(train: &TraceSet, params: &PredictorParams) -> Result<Self, ModelError> {
+        let (model, _) = Self::train_resilient(train, params, &RecoveryPolicy::strict())?;
+        Ok(model)
+    }
+
+    /// Trains like [`WaveletNeuralPredictor::train`], but per-coefficient
+    /// fit failures descend a recovery ladder instead of aborting: the
+    /// configured model is retried with escalating ridge regularization,
+    /// then replaced by a ridge-linear fallback, then by the training-set
+    /// mean of the coefficient (see [`RecoveryPolicy`]). The returned
+    /// [`DegradationReport`] records which rung every coefficient landed
+    /// on. Fits that return non-finite parameters are treated as failures
+    /// and escalated.
+    ///
+    /// With the default policy the per-coefficient stage is infallible:
+    /// the mean rung always succeeds on a finite training set.
+    ///
+    /// # Errors
+    ///
+    /// Structural problems (empty set, ragged or non-power-of-two traces)
+    /// are never recoverable and still error. Fit failures error only when
+    /// `policy` forbids the remaining rungs (for example
+    /// [`RecoveryPolicy::strict`]).
+    pub fn train_resilient(
+        train: &TraceSet,
+        params: &PredictorParams,
+        policy: &RecoveryPolicy,
+    ) -> Result<(Self, DegradationReport), ModelError> {
         if train.is_empty() {
             return Err(ModelError::EmptyTrainingSet);
         }
@@ -150,32 +193,26 @@ impl WaveletNeuralPredictor {
         }
         let x = Matrix::from_vec(train.len(), dims, xdata)?;
         // One regressor per selected coefficient; training is independent
-        // per coefficient, which is what keeps each sub-network simple.
+        // per coefficient, which is what keeps each sub-network simple —
+        // and what lets one coefficient degrade without touching the rest.
         let mut models = Vec::with_capacity(indices.len());
+        let mut records = Vec::with_capacity(indices.len());
         for (rank, &idx) in indices.iter().enumerate() {
             let y: Vec<f64> = coeff_rows.iter().map(|row| row[idx]).collect();
-            let model = match params.model {
-                ModelKind::TreeRbf => CoeffModel::Rbf(RbfNetwork::fit(&x, &y, &params.rbf)?),
-                ModelKind::RandomRbf => CoeffModel::Rbf(RbfNetwork::fit_with_random_centers(
-                    &x,
-                    &y,
-                    params.random_centers,
-                    &params.rbf,
-                    rank as u64,
-                )?),
-                ModelKind::Linear => {
-                    CoeffModel::Linear(LinearModel::fit(&x, &y, params.rbf.ridge_lambda)?)
-                }
-            };
+            let (model, record) = fit_coefficient(&x, &y, rank, idx, params, policy)?;
             models.push(model);
+            records.push(record);
         }
-        Ok(WaveletNeuralPredictor {
-            wavelet: params.wavelet,
-            trace_len,
-            indices,
-            models,
-            params: params.clone(),
-        })
+        Ok((
+            WaveletNeuralPredictor {
+                wavelet: params.wavelet,
+                trace_len,
+                indices,
+                models,
+                params: params.clone(),
+            },
+            DegradationReport::from_records(records),
+        ))
     }
 
     /// Forecasts the workload-dynamics trace at a design point.
@@ -189,7 +226,12 @@ impl WaveletNeuralPredictor {
     pub fn predict(&self, point: &DesignPoint) -> Vec<f64> {
         let mut coeffs = vec![0.0; self.trace_len];
         for (&idx, model) in self.indices.iter().zip(&self.models) {
-            coeffs[idx] = model.predict(point.values());
+            let v = model.predict(point.values());
+            // Sanitize at the crate boundary: a non-finite coefficient
+            // (e.g. from a degraded or faulted sub-model) would poison the
+            // whole reconstruction; approximate it with zero like an
+            // unselected coefficient instead.
+            coeffs[idx] = if v.is_finite() { v } else { 0.0 };
         }
         let dec = Decomposition::from_coeffs(coeffs, self.wavelet);
         waverec(&dec).expect("coefficient count matches by construction")
@@ -207,7 +249,7 @@ impl WaveletNeuralPredictor {
             .iter()
             .filter_map(|m| match m {
                 CoeffModel::Rbf(n) => Some(n),
-                CoeffModel::Linear(_) => None,
+                CoeffModel::Linear(_) | CoeffModel::Constant(_) => None,
             })
             .collect()
     }
@@ -241,6 +283,7 @@ impl WaveletNeuralPredictor {
                         weights: lin.weights().to_vec(),
                         bias: lin.bias(),
                     },
+                    CoeffModel::Constant(v) => PortableCoeffModel::Constant(*v),
                 })
                 .collect(),
         }
@@ -284,6 +327,15 @@ impl WaveletNeuralPredictor {
                     bias,
                 } => LinearModel::from_parts(Normalizer::from_parts(mins, spans), weights, bias)
                     .map(CoeffModel::Linear),
+                PortableCoeffModel::Constant(v) => {
+                    if v.is_finite() {
+                        Ok(CoeffModel::Constant(v))
+                    } else {
+                        Err(ModelError::NonFinite {
+                            context: "portable constant sub-model",
+                        })
+                    }
+                }
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(WaveletNeuralPredictor {
@@ -297,6 +349,114 @@ impl WaveletNeuralPredictor {
             },
         })
     }
+}
+
+/// Fits one coefficient's regressor with the configured model kind and an
+/// explicit ridge strength (the knob the recovery ladder escalates).
+fn fit_primary(
+    x: &Matrix,
+    y: &[f64],
+    rank: usize,
+    params: &PredictorParams,
+    lambda: f64,
+) -> Result<CoeffModel, ModelError> {
+    match params.model {
+        ModelKind::TreeRbf => {
+            let rbf = RbfParams {
+                ridge_lambda: lambda,
+                ..params.rbf.clone()
+            };
+            RbfNetwork::fit(x, y, &rbf).map(CoeffModel::Rbf)
+        }
+        ModelKind::RandomRbf => {
+            let rbf = RbfParams {
+                ridge_lambda: lambda,
+                ..params.rbf.clone()
+            };
+            RbfNetwork::fit_with_random_centers(x, y, params.random_centers, &rbf, rank as u64)
+                .map(CoeffModel::Rbf)
+        }
+        ModelKind::Linear => LinearModel::fit(x, y, lambda).map(CoeffModel::Linear),
+    }
+}
+
+/// Walks one coefficient down the recovery ladder until a rung produces a
+/// finite model or `policy` forbids descending further.
+fn fit_coefficient(
+    x: &Matrix,
+    y: &[f64],
+    rank: usize,
+    coefficient: usize,
+    params: &PredictorParams,
+    policy: &RecoveryPolicy,
+) -> Result<(CoeffModel, CoeffRecovery), ModelError> {
+    let mut attempts = 0u32;
+    let mut last_err = ModelError::Internal("recovery ladder made no fit attempt");
+    // Rungs 1–2: the configured model, ridge penalty growing per retry.
+    for escalation in 0..=policy.ridge_escalations {
+        attempts += 1;
+        let lambda = params.rbf.ridge_lambda * policy.ridge_growth.powi(escalation as i32);
+        match fit_primary(x, y, rank, params, lambda) {
+            Ok(model) if model.parameters_are_finite() => {
+                let rung = if escalation == 0 {
+                    RecoveryRung::Primary
+                } else {
+                    RecoveryRung::EscalatedRidge { escalation }
+                };
+                return Ok((
+                    model,
+                    CoeffRecovery {
+                        coefficient,
+                        rung,
+                        attempts,
+                    },
+                ));
+            }
+            Ok(_) => {
+                last_err = ModelError::NonFinite {
+                    context: "coefficient regressor",
+                };
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    // Rung 3: ridge-linear fallback, defined for any non-degenerate design.
+    if policy.allow_linear {
+        attempts += 1;
+        match LinearModel::fit(x, y, params.rbf.ridge_lambda.max(1e-6)) {
+            Ok(m) if m.parameters_are_finite() => {
+                return Ok((
+                    CoeffModel::Linear(m),
+                    CoeffRecovery {
+                        coefficient,
+                        rung: RecoveryRung::LinearFallback,
+                        attempts,
+                    },
+                ));
+            }
+            Ok(_) => {
+                last_err = ModelError::NonFinite {
+                    context: "linear fallback",
+                };
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    // Rung 4: the training-set mean. Infallible: a non-finite mean (which
+    // would require non-finite training targets) degrades to zero.
+    if policy.allow_mean {
+        attempts += 1;
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        return Ok((
+            CoeffModel::Constant(if mean.is_finite() { mean } else { 0.0 }),
+            CoeffRecovery {
+                coefficient,
+                rung: RecoveryRung::MeanFallback,
+                attempts,
+            },
+        ));
+    }
+    Err(last_err)
 }
 
 /// Portable snapshot of a trained [`WaveletNeuralPredictor`].
@@ -328,6 +488,8 @@ pub enum PortableCoeffModel {
         /// Intercept.
         bias: f64,
     },
+    /// A constant (training-set-mean) fallback model.
+    Constant(f64),
 }
 
 #[cfg(test)]
@@ -488,5 +650,122 @@ mod tests {
         let mut set = synthetic_set(4, 32);
         set.traces[2] = vec![0.0; 16];
         assert!(WaveletNeuralPredictor::train(&set, &PredictorParams::default()).is_err());
+    }
+
+    #[test]
+    fn resilient_training_is_pristine_on_clean_data() {
+        let set = synthetic_set(12, 32);
+        let (model, report) = WaveletNeuralPredictor::train_resilient(
+            &set,
+            &PredictorParams::default(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(report.is_pristine());
+        assert_eq!(
+            report.coefficient_count(),
+            model.coefficient_indices().len()
+        );
+        // The report accounts for exactly the selected coefficients.
+        let recorded: Vec<usize> = report.records().iter().map(|r| r.coefficient).collect();
+        assert_eq!(recorded, model.coefficient_indices());
+    }
+
+    #[test]
+    fn chaos_rbf_faults_degrade_to_linear_fallback() {
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        let set = synthetic_set(12, 32);
+        let plan = FaultPlan::new(0xC0FFEE)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::Singular]);
+        let (out, _report) = fault::with_plan(plan, || {
+            WaveletNeuralPredictor::train_resilient(
+                &set,
+                &PredictorParams::default(),
+                &RecoveryPolicy::default(),
+            )
+        });
+        let (model, degradation) = out.unwrap();
+        // Every RBF fit fails, so every coefficient lands on the linear rung.
+        assert_eq!(degradation.rung_counts(), [0, 0, 16, 0]);
+        assert_eq!(degradation.degraded_count(), 16);
+        assert!(model.networks().is_empty());
+        let pred = model.predict(&DesignPoint::new(vec![2.0, 2.0]));
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chaos_non_finite_fits_are_escalated_not_kept() {
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        let set = synthetic_set(12, 32);
+        let plan = FaultPlan::new(7)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::NonFinite]);
+        let (out, _report) = fault::with_plan(plan, || {
+            WaveletNeuralPredictor::train_resilient(
+                &set,
+                &PredictorParams::default(),
+                &RecoveryPolicy::default(),
+            )
+        });
+        let (model, degradation) = out.unwrap();
+        // NaN weights must never survive as a "successful" fit.
+        assert_eq!(degradation.degraded_count(), 16);
+        let pred = model.predict(&DesignPoint::new(vec![1.0, 3.0]));
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chaos_mean_fallback_when_linear_also_fails() {
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        let set = synthetic_set(12, 32);
+        let plan = FaultPlan::new(11)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit, FaultSite::RidgeSolve])
+            .kinds(&[FaultKind::Singular]);
+        let (out, _report) = fault::with_plan(plan, || {
+            WaveletNeuralPredictor::train_resilient(
+                &set,
+                &PredictorParams::default(),
+                &RecoveryPolicy::default(),
+            )
+        });
+        let (model, degradation) = out.unwrap();
+        assert_eq!(degradation.rung_counts(), [0, 0, 0, 16]);
+        // All-constant model still reconstructs a finite trace, and its
+        // portable snapshot round-trips bit-identically.
+        let probe = DesignPoint::new(vec![2.0, 1.0]);
+        let pred = model.predict(&probe);
+        assert!(pred.iter().all(|v| v.is_finite()));
+        let rebuilt = WaveletNeuralPredictor::from_portable(model.to_portable()).unwrap();
+        assert_eq!(pred, rebuilt.predict(&probe));
+    }
+
+    #[test]
+    fn chaos_strict_policy_still_fails_fast() {
+        use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+        let set = synthetic_set(12, 32);
+        let plan = FaultPlan::new(3)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::Singular]);
+        let (out, _report) = fault::with_plan(plan, || {
+            WaveletNeuralPredictor::train(&set, &PredictorParams::default())
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn portable_rejects_non_finite_constant() {
+        let set = synthetic_set(12, 32);
+        let model = WaveletNeuralPredictor::train(&set, &PredictorParams::default()).unwrap();
+        let mut p = model.to_portable();
+        p.models[0] = PortableCoeffModel::Constant(f64::NAN);
+        assert!(matches!(
+            WaveletNeuralPredictor::from_portable(p),
+            Err(ModelError::NonFinite { .. })
+        ));
     }
 }

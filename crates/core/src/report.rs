@@ -6,8 +6,31 @@
 
 use crate::dataset::Metric;
 use crate::experiment::BenchmarkEvaluation;
+use crate::recovery::DegradationReport;
 use dynawave_numeric::stats::BoxplotSummary;
 use std::fmt::Write as _;
+
+/// Renders a model-health paragraph: one line for a pristine model, a
+/// per-coefficient table of recovery rungs otherwise. Degradation must be
+/// *visible* in the archived report, never silent.
+pub fn degradation_section(report: &DegradationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Model health: {report}.\n");
+    if !report.is_pristine() {
+        let _ = writeln!(out, "| coefficient | rung | fit attempts |\n|---|---|---|");
+        for r in report.records().iter().filter(|r| r.rung.level() > 0) {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} |",
+                r.coefficient,
+                r.rung.name(),
+                r.attempts
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
 
 /// Renders one evaluation as a markdown section.
 pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
@@ -44,6 +67,7 @@ pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
         "Predicted coefficients: {:?}\n",
         eval.model.coefficient_indices()
     );
+    out.push_str(&degradation_section(&eval.degradation));
     out
 }
 
@@ -139,5 +163,32 @@ mod tests {
     #[test]
     fn domain_names_are_stable() {
         assert_eq!(domain_names(), ["cpi", "power", "avf"]);
+    }
+
+    #[test]
+    fn degradation_section_reports_health() {
+        use crate::recovery::{CoeffRecovery, RecoveryRung};
+        let healthy = DegradationReport::healthy(&[0, 1]);
+        let text = degradation_section(&healthy);
+        assert!(text.contains("2 primary"));
+        assert!(!text.contains("| coefficient |"), "pristine needs no table");
+        let degraded = DegradationReport::from_records(vec![
+            CoeffRecovery {
+                coefficient: 0,
+                rung: RecoveryRung::Primary,
+                attempts: 1,
+            },
+            CoeffRecovery {
+                coefficient: 5,
+                rung: RecoveryRung::MeanFallback,
+                attempts: 6,
+            },
+        ]);
+        let text = degradation_section(&degraded);
+        assert!(text.contains("| 5 | mean-fallback | 6 |"), "{text}");
+        assert!(
+            !text.contains("| 0 |"),
+            "healthy rows stay out of the table"
+        );
     }
 }

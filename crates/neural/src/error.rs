@@ -24,6 +24,15 @@ pub enum ModelError {
     },
     /// An underlying linear-algebra routine failed.
     Numeric(NumericError),
+    /// A fit produced non-finite (NaN/inf) parameters.
+    ///
+    /// Raised instead of silently keeping a poisoned model: a single
+    /// non-finite weight would turn every downstream prediction into
+    /// NaN. Recovery policies treat this exactly like a solve failure.
+    NonFinite {
+        /// Which fit produced the non-finite parameters.
+        context: &'static str,
+    },
     /// An internal invariant was violated.
     ///
     /// Reaching this is a bug in the library, not a caller error; it
@@ -47,6 +56,9 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            ModelError::NonFinite { context } => {
+                write!(f, "fit produced non-finite parameters: {context}")
+            }
             ModelError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }

@@ -104,6 +104,14 @@ impl LinearModel {
         &self.normalizer
     }
 
+    /// `true` when every fitted parameter (weights and bias) is finite.
+    ///
+    /// A model that fails this check predicts NaN everywhere; recovery
+    /// policies treat it as a failed fit and escalate.
+    pub fn parameters_are_finite(&self) -> bool {
+        self.bias.is_finite() && self.weights.iter().all(|w| w.is_finite())
+    }
+
     /// Rebuilds a model from its parts (see [`LinearModel::weights`],
     /// [`LinearModel::bias`] and [`LinearModel::normalizer`]).
     ///

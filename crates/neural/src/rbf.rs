@@ -3,7 +3,8 @@
 use crate::normalize::Normalizer;
 use crate::tree::{RegressionTree, TreeParams};
 use crate::ModelError;
-use dynawave_numeric::{solve, Matrix};
+use dynawave_numeric::fault::{self, FaultKind, FaultSite};
+use dynawave_numeric::{solve, Matrix, NumericError};
 
 /// Hyper-parameters for [`RbfNetwork::fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -219,12 +220,25 @@ impl RbfNetwork {
     ///
     /// Panics if `x.len()` differs from the training dimensionality.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        // Chaos-test hook: an injected fault here simulates a network that
+        // silently emits NaN, exercising the caller's sanitization.
+        if fault::inject(FaultSite::RbfPredict).is_some() {
+            return f64::NAN;
+        }
         let xn = self.normalizer.transform(x);
         let mut out = self.bias_weight.unwrap_or(0.0);
         for (unit, &w) in self.units.iter().zip(&self.weights) {
             out += w * unit.response(&xn);
         }
         out
+    }
+
+    /// `true` when every fitted parameter (weights and bias) is finite.
+    ///
+    /// A network that fails this check predicts NaN everywhere; recovery
+    /// policies treat it as a failed fit and escalate.
+    pub fn parameters_are_finite(&self) -> bool {
+        self.weights.iter().all(|w| w.is_finite()) && self.bias_weight.is_none_or(f64::is_finite)
     }
 
     /// Predicts targets for every row of `x`.
@@ -361,6 +375,19 @@ fn fit_weights(
     units: &[RbfUnit],
     params: &RbfParams,
 ) -> Result<(Vec<f64>, Option<f64>), ModelError> {
+    // Chaos-test hook: force the output-weight fit to fail (or to return
+    // silently poisoned weights) so recovery ladders can be exercised.
+    if let Some(kind) = fault::inject(FaultSite::RbfWeightFit) {
+        return match kind {
+            FaultKind::Singular => Err(ModelError::Numeric(NumericError::Singular)),
+            FaultKind::EarlyStop => Err(ModelError::Internal(
+                "injected early termination of the weight fit",
+            )),
+            FaultKind::NonFinite => {
+                Ok((vec![f64::NAN; units.len()], params.bias.then_some(f64::NAN)))
+            }
+        };
+    }
     let n = xn.rows();
     let cols = units.len() + usize::from(params.bias);
     let mut design = Vec::with_capacity(n * cols);
@@ -524,6 +551,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(full.unit_count(), capped.unit_count());
+    }
+
+    #[test]
+    fn injected_weight_fit_faults_surface_as_errors_or_nan_weights() {
+        use dynawave_numeric::fault::{with_plan, FaultPlan};
+        let (x, y) = grid_2d(5, |a, b| a + b);
+        for kind in [FaultKind::Singular, FaultKind::EarlyStop] {
+            let plan = FaultPlan::new(21)
+                .rate(1.0)
+                .targeting(&[FaultSite::RbfWeightFit])
+                .kinds(&[kind]);
+            let (r, report) = with_plan(plan, || RbfNetwork::fit(&x, &y, &RbfParams::default()));
+            assert!(r.is_err(), "{} should fail the fit", kind.name());
+            assert!(report.fired >= 1);
+        }
+        // NonFinite silently poisons the weights; the finite check catches it.
+        let plan = FaultPlan::new(22)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::NonFinite]);
+        let (r, _) = with_plan(plan, || RbfNetwork::fit(&x, &y, &RbfParams::default()));
+        let net = r.unwrap();
+        assert!(!net.parameters_are_finite());
+        let healthy = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        assert!(healthy.parameters_are_finite());
+    }
+
+    #[test]
+    fn injected_predict_fault_returns_nan() {
+        use dynawave_numeric::fault::{with_plan, FaultPlan};
+        let (x, y) = grid_2d(5, |a, _| a);
+        let net = RbfNetwork::fit(&x, &y, &RbfParams::default()).unwrap();
+        let plan = FaultPlan::new(23)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfPredict]);
+        let (v, report) = with_plan(plan, || net.predict(&[0.5, 0.5]));
+        assert!(v.is_nan());
+        assert_eq!(report.fired, 1);
+        assert!(
+            net.predict(&[0.5, 0.5]).is_finite(),
+            "hook must be inert again"
+        );
     }
 
     #[test]

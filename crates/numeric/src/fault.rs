@@ -1,0 +1,403 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Long DSE campaigns must survive singular Gram matrices, non-finite
+//! solver output and early termination instead of discarding hours of
+//! simulation. The recovery machinery that guarantees this (escalating
+//! ridge retries, model fallbacks, checkpoint/resume in
+//! `dynawave-core`) is only trustworthy if tests can *force* those
+//! faults on demand. This module is that forcing function: a seeded
+//! [`FaultPlan`] installed for the duration of a closure makes chosen
+//! fault sites in `dynawave_numeric::solve` and `dynawave-neural` fail
+//! deterministically.
+//!
+//! The hook is **inert by default**: production code never installs a
+//! plan, [`inject`] returns `None` on its fast path, and every draw is
+//! driven by the in-tree xoshiro RNG, so a chaos run is exactly as
+//! reproducible as a healthy one (workspace rule D004).
+//!
+//! # Examples
+//!
+//! ```
+//! use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+//! use dynawave_numeric::{solve, Matrix, NumericError};
+//!
+//! let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+//! let plan = FaultPlan::new(7)
+//!     .rate(1.0)
+//!     .targeting(&[FaultSite::RidgeSolve])
+//!     .kinds(&[FaultKind::Singular]);
+//! let (result, report) = fault::with_plan(plan, || {
+//!     solve::ridge_regression(&x, &[2.0, 4.0, 6.0], 1e-9)
+//! });
+//! assert_eq!(result, Err(NumericError::Singular));
+//! assert_eq!(report.fired, 1);
+//! // Outside `with_plan` the same call succeeds: the hook is inert.
+//! assert!(solve::ridge_regression(&x, &[2.0, 4.0, 6.0], 1e-9).is_ok());
+//! ```
+
+use crate::rng::Rng;
+use std::cell::RefCell;
+
+/// What kind of failure an armed site produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The routine reports a (numerically) singular system.
+    Singular,
+    /// The routine silently returns non-finite (`NaN`) output — the
+    /// nastiest real-world failure mode, exercising downstream
+    /// sanitization rather than error propagation.
+    NonFinite,
+    /// The routine terminates early without producing a solution.
+    EarlyStop,
+}
+
+impl FaultKind {
+    /// Every kind, in stable order.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::Singular,
+        FaultKind::NonFinite,
+        FaultKind::EarlyStop,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Singular => "singular",
+            FaultKind::NonFinite => "non-finite",
+            FaultKind::EarlyStop => "early-stop",
+        }
+    }
+}
+
+/// Where in the numeric/model stack a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// [`crate::solve::cholesky_solve`] — exercises the existing
+    /// Cholesky→LU fallback inside ridge regression.
+    CholeskySolve,
+    /// [`crate::solve::lu_solve`].
+    LuSolve,
+    /// [`crate::solve::ridge_regression`] as a whole.
+    RidgeSolve,
+    /// The RBF output-weight fit in `dynawave-neural`.
+    RbfWeightFit,
+    /// A single RBF network prediction in `dynawave-neural`.
+    RbfPredict,
+}
+
+impl FaultSite {
+    /// Every site, in stable order.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::CholeskySolve,
+        FaultSite::LuSolve,
+        FaultSite::RidgeSolve,
+        FaultSite::RbfWeightFit,
+        FaultSite::RbfPredict,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::CholeskySolve => "cholesky-solve",
+            FaultSite::LuSolve => "lu-solve",
+            FaultSite::RidgeSolve => "ridge-solve",
+            FaultSite::RbfWeightFit => "rbf-weight-fit",
+            FaultSite::RbfPredict => "rbf-predict",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::CholeskySolve => 0,
+            FaultSite::LuSolve => 1,
+            FaultSite::RidgeSolve => 2,
+            FaultSite::RbfWeightFit => 3,
+            FaultSite::RbfPredict => 4,
+        }
+    }
+}
+
+const SITE_COUNT: usize = FaultSite::ALL.len();
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Build with [`FaultPlan::new`] and the builder methods, then install
+/// it with [`with_plan`]. Each consultation of an enabled site draws
+/// from the plan's xoshiro stream; identical plans over identical
+/// workloads fire identically.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: Rng,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+    sites: [bool; SITE_COUNT],
+    budget: Option<u64>,
+    armed: [u64; SITE_COUNT],
+    fired: [u64; SITE_COUNT],
+}
+
+impl FaultPlan {
+    /// A plan that never fires (rate 0) targeting every site with every
+    /// fault kind. Chain [`FaultPlan::rate`] to arm it.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: Rng::from_label(seed, "fault-plan"),
+            rate: 0.0,
+            kinds: FaultKind::ALL.to_vec(),
+            sites: [true; SITE_COUNT],
+            budget: None,
+            armed: [0; SITE_COUNT],
+            fired: [0; SITE_COUNT],
+        }
+    }
+
+    /// Sets the per-consultation firing probability, clamped to `[0, 1]`.
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts injection to the given sites (empty leaves all enabled).
+    pub fn targeting(mut self, sites: &[FaultSite]) -> Self {
+        if !sites.is_empty() {
+            self.sites = [false; SITE_COUNT];
+            for s in sites {
+                self.sites[s.index()] = true;
+            }
+        }
+        self
+    }
+
+    /// Restricts the kinds of faults produced (empty keeps all kinds).
+    pub fn kinds(mut self, kinds: &[FaultKind]) -> Self {
+        if !kinds.is_empty() {
+            self.kinds = kinds.to_vec();
+        }
+        self
+    }
+
+    /// Caps the total number of faults the plan will ever fire.
+    pub fn budget(mut self, max_faults: u64) -> Self {
+        self.budget = Some(max_faults);
+        self
+    }
+
+    /// Consults the plan at `site`; `Some(kind)` means "fail here, now".
+    fn draw(&mut self, site: FaultSite) -> Option<FaultKind> {
+        if !self.sites[site.index()] {
+            return None;
+        }
+        self.armed[site.index()] += 1;
+        if let Some(max) = self.budget {
+            if self.fired.iter().sum::<u64>() >= max {
+                return None;
+            }
+        }
+        // Draw unconditionally so the stream position depends only on how
+        // often enabled sites are consulted, not on earlier outcomes.
+        let roll = self.rng.next_f64();
+        let pick = self.rng.range_usize(0, self.kinds.len());
+        if roll < self.rate {
+            self.fired[site.index()] += 1;
+            Some(self.kinds[pick])
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot of how often each site was consulted and fired.
+    pub fn report(&self) -> FaultReport {
+        let mut per_site = [(FaultSite::CholeskySolve, 0u64, 0u64); SITE_COUNT];
+        for (slot, site) in per_site.iter_mut().zip(FaultSite::ALL) {
+            *slot = (site, self.armed[site.index()], self.fired[site.index()]);
+        }
+        FaultReport {
+            armed: self.armed.iter().sum(),
+            fired: self.fired.iter().sum(),
+            per_site,
+        }
+    }
+}
+
+/// Tally of a fault plan's activity, returned by [`with_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Total consultations of enabled sites.
+    pub armed: u64,
+    /// Total faults actually injected.
+    pub fired: u64,
+    /// Per-site `(site, armed, fired)` tallies in [`FaultSite::ALL`] order.
+    pub per_site: [(FaultSite, u64, u64); SITE_COUNT],
+}
+
+impl Default for FaultSite {
+    fn default() -> Self {
+        FaultSite::CholeskySolve
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+/// Consults the thread's installed plan at `site`.
+///
+/// Returns `None` (no fault) when no plan is installed — the
+/// always-compiled production path. Library code calls this at each
+/// fault site; only the test/bench harness ever installs a plan.
+pub fn inject(site: FaultSite) -> Option<FaultKind> {
+    ACTIVE.with(|active| active.borrow_mut().as_mut().and_then(|p| p.draw(site)))
+}
+
+/// `true` while a plan is installed on this thread.
+pub fn active() -> bool {
+    ACTIVE.with(|active| active.borrow().is_some())
+}
+
+/// Installs `plan` for the duration of `f` on the current thread,
+/// returning `f`'s result and the plan's final [`FaultReport`].
+///
+/// The plan is uninstalled when `f` returns **or panics**, so a failing
+/// chaos test cannot leak faults into subsequent tests on the same
+/// thread. Nested installation replaces the outer plan for the inner
+/// scope and restores it afterwards.
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultReport) {
+    struct Restore(Option<FaultPlan>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.with(|active| *active.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = ACTIVE.with(|active| active.borrow_mut().replace(plan));
+    let restore = Restore(previous);
+    let out = f();
+    let report = ACTIVE.with(|active| {
+        active
+            .borrow()
+            .as_ref()
+            .map(FaultPlan::report)
+            .unwrap_or_default()
+    });
+    drop(restore);
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_plan() {
+        assert!(!active());
+        assert_eq!(inject(FaultSite::RidgeSolve), None);
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let always = FaultPlan::new(1).rate(1.0);
+        let ((), report) = with_plan(always, || {
+            for _ in 0..10 {
+                assert!(inject(FaultSite::LuSolve).is_some());
+            }
+        });
+        assert_eq!(report.fired, 10);
+        assert_eq!(report.armed, 10);
+
+        let never = FaultPlan::new(1); // default rate 0
+        let ((), report) = with_plan(never, || {
+            for _ in 0..10 {
+                assert!(inject(FaultSite::LuSolve).is_none());
+            }
+        });
+        assert_eq!(report.fired, 0);
+        assert_eq!(report.armed, 10);
+    }
+
+    #[test]
+    fn identical_plans_fire_identically() {
+        let run = || {
+            with_plan(FaultPlan::new(99).rate(0.5), || {
+                FaultSite::ALL
+                    .iter()
+                    .cycle()
+                    .take(64)
+                    .map(|&s| inject(s))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b, "seeded plans must be deterministic");
+        assert_eq!(ra, rb);
+        assert!(ra.fired > 0, "rate 0.5 over 64 draws should fire");
+        assert!(ra.fired < ra.armed);
+    }
+
+    #[test]
+    fn targeting_limits_sites() {
+        let plan = FaultPlan::new(3)
+            .rate(1.0)
+            .targeting(&[FaultSite::RbfPredict]);
+        let ((), report) = with_plan(plan, || {
+            assert_eq!(inject(FaultSite::RidgeSolve), None);
+            assert!(inject(FaultSite::RbfPredict).is_some());
+        });
+        assert_eq!(report.fired, 1);
+        // Untargeted consultations are not even counted as armed.
+        assert_eq!(report.armed, 1);
+    }
+
+    #[test]
+    fn kinds_are_respected() {
+        let plan = FaultPlan::new(5).rate(1.0).kinds(&[FaultKind::NonFinite]);
+        let ((), _) = with_plan(plan, || {
+            for _ in 0..8 {
+                assert_eq!(inject(FaultSite::RbfWeightFit), Some(FaultKind::NonFinite));
+            }
+        });
+    }
+
+    #[test]
+    fn budget_caps_total_faults() {
+        let plan = FaultPlan::new(8).rate(1.0).budget(3);
+        let ((), report) = with_plan(plan, || {
+            let fired = (0..10)
+                .filter(|_| inject(FaultSite::CholeskySolve).is_some())
+                .count();
+            assert_eq!(fired, 3);
+        });
+        assert_eq!(report.fired, 3);
+        assert_eq!(report.armed, 10);
+    }
+
+    #[test]
+    fn plan_is_uninstalled_after_scope_even_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_plan(FaultPlan::new(1).rate(1.0), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!active(), "panic must not leak the installed plan");
+        assert_eq!(inject(FaultSite::RidgeSolve), None);
+    }
+
+    #[test]
+    fn nested_plans_restore_the_outer_one() {
+        let ((), _) = with_plan(FaultPlan::new(1).rate(1.0), || {
+            assert!(inject(FaultSite::LuSolve).is_some());
+            let ((), inner) = with_plan(FaultPlan::new(2), || {
+                assert_eq!(inject(FaultSite::LuSolve), None);
+            });
+            assert_eq!(inner.fired, 0);
+            // Outer plan is back.
+            assert!(inject(FaultSite::LuSolve).is_some());
+        });
+        assert!(!active());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultSite::RbfWeightFit.name(), "rbf-weight-fit");
+        assert_eq!(FaultKind::EarlyStop.name(), "early-stop");
+        assert_eq!(FaultSite::ALL.len(), SITE_COUNT);
+    }
+}

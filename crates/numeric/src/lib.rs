@@ -13,6 +13,10 @@
 //!   error metrics reported in the paper's evaluation.
 //! * [`rng`] — seed-derivation utilities so every component of the
 //!   workspace is reproducible from a single experiment seed.
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   forces `Singular`/`NaN`/early-termination failures at chosen solver
+//!   sites so recovery paths are exercised by tests instead of trusted on
+//!   faith. Inert unless a plan is explicitly installed.
 //!
 //! # Examples
 //!
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 mod matrix;
 pub mod rank;
 pub mod rng;

@@ -1,6 +1,25 @@
 //! Linear solvers built on the factorizations in [`Matrix`].
+//!
+//! Every solver consults the deterministic fault-injection hook
+//! ([`crate::fault`]) on entry. The hook is inert in production — only the
+//! chaos test harness installs a [`crate::fault::FaultPlan`] — but it lets
+//! tests force `Singular`, non-finite and early-termination failures at
+//! exactly these sites to exercise the recovery ladder above.
 
+use crate::fault::{self, FaultKind, FaultSite};
 use crate::{Matrix, NumericError};
+
+/// Resolves an injected fault at a solver site into the solver's
+/// failure behavior: `Singular`/`EarlyStop` become errors, `NonFinite`
+/// silently yields a NaN solution of length `n` (the caller must
+/// sanitize — that is the point of injecting it).
+fn injected_outcome(kind: FaultKind, n: usize) -> Result<Vec<f64>, NumericError> {
+    match kind {
+        FaultKind::Singular => Err(NumericError::Singular),
+        FaultKind::EarlyStop => Err(NumericError::Empty),
+        FaultKind::NonFinite => Ok(vec![f64::NAN; n]),
+    }
+}
 
 /// Solves `A x = b` via LU factorization with partial pivoting.
 ///
@@ -20,6 +39,9 @@ use crate::{Matrix, NumericError};
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
 pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if let Some(kind) = fault::inject(FaultSite::LuSolve) {
+        return injected_outcome(kind, b.len());
+    }
     if a.rows() != b.len() {
         return Err(NumericError::DimensionMismatch {
             left: a.shape(),
@@ -53,6 +75,9 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
 /// Propagates factorization errors; [`NumericError::DimensionMismatch`] if
 /// `b` has the wrong length.
 pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if let Some(kind) = fault::inject(FaultSite::CholeskySolve) {
+        return injected_outcome(kind, b.len());
+    }
     if a.rows() != b.len() {
         return Err(NumericError::DimensionMismatch {
             left: a.shape(),
@@ -94,6 +119,9 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
 /// [`NumericError::Singular`] if the regularized normal matrix is not
 /// positive definite; [`NumericError::Empty`] for an empty design.
 pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, NumericError> {
+    if let Some(kind) = fault::inject(FaultSite::RidgeSolve) {
+        return injected_outcome(kind, x.cols());
+    }
     if x.rows() == 0 || x.cols() == 0 {
         return Err(NumericError::Empty);
     }
@@ -192,5 +220,52 @@ mod tests {
             ridge_regression(&x, &[], 0.1),
             Err(NumericError::Empty)
         ));
+    }
+
+    #[test]
+    fn injected_cholesky_fault_falls_back_to_lu_inside_ridge() {
+        use crate::fault::{with_plan, FaultKind, FaultPlan, FaultSite};
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        // Faulting only the Cholesky path exercises ridge's existing
+        // Singular → LU fallback: the overall solve still succeeds.
+        let plan = FaultPlan::new(11)
+            .rate(1.0)
+            .targeting(&[FaultSite::CholeskySolve])
+            .kinds(&[FaultKind::Singular]);
+        let (w, report) = with_plan(plan, || ridge_regression(&x, &y, 1e-9).unwrap());
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert_eq!(report.fired, 1);
+    }
+
+    #[test]
+    fn injected_ridge_faults_cover_all_kinds() {
+        use crate::fault::{with_plan, FaultKind, FaultPlan, FaultSite};
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let y = [1.0, 2.0];
+        for (kind, check) in [
+            (
+                FaultKind::Singular,
+                Box::new(|r: Result<Vec<f64>, NumericError>| {
+                    matches!(r, Err(NumericError::Singular))
+                }) as Box<dyn Fn(Result<Vec<f64>, NumericError>) -> bool>,
+            ),
+            (
+                FaultKind::EarlyStop,
+                Box::new(|r| matches!(r, Err(NumericError::Empty))),
+            ),
+            (
+                FaultKind::NonFinite,
+                Box::new(|r| matches!(r, Ok(w) if w.iter().all(|v| v.is_nan()))),
+            ),
+        ] {
+            let plan = FaultPlan::new(13)
+                .rate(1.0)
+                .targeting(&[FaultSite::RidgeSolve])
+                .kinds(&[kind]);
+            let (r, report) = with_plan(plan, || ridge_regression(&x, &y, 1e-6));
+            assert!(check(r), "unexpected outcome for {}", kind.name());
+            assert_eq!(report.fired, 1);
+        }
     }
 }

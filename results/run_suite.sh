@@ -2,9 +2,10 @@
 # Paper-scale runs for the main accuracy figures
 cd /root/repo
 # Tier-1 gate first: hermetic build + tests + static analysis +
-# formatting. A broken or non-reproducible workspace must not spend
-# hours regenerating figures.
-./ci.sh || { echo CI_FAILED; exit 1; }
+# formatting, plus the chaos (fault-injection + checkpoint/resume) pass —
+# a long campaign must be provably resumable and degradation-tolerant
+# before hours are spent regenerating figures.
+./ci.sh --chaos || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
 # bit-reproducible, so re-assert the lint gate explicitly.
 cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }

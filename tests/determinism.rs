@@ -79,3 +79,32 @@ fn end_to_end_nmse_is_identical_across_runs() {
     assert_eq!(a.predictions, b.predictions);
     assert_eq!(a.median_nmse(), b.median_nmse());
 }
+
+#[test]
+fn chaos_runs_are_bit_identical_across_runs() {
+    use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+    let cfg = cfg();
+    // A chaos run is a first-class experiment: the same fault-plan seed
+    // must produce the same injected faults, the same degradation ladder
+    // and the same numbers, bit for bit.
+    let run = || {
+        let plan = FaultPlan::new(0xBAD5EED)
+            .rate(0.4)
+            .targeting(&[FaultSite::RbfWeightFit])
+            .kinds(&[FaultKind::Singular, FaultKind::NonFinite]);
+        fault::with_plan(plan, || {
+            evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg).expect("resilient run")
+        })
+    };
+    let (a, fr_a) = run();
+    let (b, fr_b) = run();
+    assert_eq!(fr_a, fr_b, "fault schedule differs between identical plans");
+    assert!(
+        fr_a.fired > 0,
+        "plan must inject for this test to mean much"
+    );
+    assert_eq!(a.degradation, b.degradation, "degradation ladder differs");
+    assert!(a.degradation.degraded_count() > 0);
+    assert_eq!(a.nmse_per_test, b.nmse_per_test);
+    assert_eq!(a.predictions, b.predictions);
+}

@@ -286,6 +286,87 @@ fn simulator_cpi_is_finite_and_positive_everywhere() {
     });
 }
 
+#[test]
+fn chaos_degraded_predictor_stays_finite_and_accounted() {
+    use dynawave_core::{Metric, RecoveryPolicy};
+    use dynawave_core::{PredictorParams, TraceSet, WaveletNeuralPredictor};
+    use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+    use dynawave_sampling::DesignPoint;
+    use dynawave_workloads::Benchmark;
+
+    /// A tiny synthetic training set — fast enough to train dozens of
+    /// models per property run without the simulator.
+    fn synthetic_set(bias: f64) -> TraceSet {
+        let mut points = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..8 {
+            let a = (i % 4) as f64;
+            let b = (i / 4) as f64;
+            points.push(DesignPoint::new(vec![a, b]));
+            traces.push(
+                (0..16)
+                    .map(|s| bias + 0.4 * a + 0.1 * b * (s as f64 * 0.9).sin())
+                    .collect(),
+            );
+        }
+        TraceSet {
+            benchmark: Benchmark::Gcc,
+            metric: Metric::Cpi,
+            points,
+            traces,
+        }
+    }
+
+    let input = |rng: &mut Rng| {
+        (
+            rng.range_u64(0, u64::MAX),
+            rng.range_f64(0.0, 1.0),
+            rng.range_f64(0.5, 2.0),
+        )
+    };
+    check("degraded predictor stays finite and accounted").run(input, |&(seed, rate, bias)| {
+        let set = synthetic_set(bias);
+        let params = PredictorParams {
+            coefficients: 4,
+            ..PredictorParams::default()
+        };
+        let plan = FaultPlan::new(seed)
+            .rate(rate)
+            .targeting(&[
+                FaultSite::RbfWeightFit,
+                FaultSite::RidgeSolve,
+                FaultSite::RbfPredict,
+            ])
+            .kinds(&FaultKind::ALL);
+        let (checks, _report) = fault::with_plan(plan, || {
+            let (model, degradation) =
+                WaveletNeuralPredictor::train_resilient(&set, &params, &RecoveryPolicy::default())
+                    .map_err(|e| format!("resilient training aborted: {e}"))?;
+            // Rung counts partition the coefficient set exactly.
+            if degradation.rung_counts().iter().sum::<usize>() != degradation.coefficient_count() {
+                return Err(format!("rung counts do not sum: {degradation}"));
+            }
+            if degradation.coefficient_count() != model.coefficient_indices().len() {
+                return Err(format!(
+                    "report covers {} of {} coefficients",
+                    degradation.coefficient_count(),
+                    model.coefficient_indices().len()
+                ));
+            }
+            // Predictions stay finite even with predict-time faults.
+            for probe in [[0.0, 0.0], [1.5, 0.5], [3.0, 1.0]] {
+                let pred = model.predict(&DesignPoint::new(probe.to_vec()));
+                if let Some(bad) = pred.iter().find(|v| !v.is_finite()) {
+                    return Err(format!("non-finite prediction {bad}"));
+                }
+            }
+            Ok(())
+        });
+        ensure!(checks.is_ok(), "{}", checks.unwrap_err());
+        Ok(())
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Named regression cases, formerly `tests/properties.proptest-regressions`.
 // ---------------------------------------------------------------------------

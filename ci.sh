@@ -11,10 +11,15 @@ cd "$(dirname "$0")"
 # --chaos adds the deterministic fault-injection pass: every `chaos_`
 # test (seeded FaultPlan runs exercising the recovery ladder) plus the
 # campaign checkpoint/resume suite.
+# --obs adds the observability pass: a traced quickstart run whose
+# JSON-lines event stream must validate with zero invalid lines and
+# cover all five pipeline stages.
 CHAOS=0
+OBS=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
+    --obs) OBS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -31,9 +36,22 @@ if [ "$CHAOS" = 1 ]; then
   cargo test -q --offline -p dynawave-core --test campaign
 fi
 
+if [ "$OBS" = 1 ]; then
+  echo "=== obs: traced quickstart through schema validator ==="
+  # The quickstart writes its event stream to stderr (stdout stays
+  # human-readable), so capture stderr alone and feed it to the
+  # validator: zero invalid lines, all five pipeline stages present.
+  OBS_STREAM="$(mktemp)"
+  trap 'rm -f "$OBS_STREAM"' EXIT
+  DYNAWAVE_TRACE=1 cargo run -q --release --offline -p dynawave-core \
+    --example quickstart > /dev/null 2> "$OBS_STREAM"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
+    --require-stages sim,wavelet,neural,predictor,campaign < "$OBS_STREAM"
+fi
+
 echo "=== dynawave-lint ==="
 # Static analysis gate: determinism, panic-freedom, hermetic deps
-# (rules D001-D006, see DESIGN.md). Exits nonzero on any finding not
+# (rules D001-D007, see DESIGN.md). Exits nonzero on any finding not
 # covered by lint-baseline.toml.
 cargo run -q --release --offline -p dynawave-lint
 

@@ -1,15 +1,16 @@
 //! Microbenchmarks for the performance-critical components — wavelet
 //! transforms, RBF training/prediction, the timing simulator, trace
-//! generation and design sampling — on a plain `std::time::Instant`
-//! harness (no external crates, runs fully offline).
+//! generation, design sampling and the end-to-end pipeline — on a plain
+//! `std::time::Instant` harness (no external crates, runs fully offline).
 //!
 //! Run with `cargo bench -p dynawave-bench`. Each benchmark reports the
 //! median of `SAMPLES` timed batches to stderr-friendly text plus one JSON
-//! line per benchmark on stdout, so later PRs can diff perf trajectories
-//! mechanically:
+//! line per benchmark on stdout in the `dynawave-obs` sink schema
+//! (`"kind":"bench"` lines validate under `obs_validate`), so later PRs
+//! can diff perf trajectories mechanically:
 //!
 //! ```text
-//! {"bench":"wavelet/wavedec_haar/128","median_ns":1234,"min_ns":...,"max_ns":...,"iters":512,"throughput_elems":128}
+//! {"schema":"dynawave-obs","v":1,"schema_version":1,"kind":"bench","bench":"wavelet/wavedec_haar/128","median_ns":1234,...}
 //! ```
 //!
 //! Environment knobs: `DYNAWAVE_BENCH_SAMPLES` (default 15 batches),
@@ -103,7 +104,15 @@ impl Harness {
             self.samples
         );
         println!(
-            "{{\"bench\":\"{name}\",\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max},\"iters\":{iters},\"throughput_elems\":{throughput_elems}}}"
+            "{}",
+            dynawave_bench::bench_json_line(
+                name,
+                median as f64,
+                min as f64,
+                max as f64,
+                iters,
+                throughput_elems,
+            )
         );
     }
 }
@@ -176,6 +185,38 @@ fn bench_sampling(h: &Harness) {
     });
 }
 
+fn bench_end_to_end(h: &Harness) {
+    use dynawave_core::experiment::{evaluate_benchmark, ExperimentConfig};
+    use dynawave_core::Metric;
+    // A deliberately tiny config: this tracks pipeline plumbing cost, and
+    // is the baseline the obs overhead budget (DESIGN.md §9) is measured
+    // against, so it must be cheap enough to sample repeatedly.
+    let cfg = ExperimentConfig {
+        train_points: 10,
+        test_points: 3,
+        samples: 16,
+        interval_instructions: 400,
+        seed: 42,
+        ..ExperimentConfig::default()
+    };
+    let work = cfg.train_points * cfg.samples;
+    h.bench("e2e/evaluate_eon_cpi_10x3", work as u64, || {
+        evaluate_benchmark(Benchmark::Eon, Metric::Cpi, black_box(&cfg)).unwrap()
+    });
+    // The same pipeline with tracing on: the delta against the line above
+    // is the observability overhead.
+    h.bench("e2e/evaluate_eon_cpi_10x3_traced", work as u64, || {
+        let prior = dynawave_obs::take();
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+        let eval = evaluate_benchmark(Benchmark::Eon, Metric::Cpi, black_box(&cfg)).unwrap();
+        let events = dynawave_obs::drain();
+        if let Some(prior) = prior {
+            dynawave_obs::install(prior);
+        }
+        (eval, events)
+    });
+}
+
 fn main() {
     let h = Harness::new();
     bench_wavelet(&h);
@@ -183,4 +224,9 @@ fn main() {
     bench_simulator(&h);
     bench_trace_generation(&h);
     bench_sampling(&h);
+    bench_end_to_end(&h);
+    // Benches run under `timeout` in CI; an unflushed stdout buffer there
+    // would truncate the last JSON line mid-record.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
 }

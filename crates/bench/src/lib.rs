@@ -17,6 +17,78 @@
 use dynawave_core::experiment::ExperimentConfig;
 use std::time::Instant;
 
+/// A wall-clock [`dynawave_obs::Clock`] in nanoseconds since creation.
+///
+/// Lives here — behind the harness boundary, where `std::time` is allowed
+/// (lint rules D004/D007) — rather than in `crates/obs`, whose default
+/// [`dynawave_obs::TickClock`] keeps library tracing deterministic. Use it
+/// to stamp obs events with real time when benchmarking:
+///
+/// ```
+/// use dynawave_bench::WallClock;
+/// dynawave_obs::install(dynawave_obs::Recorder::with_clock(Box::new(WallClock::new())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero point is now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl dynawave_obs::Clock for WallClock {
+    fn now(&mut self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Formats one benchmark measurement as a JSON line in the obs sink
+/// schema (`"kind":"bench"`, no `seq`/`tick` — bench lines carry
+/// measurements, not recorder state). `dynawave-obs`'s validator accepts
+/// these lines, so bench output and event streams share one toolchain.
+pub fn bench_json_line(
+    bench: &str,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+    throughput_elems: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(160);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{}\",\"v\":{},\"schema_version\":{},\"kind\":\"bench\",\"bench\":",
+        dynawave_obs::SCHEMA_NAME,
+        dynawave_obs::SCHEMA_VERSION,
+        dynawave_obs::SCHEMA_VERSION,
+    );
+    dynawave_obs::event::push_json_string(&mut out, bench);
+    out.push_str(",\"median_ns\":");
+    dynawave_obs::event::push_json_number(&mut out, median_ns);
+    out.push_str(",\"min_ns\":");
+    dynawave_obs::event::push_json_number(&mut out, min_ns);
+    out.push_str(",\"max_ns\":");
+    dynawave_obs::event::push_json_number(&mut out, max_ns);
+    let _ = write!(
+        out,
+        ",\"iters\":{iters},\"throughput_elems\":{throughput_elems}}}"
+    );
+    out
+}
+
 /// Prints the standard experiment banner and returns the env-derived
 /// configuration plus a start instant for the closing footer.
 ///
@@ -185,6 +257,26 @@ pub mod csv {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_line_validates_under_obs_schema() {
+        let line = bench_json_line("wavelet/wavedec_haar/128", 1234.0, 1200.0, 1300.0, 512, 128);
+        assert!(line.contains("\"schema\":\"dynawave-obs\""), "{line}");
+        assert!(line.contains("\"schema_version\":1"), "{line}");
+        assert!(line.contains("\"median_ns\":1234"), "{line}");
+        let summary = dynawave_obs::validate_stream(&line);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.kinds.get("bench"), Some(&1));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        use dynawave_obs::Clock;
+        let mut c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
 
     #[test]
     fn sparkline_shape() {

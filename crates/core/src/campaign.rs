@@ -414,6 +414,13 @@ impl CampaignRunner {
             }
             runner.completed.insert(unit_index, trace);
         }
+        if dynawave_obs::is_enabled() && !runner.completed.is_empty() {
+            dynawave_obs::marker_with_detail(
+                "campaign.resumed_from",
+                &format!("{} completed unit(s)", runner.completed.len()),
+            );
+            dynawave_obs::counter_add("campaign.units_resumed", runner.completed.len() as u64);
+        }
         Ok(runner)
     }
 
@@ -469,6 +476,12 @@ impl CampaignRunner {
         );
         let line = journal_line(&unit, &trace);
         self.completed.insert(i, trace);
+        if dynawave_obs::is_enabled() {
+            // Heartbeat per completed unit: a killed campaign's stream
+            // shows exactly how far it got.
+            dynawave_obs::marker_with_detail("campaign.heartbeat", &unit.key());
+            dynawave_obs::counter_add("campaign.units_done", 1);
+        }
         Some((unit, line))
     }
 
@@ -497,6 +510,7 @@ impl CampaignRunner {
     /// [`CampaignError::Model`] if training fails outright (possible only
     /// under a restrictive recovery policy).
     pub fn finish(&self) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+        let _span = dynawave_obs::span("campaign.finish");
         if !self.is_complete() {
             return Err(CampaignError::Incomplete {
                 remaining: self.remaining(),
@@ -522,8 +536,17 @@ impl CampaignRunner {
                     points: self.train_design.clone(),
                     traces: gather(UnitRole::Train),
                 };
-                let (model, degradation) =
-                    WaveletNeuralPredictor::train_resilient(&train, &cfg.predictor, &cfg.recovery)?;
+                let (model, degradation) = match WaveletNeuralPredictor::train_resilient(
+                    &train,
+                    &cfg.predictor,
+                    &cfg.recovery,
+                ) {
+                    Ok(trained) => trained,
+                    Err(e) => {
+                        dynawave_obs::counter_add("campaign.units_failed", 1);
+                        return Err(e.into());
+                    }
+                };
                 let test = TraceSet {
                     benchmark,
                     metric,
@@ -598,6 +621,7 @@ pub fn run_journaled(
     spec: &CampaignSpec,
     path: &Path,
 ) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+    let _span = dynawave_obs::span("campaign.run");
     let mut runner = load_runner(spec, path)?;
     let mut pending_lines = String::new();
     while let Some((_, line)) = runner.run_next() {

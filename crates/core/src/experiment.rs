@@ -223,6 +223,7 @@ pub fn evaluate_benchmark(
     metric: Metric,
     cfg: &ExperimentConfig,
 ) -> Result<BenchmarkEvaluation, ModelError> {
+    let _span = dynawave_obs::span("experiment.evaluate");
     let opts = cfg.sim_options();
     let train = collect_traces(benchmark, &cfg.train_design(), metric, &opts);
     let (model, degradation) =
@@ -230,6 +231,13 @@ pub fn evaluate_benchmark(
     let test = collect_traces(benchmark, &cfg.test_design(), metric, &opts);
     let mut eval = score_model(benchmark, metric, model, test);
     eval.degradation = degradation;
+    if dynawave_obs::is_enabled() {
+        // NMSE distribution across test points, in percent.
+        const BOUNDS: [f64; 5] = [1.0, 2.0, 5.0, 10.0, 25.0];
+        for &nmse in &eval.nmse_per_test {
+            dynawave_obs::histogram_observe("experiment.nmse_percent", &BOUNDS, nmse);
+        }
+    }
     Ok(eval)
 }
 

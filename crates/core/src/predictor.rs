@@ -149,6 +149,7 @@ impl WaveletNeuralPredictor {
         params: &PredictorParams,
         policy: &RecoveryPolicy,
     ) -> Result<(Self, DegradationReport), ModelError> {
+        let _span = dynawave_obs::span("predictor.train");
         if train.is_empty() {
             return Err(ModelError::EmptyTrainingSet);
         }
@@ -203,6 +204,27 @@ impl WaveletNeuralPredictor {
             models.push(model);
             records.push(record);
         }
+        if dynawave_obs::is_enabled() {
+            // Fraction of training-set coefficient energy the selected
+            // subset carries (the paper's accuracy/complexity dial).
+            let total: f64 = coeff_rows
+                .iter()
+                .flat_map(|row| row.iter())
+                .map(|c| c * c)
+                .sum();
+            let kept: f64 = coeff_rows
+                .iter()
+                .flat_map(|row| indices.iter().map(|&i| row[i]))
+                .map(|c| c * c)
+                .sum();
+            if total > 0.0 {
+                dynawave_obs::gauge_set("wavelet.coeff_energy_retained", kept / total);
+            }
+            for r in &records {
+                let name = format!("neural.fit_attempts.{}", r.rung.name());
+                dynawave_obs::counter_add(&name, u64::from(r.attempts));
+            }
+        }
         Ok((
             WaveletNeuralPredictor {
                 wavelet: params.wavelet,
@@ -224,6 +246,7 @@ impl WaveletNeuralPredictor {
     ///
     /// Panics if the point's dimensionality differs from training.
     pub fn predict(&self, point: &DesignPoint) -> Vec<f64> {
+        let _span = dynawave_obs::span("predictor.predict");
         let mut coeffs = vec![0.0; self.trace_len];
         for (&idx, model) in self.indices.iter().zip(&self.models) {
             let v = model.predict(point.values());

@@ -32,6 +32,18 @@ pub fn degradation_section(report: &DegradationReport) -> String {
     out
 }
 
+/// Renders the per-stage "Pipeline profile" section from a traced run's
+/// event stream (see `dynawave-obs`). Returns a note instead of a table
+/// when the stream is empty (tracing was off), so callers can append it
+/// unconditionally.
+pub fn pipeline_profile_section(events: &[dynawave_obs::Event]) -> String {
+    let profile = dynawave_obs::PipelineProfile::from_events(events);
+    if profile.is_empty() {
+        return String::from("Pipeline profile: tracing disabled (no events recorded).\n");
+    }
+    profile.render_markdown()
+}
+
 /// Renders one evaluation as a markdown section.
 pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
     let mut out = String::new();
@@ -158,6 +170,26 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + e.nmse_per_test.len());
         assert!(lines[1].starts_with("eon,cpi,0,"));
+    }
+
+    #[test]
+    fn pipeline_profile_section_renders_traced_run() {
+        // Without events: an explicit "disabled" note.
+        let off = pipeline_profile_section(&[]);
+        assert!(off.contains("tracing disabled"));
+        // With a traced evaluation: a per-stage table.
+        let prior = dynawave_obs::take();
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+        let _e = tiny_eval();
+        let events = dynawave_obs::drain().unwrap();
+        if let Some(prior) = prior {
+            dynawave_obs::install(prior);
+        }
+        let text = pipeline_profile_section(&events);
+        assert!(text.contains("Pipeline profile"), "{text}");
+        assert!(text.contains("| sim |"), "{text}");
+        assert!(text.contains("| predictor |"), "{text}");
+        assert!(text.contains("`sim.intervals_retired`"), "{text}");
     }
 
     #[test]

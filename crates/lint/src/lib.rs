@@ -4,7 +4,7 @@
 //! construction*; this crate makes those properties hold *by
 //! enforcement*. It is a zero-dependency linter with a hand-rolled Rust
 //! lexer (so rules never fire inside string literals, comments or doc
-//! examples) and six rules:
+//! examples) and seven rules:
 //!
 //! * **D001** — `.unwrap()` / `.expect()` in non-test library code.
 //! * **D002** — `panic!` / `todo!` / `unimplemented!` outside tests/bins.
@@ -14,6 +14,9 @@
 //!   `bench`/`testkit` harness crates.
 //! * **D005** — non-`path` dependencies in any `Cargo.toml`.
 //! * **D006** — `unsafe` anywhere, tests included.
+//! * **D007** — `Instant::now()` / `SystemTime` anywhere, tests included,
+//!   outside the harness crates and the `dynawave-obs` clock impls: wall
+//!   time goes through the `dynawave_obs::Clock` trait.
 //!
 //! Individual lines opt out with an audited suppression:
 //!

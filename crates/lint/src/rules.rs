@@ -9,6 +9,7 @@
 //! | D004 | `std::time`, `thread::sleep`, `std::env`, `Instant`, `SystemTime`, `HashMap`, `HashSet` outside the harness crates | wall-clock, environment and randomized hash iteration break bit-reproducibility |
 //! | D005 | non-`path` dependencies in any `Cargo.toml` | the workspace is hermetic by policy |
 //! | D006 | `unsafe` anywhere | `#![forbid(unsafe_code)]` is workspace policy |
+//! | D007 | `Instant::now()` / `SystemTime` anywhere — tests included — outside the harness crates and the obs clock impls | wall-clock reads belong behind `dynawave_obs::Clock`, so even test timing is deterministic |
 //! | D000 | malformed `dynalint:allow` suppressions | suppressions must name rules and carry a reason |
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
@@ -32,17 +33,20 @@ pub enum RuleId {
     D005,
     /// `unsafe` block or function.
     D006,
+    /// Direct wall-clock read outside the sanctioned clock impls.
+    D007,
 }
 
 impl RuleId {
     /// All real rules, in order (excludes the D000 meta-rule).
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
         RuleId::D005,
         RuleId::D006,
+        RuleId::D007,
     ];
 
     /// Parses `"D001"` → [`RuleId::D001`]; `None` for unknown names.
@@ -55,6 +59,7 @@ impl RuleId {
             "D004" => Some(RuleId::D004),
             "D005" => Some(RuleId::D005),
             "D006" => Some(RuleId::D006),
+            "D007" => Some(RuleId::D007),
             _ => None,
         }
     }
@@ -69,6 +74,7 @@ impl RuleId {
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
             RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
         }
     }
 }
@@ -333,6 +339,12 @@ pub fn lint_rust_source(path: &str, src: &str) -> Vec<Finding> {
 
     let panic_free_scope = kind == FileKind::Lib;
     let deterministic_scope = matches!(kind, FileKind::Lib | FileKind::Bin);
+    // D007 scope is broader than FileKind: benches and tests under the
+    // harness crates classify as Test, so exempt by path prefix, plus the
+    // obs clock implementations — the one sanctioned home for wall time.
+    let wall_clock_scope = !(path.starts_with("crates/bench/")
+        || path.starts_with("crates/testkit/")
+        || path == "crates/obs/src/clock.rs");
 
     for (i, tok) in tokens.iter().enumerate() {
         let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
@@ -346,6 +358,32 @@ pub fn lint_rust_source(path: &str, src: &str) -> Vec<Finding> {
                 tok,
                 "`unsafe` is forbidden workspace-wide".to_string(),
             );
+        }
+
+        // D007: direct wall-clock reads anywhere — tests and examples
+        // included. `Instant::now()` call sites and any `SystemTime`
+        // mention; timing belongs behind `dynawave_obs::Clock`.
+        if wall_clock_scope && tok.kind == TokenKind::Ident {
+            let instant_now = tok.text == "Instant"
+                && next.is_some_and(|n| n.text == "::")
+                && tokens.get(i + 2).is_some_and(|t| t.text == "now");
+            if instant_now {
+                push(
+                    RuleId::D007,
+                    tok,
+                    "`Instant::now()` outside the clock impls; \
+                     use a `dynawave_obs::Clock` (e.g. `dynawave_bench::WallClock`)"
+                        .to_string(),
+                );
+            } else if tok.text == "SystemTime" {
+                push(
+                    RuleId::D007,
+                    tok,
+                    "`SystemTime` outside the clock impls; \
+                     use a `dynawave_obs::Clock` (e.g. `dynawave_bench::WallClock`)"
+                        .to_string(),
+                );
+            }
         }
         if in_test {
             continue;
@@ -573,6 +611,35 @@ mod tests {
     fn d006_fires_even_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n  fn f() { unsafe { } }\n}";
         assert_eq!(rules_fired(LIB, src), [RuleId::D006]);
+    }
+
+    #[test]
+    fn d007_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { let _ = Instant::now(); }\n}";
+        assert_eq!(rules_fired(LIB, src), [RuleId::D007]);
+        // A test file path is no shelter either.
+        assert_eq!(
+            rules_fired(
+                "crates/demo/tests/it.rs",
+                "fn f() -> SystemTime { SystemTime::now() }"
+            ),
+            [RuleId::D007, RuleId::D007]
+        );
+    }
+
+    #[test]
+    fn d007_exempts_clock_homes_and_bare_instant() {
+        let src = "fn f() { let _ = Instant::now(); }";
+        assert!(rules_fired("crates/bench/benches/microbench.rs", src).is_empty());
+        assert!(rules_fired("crates/testkit/src/lib.rs", src).is_empty());
+        assert!(rules_fired("crates/obs/src/clock.rs", src)
+            .iter()
+            .all(|&r| r != RuleId::D007));
+        // `Instant` without `::now` is D004's business, not D007's.
+        assert_eq!(
+            rules_fired(LIB, "fn f(t: Instant) -> Instant { t }"),
+            [RuleId::D004, RuleId::D004]
+        );
     }
 
     #[test]

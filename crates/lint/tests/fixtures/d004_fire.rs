@@ -1,8 +1,10 @@
 //! D004 positive fixture: wall-clock, sleeping, environment reads and
 //! randomized-hash containers must fire in non-harness code.
 
-pub fn wall_clock() -> std::time::Instant {
-    std::time::Instant::now()
+// Mentioning the Instant type is enough for D004; the `::now()` call
+// site itself is D007's territory (see d007_fire.rs).
+pub fn wall_clock(t: std::time::Instant) -> std::time::Instant {
+    t
 }
 
 pub fn nap() {

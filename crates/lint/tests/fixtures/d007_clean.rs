@@ -1,0 +1,12 @@
+//! D007 negative fixture: timing through the sanctioned clock trait.
+//! `TickClock` is deterministic; a wall-clock impl (`WallClock`) lives in
+//! the harness crate, behind the same trait.
+
+pub fn ticks() -> u64 {
+    let mut clock = dynawave_obs::TickClock::default();
+    dynawave_obs::Clock::now(&mut clock)
+}
+
+pub fn describe() -> &'static str {
+    "strings and comments may say Instant::now() and SystemTime freely"
+}

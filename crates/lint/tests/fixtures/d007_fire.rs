@@ -1,0 +1,12 @@
+//! D007 positive fixture: direct wall-clock reads. Unlike D004, these
+//! fire even in test and example code — timing there belongs behind a
+//! `dynawave_obs::Clock` too, so benchmark-ish tests stay deterministic.
+
+pub fn timed() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -114,6 +114,40 @@ fn d006_fires_and_clean() {
 }
 
 #[test]
+fn d007_fires_and_clean() {
+    // D007 applies even where D004 is silent — lint the fixtures under a
+    // tests path so the only rule that can fire is the one under test.
+    const TEST_PATH: &str = "crates/demo/tests/it.rs";
+    let fired: Vec<RuleId> = lint_rust_source(TEST_PATH, &fixture("d007_fire.rs"))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_fires(&fired, RuleId::D007, "d007_fire.rs");
+    assert_eq!(
+        fired.len(),
+        3,
+        "one Instant::now call plus two SystemTime mentions"
+    );
+    assert_eq!(
+        lint_rust_source(TEST_PATH, &fixture("d007_clean.rs")),
+        [],
+        "d007_clean.rs must be silent"
+    );
+}
+
+#[test]
+fn d007_exempts_harness_crates_and_obs_clocks() {
+    let src = fixture("d007_fire.rs");
+    assert!(lint_rust_source("crates/bench/benches/microbench.rs", &src).is_empty());
+    assert!(lint_rust_source("crates/testkit/src/gen.rs", &src).is_empty());
+    // The obs clock module is where wall-clock impls are allowed to live;
+    // D004 still governs it (it classifies as Lib), but D007 stays quiet.
+    assert!(lint_rust_source("crates/obs/src/clock.rs", &src)
+        .iter()
+        .all(|f| f.rule != RuleId::D007));
+}
+
+#[test]
 fn findings_carry_clickable_spans() {
     let findings = lint_rust_source(LIB_PATH, &fixture("d001_fire.rs"));
     let first = &findings[0];

@@ -110,6 +110,7 @@ impl RbfNetwork {
     /// [`ModelError::EmptyTrainingSet`], [`ModelError::SampleCountMismatch`]
     /// or a wrapped [`ModelError::Numeric`] if the weight solve fails.
     pub fn fit(x: &Matrix, y: &[f64], params: &RbfParams) -> Result<Self, ModelError> {
+        let _span = dynawave_obs::span("neural.rbf_fit");
         if x.rows() == 0 || x.cols() == 0 {
             return Err(ModelError::EmptyTrainingSet);
         }

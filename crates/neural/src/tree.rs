@@ -97,6 +97,7 @@ impl RegressionTree {
     /// [`ModelError::EmptyTrainingSet`] for an empty design,
     /// [`ModelError::SampleCountMismatch`] when `y.len() != x.rows()`.
     pub fn fit(x: &Matrix, y: &[f64], params: &TreeParams) -> Result<Self, ModelError> {
+        let _span = dynawave_obs::span("neural.tree_fit");
         if x.rows() == 0 || x.cols() == 0 {
             return Err(ModelError::EmptyTrainingSet);
         }

@@ -1,0 +1,75 @@
+//! Schema validator CLI for obs JSON-lines streams.
+//!
+//! Reads an event stream on stdin, validates every line against the
+//! versioned schema, and prints a summary. Exits nonzero if any line is
+//! invalid or a `--require-stages` stage never appeared. Used by
+//! `ci.sh --obs`:
+//!
+//! ```text
+//! DYNAWAVE_TRACE=1 cargo run --example quickstart 2>&1 >/dev/null \
+//!   | cargo run -p dynawave-obs --bin obs_validate -- \
+//!       --require-stages sim,wavelet,neural,predictor,campaign
+//! ```
+
+use dynawave_obs::SchemaValidator;
+use std::io::Read as _;
+
+fn main() {
+    let mut required: Vec<String> = Vec::new();
+    // dynalint:allow(D004) -- CLI arguments are the tool's intended input
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--require-stages" => {
+                let Some(list) = argv.next() else {
+                    eprintln!("obs_validate: --require-stages needs a comma-separated list");
+                    std::process::exit(2);
+                };
+                required.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: obs_validate [--require-stages s1,s2,...] < events.jsonl\n\
+                     Validates a dynawave-obs JSON-lines stream from stdin."
+                );
+                return;
+            }
+            other => {
+                eprintln!("obs_validate: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut input = String::new();
+    if std::io::stdin().read_to_string(&mut input).is_err() {
+        eprintln!("obs_validate: stdin is not valid UTF-8");
+        std::process::exit(2);
+    }
+
+    let mut validator = SchemaValidator::new();
+    for line in input.lines() {
+        let _ = validator.check_line(line);
+    }
+    let summary = validator.finish();
+
+    println!(
+        "obs_validate: {} valid line(s), {} invalid, {} stage(s)",
+        summary.valid,
+        summary.errors.len(),
+        summary.stages.len()
+    );
+    for (line_no, reason) in &summary.errors {
+        eprintln!("obs_validate: line {line_no}: {reason}");
+    }
+
+    let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
+    let missing = summary.missing_stages(&required_refs);
+    for stage in &missing {
+        eprintln!("obs_validate: required stage '{stage}' missing from stream");
+    }
+
+    if !summary.is_clean() || !missing.is_empty() {
+        std::process::exit(1);
+    }
+}

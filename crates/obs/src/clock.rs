@@ -1,0 +1,58 @@
+//! Time sources for the recorder.
+//!
+//! Library crates must stay bit-reproducible (workspace rule D004), so the
+//! default clock is a [`TickClock`]: a monotonic counter that advances by
+//! one on every read. Two identical seeded runs therefore stamp every
+//! event with identical ticks, which is what makes traced runs
+//! byte-comparable. A wall-clock implementation (`WallClock`) lives in
+//! `dynawave-bench`, behind the harness boundary where `std::time` is
+//! allowed (rules D004/D007); this module is the only place inside
+//! `crates/obs` where a wall-clock impl would be permitted.
+
+/// A monotonic time source for event timestamps.
+///
+/// Implementations must be monotonic (each call returns a value `>=` the
+/// previous one) but need not be related to wall time at all — the default
+/// [`TickClock`] counts reads, not nanoseconds.
+pub trait Clock {
+    /// Returns the current timestamp in clock-defined units.
+    fn now(&mut self) -> u64;
+}
+
+/// The deterministic default clock: a counter that advances by one per
+/// read. "Durations" measured with it count recorder activity between two
+/// reads, not seconds — which is exactly what keeps traced library runs
+/// bit-reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct TickClock {
+    tick: u64,
+}
+
+impl TickClock {
+    /// A tick clock starting at zero.
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+}
+
+impl Clock for TickClock {
+    fn now(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_clock_is_monotonic_and_deterministic() {
+        let mut a = TickClock::new();
+        let mut b = TickClock::new();
+        let ticks_a: Vec<u64> = (0..5).map(|_| a.now()).collect();
+        let ticks_b: Vec<u64> = (0..5).map(|_| b.now()).collect();
+        assert_eq!(ticks_a, ticks_b);
+        assert_eq!(ticks_a, vec![1, 2, 3, 4, 5]);
+    }
+}

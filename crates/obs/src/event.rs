@@ -1,0 +1,276 @@
+//! The versioned event model and its JSON-lines encoding.
+//!
+//! Every record the recorder emits is one [`Event`], serialized as one
+//! JSON object per line. The schema is versioned: every line carries
+//! `"schema":"dynawave-obs"` and `"v":1` so downstream tooling can reject
+//! streams it does not understand (see [`crate::validate`]).
+
+use std::fmt::Write as _;
+
+/// Schema tag present on every emitted line.
+pub const SCHEMA_NAME: &str = "dynawave-obs";
+
+/// Current schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// What kind of record an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was entered (`depth` = nesting level at entry).
+    SpanEnter,
+    /// A span was exited (`ticks` = clock delta between enter and exit).
+    SpanExit,
+    /// A counter snapshot (`count` = final value).
+    Counter,
+    /// A gauge snapshot (`value` = last value set).
+    Gauge,
+    /// A fixed-bound histogram snapshot (`bounds` + `counts`).
+    Histogram,
+    /// A point event with free-form detail (heartbeats, resume markers).
+    Marker,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSON `kind` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Histogram => "hist",
+            EventKind::Marker => "marker",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn parse(name: &str) -> Option<EventKind> {
+        match name {
+            "span_enter" => Some(EventKind::SpanEnter),
+            "span_exit" => Some(EventKind::SpanExit),
+            "counter" => Some(EventKind::Counter),
+            "gauge" => Some(EventKind::Gauge),
+            "hist" => Some(EventKind::Histogram),
+            "marker" => Some(EventKind::Marker),
+            _ => None,
+        }
+    }
+}
+
+/// One observability record.
+///
+/// Only the fields relevant to the event's [`EventKind`] are populated;
+/// the JSON encoding omits absent fields entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonically increasing sequence number within one recorder.
+    pub seq: u64,
+    /// Clock timestamp (ticks for the default [`crate::TickClock`]).
+    pub tick: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Span, metric or marker name (dotted: `stage.detail`).
+    pub name: String,
+    /// Span nesting depth (span events only).
+    pub depth: Option<u64>,
+    /// Clock delta between span enter and exit (span-exit only).
+    pub ticks: Option<u64>,
+    /// Counter value (counter snapshots only).
+    pub count: Option<u64>,
+    /// Gauge value (gauge snapshots only; always finite).
+    pub value: Option<f64>,
+    /// Histogram bucket upper bounds (histogram snapshots only).
+    pub bounds: Option<Vec<f64>>,
+    /// Histogram bucket counts, one longer than `bounds` (the final
+    /// bucket is the overflow bucket).
+    pub counts: Option<Vec<u64>>,
+    /// Free-form detail text (markers only).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// A bare event of `kind` with every optional field absent.
+    pub fn new(seq: u64, tick: u64, kind: EventKind, name: impl Into<String>) -> Self {
+        Event {
+            seq,
+            tick,
+            kind,
+            name: name.into(),
+            depth: None,
+            ticks: None,
+            count: None,
+            value: None,
+            bounds: None,
+            counts: None,
+            detail: None,
+        }
+    }
+
+    /// The pipeline stage this event belongs to: the dotted name's first
+    /// segment (`"sim.run_trace"` → `"sim"`).
+    pub fn stage(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+
+    /// Encodes the event as one JSON line (no trailing newline).
+    ///
+    /// Field order is fixed, floats use Rust's shortest round-trip
+    /// formatting, and strings are escaped per RFC 8259 — so identical
+    /// events always encode to identical bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{SCHEMA_NAME}\",\"v\":{SCHEMA_VERSION},\"seq\":{},\"tick\":{},\"kind\":\"{}\",\"name\":",
+            self.seq,
+            self.tick,
+            self.kind.name()
+        );
+        push_json_string(&mut out, &self.name);
+        if let Some(depth) = self.depth {
+            let _ = write!(out, ",\"depth\":{depth}");
+        }
+        if let Some(ticks) = self.ticks {
+            let _ = write!(out, ",\"ticks\":{ticks}");
+        }
+        if let Some(count) = self.count {
+            let _ = write!(out, ",\"count\":{count}");
+        }
+        if let Some(value) = self.value {
+            out.push_str(",\"value\":");
+            push_json_number(&mut out, value);
+        }
+        if let Some(bounds) = &self.bounds {
+            out.push_str(",\"bounds\":[");
+            for (i, b) in bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_number(&mut out, *b);
+            }
+            out.push(']');
+        }
+        if let Some(counts) = &self.counts {
+            out.push_str(",\"counts\":[");
+            for (i, c) in counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push(']');
+        }
+        if let Some(detail) = &self.detail {
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, detail);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` as a JSON number (shortest round-trip form).
+/// Non-finite values are not representable in JSON; they encode as `0`
+/// and must be filtered out before reaching the encoder (the recorder's
+/// gauge/histogram entry points drop them).
+pub fn push_json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+/// Encodes a batch of events as newline-terminated JSON lines.
+pub fn encode_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [
+            EventKind::SpanEnter,
+            EventKind::SpanExit,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Histogram,
+            EventKind::Marker,
+        ] {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn span_enter_line_shape() {
+        let mut e = Event::new(0, 1, EventKind::SpanEnter, "sim.run_trace");
+        e.depth = Some(0);
+        assert_eq!(
+            e.to_json_line(),
+            "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":1,\
+             \"kind\":\"span_enter\",\"name\":\"sim.run_trace\",\"depth\":0}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_shortest_roundtrip_and_finite() {
+        let mut out = String::new();
+        push_json_number(&mut out, 0.1);
+        out.push(' ');
+        push_json_number(&mut out, 3.0);
+        out.push(' ');
+        push_json_number(&mut out, f64::NAN);
+        assert_eq!(out, "0.1 3 0");
+    }
+
+    #[test]
+    fn stage_is_first_dotted_segment() {
+        let e = Event::new(0, 0, EventKind::Counter, "wavelet.coeff_energy_retained");
+        assert_eq!(e.stage(), "wavelet");
+        let e = Event::new(0, 0, EventKind::Counter, "plain");
+        assert_eq!(e.stage(), "plain");
+    }
+
+    #[test]
+    fn encode_lines_is_newline_terminated() {
+        let e = Event::new(0, 1, EventKind::Marker, "campaign.heartbeat");
+        let text = encode_lines(&[e.clone(), e]);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

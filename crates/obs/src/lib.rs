@@ -1,0 +1,371 @@
+//! Deterministic tracing, metrics, and profiling for the dynawave pipeline.
+//!
+//! The pipeline (trace generation → interval simulation → DWT →
+//! per-coefficient RBF training → reconstruction → campaign aggregation)
+//! is instrumented with spans, counters, gauges, and histograms. All of
+//! it flows through a thread-local [`Recorder`] that is *off by default*:
+//! when no recorder is installed, every instrumentation call is a cheap
+//! early-return, so library behaviour and report bytes are unchanged.
+//!
+//! Determinism is the design center. The default time source is
+//! [`TickClock`] — a monotonic counter, not wall time — so two identical
+//! seeded runs emit byte-identical event streams (see
+//! `tests/determinism.rs` at the workspace root). Wall-clock timing lives
+//! on the other side of the harness boundary, in `dynawave-bench`.
+//!
+//! ```
+//! use dynawave_obs as obs;
+//!
+//! obs::install(obs::Recorder::with_tick_clock());
+//! {
+//!     let _span = obs::span("sim.run_trace");
+//!     obs::counter_add("sim.intervals_retired", 128);
+//! }
+//! let events = obs::drain().unwrap();
+//! let text = obs::encode_lines(&events);
+//! assert!(obs::validate_stream(&text).is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod validate;
+
+pub use clock::{Clock, TickClock};
+pub use event::{encode_lines, Event, EventKind, SCHEMA_NAME, SCHEMA_VERSION};
+pub use metrics::{Histogram, MetricSet};
+pub use profile::{PipelineProfile, StageProfile};
+pub use validate::{validate_stream, SchemaValidator, ValidationSummary};
+
+use std::cell::RefCell;
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Collects events and metrics for one traced run.
+///
+/// A recorder does nothing until [`install`]ed into the thread-local
+/// slot; instrumented code then feeds it through the free functions
+/// ([`span`], [`counter_add`], ...). [`drain`] (or [`take`] +
+/// [`Recorder::finish`]) returns the ordered event stream, with final
+/// metric snapshots appended in sorted name order.
+pub struct Recorder {
+    clock: Box<dyn Clock>,
+    events: Vec<Event>,
+    metrics: MetricSet,
+    seq: u64,
+    depth: u64,
+}
+
+impl Recorder {
+    /// A recorder on the deterministic [`TickClock`] — the right choice
+    /// everywhere except wall-time benchmarking.
+    pub fn with_tick_clock() -> Self {
+        Recorder::with_clock(Box::new(TickClock::new()))
+    }
+
+    /// A recorder on a caller-supplied clock (e.g. the bench harness's
+    /// wall clock).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Recorder {
+            clock,
+            events: Vec::new(),
+            metrics: MetricSet::new(),
+            seq: 0,
+            depth: 0,
+        }
+    }
+
+    fn push(&mut self, kind: EventKind, name: &str) -> &mut Event {
+        let tick = self.clock.now();
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event::new(seq, tick, kind, name));
+        // Just pushed, so the vector is non-empty.
+        let idx = self.events.len() - 1;
+        &mut self.events[idx]
+    }
+
+    fn span_enter(&mut self, name: &str) -> (u64, u64) {
+        let depth = self.depth;
+        self.depth += 1;
+        let e = self.push(EventKind::SpanEnter, name);
+        e.depth = Some(depth);
+        (depth, e.tick)
+    }
+
+    fn span_exit(&mut self, name: &str, depth: u64, enter_tick: u64) {
+        self.depth = self.depth.saturating_sub(1);
+        let e = self.push(EventKind::SpanExit, name);
+        e.depth = Some(depth);
+        let exit_tick = e.tick;
+        e.ticks = Some(exit_tick.saturating_sub(enter_tick));
+    }
+
+    /// Number of events recorded so far (metric snapshots not included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.metrics.is_empty()
+    }
+
+    /// Consumes the recorder, appending one snapshot event per metric
+    /// (counters, then gauges, then histograms, each in sorted name
+    /// order) and returning the full ordered stream.
+    pub fn finish(mut self) -> Vec<Event> {
+        let metrics = std::mem::take(&mut self.metrics);
+        for (name, count) in metrics.counters() {
+            let name = name.to_string();
+            let e = self.push(EventKind::Counter, &name);
+            e.count = Some(count);
+        }
+        for (name, value) in metrics.gauges() {
+            let name = name.to_string();
+            let e = self.push(EventKind::Gauge, &name);
+            e.value = Some(value);
+        }
+        for (name, hist) in metrics.histograms() {
+            let name = name.to_string();
+            let bounds = hist.bounds().to_vec();
+            let counts = hist.counts().to_vec();
+            let e = self.push(EventKind::Histogram, &name);
+            e.bounds = Some(bounds);
+            e.counts = Some(counts);
+        }
+        self.events
+    }
+}
+
+/// Installs `recorder` as the thread's active recorder, returning the
+/// previous one (if any) so callers can restore it.
+pub fn install(recorder: Recorder) -> Option<Recorder> {
+    RECORDER.with(|slot| slot.borrow_mut().replace(recorder))
+}
+
+/// Removes and returns the thread's active recorder without flushing
+/// metric snapshots. Most callers want [`drain`] instead.
+pub fn take() -> Option<Recorder> {
+    RECORDER.with(|slot| slot.borrow_mut().take())
+}
+
+/// Removes the active recorder and returns its finished event stream
+/// (metric snapshots appended). `None` when no recorder was installed.
+pub fn drain() -> Option<Vec<Event>> {
+    take().map(Recorder::finish)
+}
+
+/// True when a recorder is installed on this thread.
+pub fn is_enabled() -> bool {
+    RECORDER.with(|slot| slot.borrow().is_some())
+}
+
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    RECORDER.with(|slot| {
+        // borrow_mut cannot re-enter: instrumentation helpers never call
+        // user code while holding the borrow.
+        if let Some(rec) = slot.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// An RAII span: records a `span_enter` on creation and the matching
+/// `span_exit` (with tick delta) when dropped. A no-op when tracing is
+/// disabled.
+#[must_use = "a span guard records its exit when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    state: Option<(u64, u64)>,
+}
+
+impl SpanGuard {
+    fn disabled() -> Self {
+        SpanGuard {
+            name: "",
+            state: None,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((depth, enter_tick)) = self.state.take() {
+            with_recorder(|rec| rec.span_exit(self.name, depth, enter_tick));
+        }
+    }
+}
+
+/// Opens a span named `name` (dotted `stage.detail` form). Hold the
+/// returned guard for the duration of the work.
+pub fn span(name: &'static str) -> SpanGuard {
+    let mut guard = SpanGuard::disabled();
+    with_recorder(|rec| {
+        guard.name = name;
+        guard.state = Some(rec.span_enter(name));
+    });
+    guard
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter_add(name: &str, delta: u64) {
+    with_recorder(|rec| rec.metrics.counter_add(name, delta));
+}
+
+/// Sets the named gauge (non-finite values are dropped).
+pub fn gauge_set(name: &str, value: f64) {
+    with_recorder(|rec| rec.metrics.gauge_set(name, value));
+}
+
+/// Records `value` into the named fixed-bound histogram.
+pub fn histogram_observe(name: &str, bounds: &[f64], value: f64) {
+    with_recorder(|rec| rec.metrics.histogram_observe(name, bounds, value));
+}
+
+/// Emits a point event.
+pub fn marker(name: &str) {
+    with_recorder(|rec| {
+        rec.push(EventKind::Marker, name);
+    });
+}
+
+/// Emits a point event with free-form detail text.
+pub fn marker_with_detail(name: &str, detail: &str) {
+    with_recorder(|rec| {
+        let e = rec.push(EventKind::Marker, name);
+        e.detail = Some(detail.to_string());
+    });
+}
+
+/// Opens a span scoped to the rest of the enclosing block:
+/// `span!("sim.run_trace");` is shorthand for binding [`span`]'s guard
+/// to a local.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _dynawave_obs_span_guard = $crate::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the thread-local recorder slot.
+    /// `cargo test` may run them on the same thread pool, so each test
+    /// must leave the slot empty.
+    fn with_clean_slot(f: impl FnOnce()) {
+        let prior = take();
+        f();
+        let _ = take();
+        if let Some(prior) = prior {
+            install(prior);
+        }
+    }
+
+    #[test]
+    fn disabled_instrumentation_is_a_no_op() {
+        with_clean_slot(|| {
+            assert!(!is_enabled());
+            {
+                let _g = span("sim.run_trace");
+                counter_add("sim.intervals_retired", 1);
+                gauge_set("wavelet.energy", 0.5);
+                marker("campaign.heartbeat");
+            }
+            assert!(drain().is_none());
+        });
+    }
+
+    #[test]
+    fn spans_nest_and_measure_tick_deltas() {
+        with_clean_slot(|| {
+            install(Recorder::with_tick_clock());
+            {
+                let _outer = span("predictor.train");
+                let _inner = span("wavelet.wavedec");
+            }
+            let events = drain().unwrap();
+            assert_eq!(events.len(), 4);
+            assert_eq!(events[0].kind, EventKind::SpanEnter);
+            assert_eq!(events[0].depth, Some(0));
+            assert_eq!(events[1].depth, Some(1));
+            // Inner span exits first (reverse drop order).
+            assert_eq!(events[2].name, "wavelet.wavedec");
+            assert_eq!(events[2].ticks, Some(1));
+            assert_eq!(events[3].name, "predictor.train");
+            assert_eq!(events[3].ticks, Some(3));
+            let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn metrics_flush_as_sorted_snapshots() {
+        with_clean_slot(|| {
+            install(Recorder::with_tick_clock());
+            counter_add("b.two", 2);
+            counter_add("a.one", 1);
+            gauge_set("g.x", 1.25);
+            histogram_observe("h.y", &[10.0], 3.0);
+            let events = drain().unwrap();
+            let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+            assert_eq!(names, vec!["a.one", "b.two", "g.x", "h.y"]);
+            assert_eq!(events[3].counts, Some(vec![1, 0]));
+        });
+    }
+
+    #[test]
+    fn two_identical_runs_encode_identically() {
+        with_clean_slot(|| {
+            let run = || {
+                install(Recorder::with_tick_clock());
+                {
+                    let _g = span("sim.run_trace");
+                    counter_add("sim.intervals_retired", 64);
+                    marker_with_detail("campaign.resumed_from", "unit 3");
+                }
+                encode_lines(&drain().unwrap())
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b);
+            assert!(validate_stream(&a).is_clean());
+        });
+    }
+
+    #[test]
+    fn span_macro_scopes_to_block_end() {
+        with_clean_slot(|| {
+            install(Recorder::with_tick_clock());
+            {
+                span!("neural.rbf_fit");
+                marker("neural.mid");
+            }
+            let events = drain().unwrap();
+            assert_eq!(events[0].kind, EventKind::SpanEnter);
+            assert_eq!(events[1].name, "neural.mid");
+            assert_eq!(events[2].kind, EventKind::SpanExit, "exit after marker");
+        });
+    }
+
+    #[test]
+    fn install_returns_previous_recorder() {
+        with_clean_slot(|| {
+            install(Recorder::with_tick_clock());
+            marker("a.one");
+            let prev = install(Recorder::with_tick_clock());
+            let events = prev.unwrap().finish();
+            assert_eq!(events.len(), 1);
+            let _ = take();
+        });
+    }
+}

@@ -1,0 +1,168 @@
+//! The metrics registry: counters, gauges, and fixed-bound histograms.
+//!
+//! Metrics accumulate in-memory while a recorder is installed and are
+//! flushed as snapshot events (in sorted name order, for byte-stable
+//! output) when the recorder is drained. Storage is `BTreeMap`-based so
+//! iteration order never depends on hashing.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bound histogram: `bounds` are bucket upper bounds (inclusive),
+/// `counts` has one extra final slot for values above the last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with the given bucket upper bounds. Bounds are sorted
+    /// and non-finite entries are dropped; an overflow bucket is always
+    /// appended.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Bucket counts (one longer than [`Histogram::bounds`]).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// In-memory metric state for one recorder.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value`. Non-finite values are ignored so a
+    /// NaN can never reach the JSON encoder.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if value.is_finite() {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records `value` into the named histogram, creating it with `bounds`
+    /// on first use (later calls keep the original bounds).
+    pub fn histogram_observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// Counter snapshots in sorted name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauge snapshots in sorted name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Histogram snapshots in sorted name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when no metric of any kind has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::with_bounds(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // inclusive upper bound
+        h.observe(5.0);
+        h.observe(100.0); // overflow bucket
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_sorts_and_dedups_bounds() {
+        let h = Histogram::with_bounds(&[10.0, 1.0, 10.0, f64::INFINITY]);
+        assert_eq!(h.bounds(), &[1.0, 10.0]);
+        assert_eq!(h.counts().len(), 3);
+    }
+
+    #[test]
+    fn counters_accumulate_and_iterate_sorted() {
+        let mut m = MetricSet::new();
+        m.counter_add("b.second", 2);
+        m.counter_add("a.first", 1);
+        m.counter_add("b.second", 3);
+        let snap: Vec<(&str, u64)> = m.counters().collect();
+        assert_eq!(snap, vec![("a.first", 1), ("b.second", 5)]);
+    }
+
+    #[test]
+    fn gauges_ignore_non_finite() {
+        let mut m = MetricSet::new();
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", f64::NAN);
+        m.gauge_set("bad", f64::INFINITY);
+        let snap: Vec<(&str, f64)> = m.gauges().collect();
+        assert_eq!(snap, vec![("g", 1.5)]);
+    }
+
+    #[test]
+    fn histogram_keeps_first_bounds() {
+        let mut m = MetricSet::new();
+        m.histogram_observe("h", &[1.0], 0.5);
+        m.histogram_observe("h", &[99.0], 2.0);
+        let (_, h) = m.histograms().next().unwrap();
+        assert_eq!(h.bounds(), &[1.0]);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+}

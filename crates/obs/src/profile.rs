@@ -1,0 +1,150 @@
+//! Aggregation of an event stream into a per-stage pipeline profile.
+//!
+//! Stages are the first dotted segment of an event name (`sim`,
+//! `wavelet`, `neural`, `predictor`, `campaign`). The profile is what
+//! `report.rs` renders as the "Pipeline profile" section next to
+//! "Model health".
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated activity for one pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    /// Number of completed spans (span-exit events).
+    pub spans: u64,
+    /// Total clock ticks spent inside completed spans.
+    pub ticks: u64,
+    /// Number of marker events.
+    pub markers: u64,
+    /// Final counter values, by full metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values, by full metric name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Per-stage aggregation of a whole event stream.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineProfile {
+    stages: BTreeMap<String, StageProfile>,
+}
+
+impl PipelineProfile {
+    /// Builds a profile from recorded events.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut profile = PipelineProfile::default();
+        for e in events {
+            let stage = profile
+                .stages
+                .entry(e.stage().to_string())
+                .or_insert_with(StageProfile::default);
+            match e.kind {
+                EventKind::SpanExit => {
+                    stage.spans += 1;
+                    stage.ticks += e.ticks.unwrap_or(0);
+                }
+                EventKind::Marker => stage.markers += 1,
+                EventKind::Counter => {
+                    if let Some(count) = e.count {
+                        stage.counters.insert(e.name.clone(), count);
+                    }
+                }
+                EventKind::Gauge => {
+                    if let Some(value) = e.value {
+                        stage.gauges.insert(e.name.clone(), value);
+                    }
+                }
+                EventKind::SpanEnter | EventKind::Histogram => {}
+            }
+        }
+        profile
+    }
+
+    /// Stage profiles in sorted stage-name order.
+    pub fn stages(&self) -> impl Iterator<Item = (&str, &StageProfile)> {
+        self.stages.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when the stream contained no aggregatable events.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Renders the profile as a markdown fragment: a per-stage table
+    /// followed by final counter/gauge values. Deterministic (sorted
+    /// iteration, shortest round-trip floats) so reports stay
+    /// byte-comparable.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Pipeline profile ({} stages; ticks count recorder activity on \
+             the deterministic tick clock, not wall time):\n",
+            self.stages.len()
+        );
+        let _ = writeln!(
+            out,
+            "| stage | spans | ticks | markers |\n|---|---|---|---|"
+        );
+        for (name, s) in self.stages() {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                name, s.spans, s.ticks, s.markers
+            );
+        }
+        out.push('\n');
+        for (_, s) in self.stages() {
+            for (name, v) in &s.counters {
+                let _ = writeln!(out, "- `{name}` = {v}");
+            }
+            for (name, v) in &s.gauges {
+                let _ = writeln!(out, "- `{name}` = {v}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_stage() {
+        let mut exit = Event::new(1, 2, EventKind::SpanExit, "sim.run_trace");
+        exit.depth = Some(0);
+        exit.ticks = Some(7);
+        let mut counter = Event::new(2, 3, EventKind::Counter, "sim.intervals_retired");
+        counter.count = Some(64);
+        let mut gauge = Event::new(3, 4, EventKind::Gauge, "wavelet.coeff_energy_retained");
+        gauge.value = Some(0.5);
+        let marker = Event::new(4, 5, EventKind::Marker, "campaign.heartbeat");
+        let profile = PipelineProfile::from_events(&[exit, counter, gauge, marker]);
+
+        let stages: Vec<&str> = profile.stages().map(|(n, _)| n).collect();
+        assert_eq!(stages, vec!["campaign", "sim", "wavelet"]);
+        let (_, sim) = profile.stages().find(|(n, _)| *n == "sim").unwrap();
+        assert_eq!(sim.spans, 1);
+        assert_eq!(sim.ticks, 7);
+        assert_eq!(sim.counters.get("sim.intervals_retired"), Some(&64));
+    }
+
+    #[test]
+    fn markdown_render_is_stable() {
+        let mut counter = Event::new(0, 1, EventKind::Counter, "sim.intervals_retired");
+        counter.count = Some(3);
+        let profile = PipelineProfile::from_events(&[counter]);
+        let text = profile.render_markdown();
+        assert!(text.contains("Pipeline profile (1 stages"));
+        assert!(text.contains("| sim | 0 | 0 | 0 |"));
+        assert!(text.contains("- `sim.intervals_retired` = 3"));
+        assert_eq!(text, profile.render_markdown());
+    }
+
+    #[test]
+    fn empty_stream_is_empty_profile() {
+        assert!(PipelineProfile::from_events(&[]).is_empty());
+    }
+}

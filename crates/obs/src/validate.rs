@@ -1,0 +1,331 @@
+//! Stateful schema validation for obs JSON-lines streams.
+//!
+//! The validator checks every line against the versioned event schema:
+//! the `schema`/`v` header, kind-specific required fields, finite
+//! numbers, and stream-level invariants (strictly increasing `seq`,
+//! non-decreasing `tick`). It also accepts the bench harness's
+//! `"kind":"bench"` lines, which carry measurements instead of
+//! recorder state and therefore have no `seq`/`tick`.
+
+use crate::event::{EventKind, SCHEMA_NAME, SCHEMA_VERSION};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Aggregate result of validating a stream.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationSummary {
+    /// Lines that parsed and passed every schema check.
+    pub valid: u64,
+    /// Lines that failed (each with its 1-based line number and reason).
+    pub errors: Vec<(u64, String)>,
+    /// Distinct pipeline stages seen (first dotted segment of `name`).
+    pub stages: BTreeSet<String>,
+    /// Count of lines per event kind (including `"bench"`).
+    pub kinds: BTreeMap<String, u64>,
+}
+
+impl ValidationSummary {
+    /// True when every line validated.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The stages in `required` that never appeared in the stream.
+    pub fn missing_stages(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|s| !self.stages.contains(**s))
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// Line-by-line validator with cross-line state.
+#[derive(Debug, Default)]
+pub struct SchemaValidator {
+    line_no: u64,
+    last_seq: Option<u64>,
+    last_tick: Option<u64>,
+    summary: ValidationSummary,
+}
+
+impl SchemaValidator {
+    /// A fresh validator with no stream state.
+    pub fn new() -> Self {
+        SchemaValidator::default()
+    }
+
+    /// Validates one line (without its trailing newline). Empty lines are
+    /// ignored. Returns `Err(reason)` for an invalid line; the error is
+    /// also recorded in the summary.
+    pub fn check_line(&mut self, line: &str) -> Result<(), String> {
+        self.line_no += 1;
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        match self.check_inner(line) {
+            Ok(()) => {
+                self.summary.valid += 1;
+                Ok(())
+            }
+            Err(reason) => {
+                self.summary.errors.push((self.line_no, reason.clone()));
+                Err(reason)
+            }
+        }
+    }
+
+    /// Consumes the validator and returns the stream summary.
+    pub fn finish(self) -> ValidationSummary {
+        self.summary
+    }
+
+    fn check_inner(&mut self, line: &str) -> Result<(), String> {
+        let value = json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let obj = value.as_object().ok_or("line is not a JSON object")?;
+
+        match obj.get("schema").and_then(Value::as_str) {
+            Some(SCHEMA_NAME) => {}
+            Some(other) => return Err(format!("unknown schema '{other}'")),
+            None => return Err("missing 'schema' field".to_string()),
+        }
+        match obj.get("v").and_then(Value::as_u64) {
+            Some(SCHEMA_VERSION) => {}
+            Some(other) => return Err(format!("unsupported schema version {other}")),
+            None => return Err("missing or non-integer 'v' field".to_string()),
+        }
+
+        let kind = obj
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing 'kind' field")?
+            .to_string();
+        *self.summary.kinds.entry(kind.clone()).or_insert(0) += 1;
+
+        if kind == "bench" {
+            return check_bench(obj);
+        }
+
+        let parsed_kind =
+            EventKind::parse(&kind).ok_or_else(|| format!("unknown kind '{kind}'"))?;
+
+        let seq = obj
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer 'seq'")?;
+        if let Some(last) = self.last_seq {
+            if seq <= last {
+                return Err(format!("seq {seq} not greater than previous {last}"));
+            }
+        }
+        self.last_seq = Some(seq);
+
+        let tick = obj
+            .get("tick")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer 'tick'")?;
+        if let Some(last) = self.last_tick {
+            if tick < last {
+                return Err(format!("tick {tick} went backwards (previous {last})"));
+            }
+        }
+        self.last_tick = Some(tick);
+
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing 'name' field")?;
+        if name.is_empty() {
+            return Err("empty 'name'".to_string());
+        }
+        let stage = name.split('.').next().unwrap_or(name);
+        self.summary.stages.insert(stage.to_string());
+
+        check_kind_fields(parsed_kind, obj)
+    }
+}
+
+fn require_u64(obj: &BTreeMap<String, Value>, field: &str) -> Result<u64, String> {
+    obj.get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer '{field}'"))
+}
+
+fn require_finite(obj: &BTreeMap<String, Value>, field: &str) -> Result<f64, String> {
+    let v = obj
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric '{field}'"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("non-finite '{field}'"))
+    }
+}
+
+fn check_kind_fields(kind: EventKind, obj: &BTreeMap<String, Value>) -> Result<(), String> {
+    match kind {
+        EventKind::SpanEnter => {
+            require_u64(obj, "depth")?;
+        }
+        EventKind::SpanExit => {
+            require_u64(obj, "depth")?;
+            require_u64(obj, "ticks")?;
+        }
+        EventKind::Counter => {
+            require_u64(obj, "count")?;
+        }
+        EventKind::Gauge => {
+            require_finite(obj, "value")?;
+        }
+        EventKind::Histogram => {
+            let bounds = obj
+                .get("bounds")
+                .and_then(Value::as_array)
+                .ok_or("missing 'bounds' array")?;
+            for b in bounds {
+                let v = b.as_f64().ok_or("non-numeric histogram bound")?;
+                if !v.is_finite() {
+                    return Err("non-finite histogram bound".to_string());
+                }
+            }
+            let counts = obj
+                .get("counts")
+                .and_then(Value::as_array)
+                .ok_or("missing 'counts' array")?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "counts length {} != bounds length {} + 1",
+                    counts.len(),
+                    bounds.len()
+                ));
+            }
+            for c in counts {
+                c.as_u64().ok_or("non-integer histogram count")?;
+            }
+        }
+        EventKind::Marker => {}
+    }
+    Ok(())
+}
+
+fn check_bench(obj: &BTreeMap<String, Value>) -> Result<(), String> {
+    let bench = obj
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("bench line missing 'bench' name")?;
+    if bench.is_empty() {
+        return Err("empty 'bench' name".to_string());
+    }
+    require_finite(obj, "median_ns")?;
+    Ok(())
+}
+
+/// Validates a whole multi-line stream in one call.
+pub fn validate_stream(text: &str) -> ValidationSummary {
+    let mut v = SchemaValidator::new();
+    for line in text.lines() {
+        let _ = v.check_line(line);
+    }
+    v.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{encode_lines, Event};
+
+    fn ev(seq: u64, tick: u64, kind: EventKind, name: &str) -> Event {
+        Event::new(seq, tick, kind, name)
+    }
+
+    #[test]
+    fn recorder_output_validates_clean() {
+        let mut enter = ev(0, 1, EventKind::SpanEnter, "sim.run_trace");
+        enter.depth = Some(0);
+        let mut exit = ev(1, 2, EventKind::SpanExit, "sim.run_trace");
+        exit.depth = Some(0);
+        exit.ticks = Some(1);
+        let mut counter = ev(2, 3, EventKind::Counter, "sim.intervals_retired");
+        counter.count = Some(8);
+        let mut gauge = ev(3, 4, EventKind::Gauge, "wavelet.coeff_energy_retained");
+        gauge.value = Some(0.97);
+        let mut hist = ev(4, 5, EventKind::Histogram, "neural.nmse");
+        hist.bounds = Some(vec![1.0, 5.0]);
+        hist.counts = Some(vec![2, 1, 0]);
+        let marker = ev(5, 6, EventKind::Marker, "campaign.heartbeat");
+        let text = encode_lines(&[enter, exit, counter, gauge, hist, marker]);
+        let summary = validate_stream(&text);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.valid, 6);
+        assert!(summary.stages.contains("sim"));
+        assert!(summary.stages.contains("campaign"));
+        assert!(summary.missing_stages(&["sim", "neural"]).is_empty());
+        assert_eq!(summary.missing_stages(&["predictor"]), vec!["predictor"]);
+    }
+
+    #[test]
+    fn bench_lines_are_accepted_without_seq() {
+        let line = "{\"schema\":\"dynawave-obs\",\"v\":1,\"kind\":\"bench\",\
+                    \"bench\":\"dwt_1024\",\"median_ns\":1234.5}";
+        let summary = validate_stream(line);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.kinds.get("bench"), Some(&1));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_fields() {
+        for (line, why) in [
+            ("not json", "parse"),
+            ("{\"v\":1,\"kind\":\"marker\"}", "missing schema"),
+            (
+                "{\"schema\":\"other\",\"v\":1,\"kind\":\"marker\"}",
+                "wrong schema",
+            ),
+            (
+                "{\"schema\":\"dynawave-obs\",\"v\":2,\"kind\":\"marker\"}",
+                "wrong version",
+            ),
+            (
+                "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":0,\
+                 \"kind\":\"counter\",\"name\":\"x\"}",
+                "counter without count",
+            ),
+            (
+                "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":0,\
+                 \"kind\":\"hist\",\"name\":\"x\",\"bounds\":[1],\"counts\":[1]}",
+                "short counts",
+            ),
+        ] {
+            let summary = validate_stream(line);
+            assert!(!summary.is_clean(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn seq_must_strictly_increase_and_tick_not_regress() {
+        let good = "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":5,\
+                    \"kind\":\"marker\",\"name\":\"a.b\"}\n\
+                    {\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":5,\
+                    \"kind\":\"marker\",\"name\":\"a.b\"}";
+        let summary = validate_stream(good);
+        assert_eq!(summary.valid, 1);
+        assert_eq!(summary.errors.len(), 1);
+        assert!(summary.errors[0].1.contains("seq"));
+
+        let regress = "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":5,\
+                       \"kind\":\"marker\",\"name\":\"a.b\"}\n\
+                       {\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":1,\"tick\":4,\
+                       \"kind\":\"marker\",\"name\":\"a.b\"}";
+        let summary = validate_stream(regress);
+        assert!(summary.errors[0].1.contains("tick"));
+    }
+
+    #[test]
+    fn empty_lines_are_ignored() {
+        let summary = validate_stream("\n\n");
+        assert!(summary.is_clean());
+        assert_eq!(summary.valid, 0);
+    }
+}

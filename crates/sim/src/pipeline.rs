@@ -149,6 +149,7 @@ impl Simulator {
     where
         I: IntoIterator<Item = Instruction>,
     {
+        let _span = dynawave_obs::span("sim.run_trace");
         let c = &self.config;
         let mut intervals = Vec::with_capacity(opts.samples);
         let mut current = IntervalStats::default();
@@ -202,6 +203,11 @@ impl Simulator {
                 .saturating_sub(interval_start_cycle)
                 .max(1);
             intervals.push(current);
+        }
+        if dynawave_obs::is_enabled() {
+            dynawave_obs::counter_add("sim.intervals_retired", intervals.len() as u64);
+            let committed: u64 = intervals.iter().map(|i| i.instructions).sum();
+            dynawave_obs::counter_add("sim.instructions_committed", committed);
         }
         RunResult {
             config: self.config.clone(),
@@ -787,6 +793,40 @@ mod tests {
         let plain = run(Benchmark::Eon, MachineConfig::baseline());
         let managed = run(Benchmark::Eon, cfg);
         assert_eq!(plain.aggregate_cpi(), managed.aggregate_cpi());
+    }
+
+    #[test]
+    fn interval_edge_is_exact() {
+        // An instruction stream whose length lands exactly on a 128-
+        // instruction interval edge must produce only full intervals —
+        // no trailing partial — and conserve the instruction count.
+        let opts = SimOptions {
+            samples: 4,
+            interval_instructions: 128,
+            seed: 7,
+        };
+        let sim = Simulator::new(MachineConfig::baseline());
+        let exact = TraceGenerator::new(Benchmark::Gcc, 4 * 128, 7);
+        let r = sim.run_trace(exact, &opts);
+        assert_eq!(r.intervals.len(), 4);
+        assert!(r.intervals.iter().all(|i| i.instructions == 128));
+        assert_eq!(r.total_instructions(), 4 * 128);
+
+        // One instruction past the edge spills into a partial interval of
+        // exactly one instruction; nothing is lost or double-counted.
+        let over = TraceGenerator::new(Benchmark::Gcc, 4 * 128 + 1, 7);
+        let r = sim.run_trace(over, &opts);
+        assert_eq!(r.intervals.len(), 5);
+        assert!(r.intervals[..4].iter().all(|i| i.instructions == 128));
+        assert_eq!(r.intervals[4].instructions, 1);
+        assert_eq!(r.total_instructions(), 4 * 128 + 1);
+
+        // One short of the edge: the last interval is partial with 127.
+        let under = TraceGenerator::new(Benchmark::Gcc, 4 * 128 - 1, 7);
+        let r = sim.run_trace(under, &opts);
+        assert_eq!(r.intervals.len(), 4);
+        assert_eq!(r.intervals[3].instructions, 127);
+        assert_eq!(r.total_instructions(), 4 * 128 - 1);
     }
 
     #[test]

@@ -81,6 +81,19 @@ pub fn universal_threshold(dec: &Decomposition) -> f64 {
 /// applies the universal threshold there, and maps back. The orthonormal
 /// Daubechies-4 transform is thresholded directly.
 pub fn denoise(dec: &Decomposition, rule: Rule) -> Decomposition {
+    let _span = dynawave_obs::span("wavelet.denoise");
+    let out = denoise_inner(dec, rule);
+    if dynawave_obs::is_enabled() {
+        let energy = |d: &Decomposition| d.as_slice().iter().map(|c| c * c).sum::<f64>();
+        let before = energy(dec);
+        if before > 0.0 {
+            dynawave_obs::gauge_set("wavelet.coeff_energy_retained", energy(&out) / before);
+        }
+    }
+    out
+}
+
+fn denoise_inner(dec: &Decomposition, rule: Rule) -> Decomposition {
     match dec.wavelet() {
         crate::Wavelet::Daubechies4 => threshold(dec, universal_threshold(dec), rule),
         crate::Wavelet::Haar => {

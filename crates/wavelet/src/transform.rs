@@ -180,6 +180,7 @@ pub fn idwt(approx: &[f64], detail: &[f64], wavelet: Wavelet) -> Result<Vec<f64>
 /// }
 /// ```
 pub fn wavedec(data: &[f64], wavelet: Wavelet) -> Result<Decomposition, WaveletError> {
+    let _span = dynawave_obs::span("wavelet.wavedec");
     let n = data.len();
     if n < 2 || !n.is_power_of_two() {
         return Err(WaveletError::BadLength {
@@ -212,6 +213,7 @@ pub fn wavedec(data: &[f64], wavelet: Wavelet) -> Result<Decomposition, WaveletE
 /// editing via [`Decomposition::coeffs_mut`] only if the vector was
 /// resized).
 pub fn waverec(dec: &Decomposition) -> Result<Vec<f64>, WaveletError> {
+    let _span = dynawave_obs::span("wavelet.waverec");
     let n = dec.len();
     let coeffs = dec.as_slice();
     if coeffs.len() != n {

@@ -30,6 +30,7 @@ fn main() {
 
     // 1. Simulate a 60-point LHS training design (the expensive part).
     println!("simulating 60 training configurations of {bench} ...");
+    // dynalint:allow(D007) -- progress display for a long example run; no result depends on it
     let t0 = Instant::now();
     let train_points = lhs::sample(&space, 60, 7);
     let cpi_train = collect_traces(bench, &train_points, Metric::Cpi, &opts);
@@ -42,6 +43,7 @@ fn main() {
     let power_model = WaveletNeuralPredictor::train(&power_train, &params).expect("training");
 
     // 3. Sweep the ENTIRE test grid through the models.
+    // dynalint:allow(D007) -- progress display for a long example run; no result depends on it
     let t1 = Instant::now();
     let mut best: Option<(f64, f64, dynawave_sampling::DesignPoint)> = None;
     let mut feasible = 0usize;

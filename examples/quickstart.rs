@@ -7,14 +7,31 @@
 //! ```text
 //! cargo run --release -p dynawave-core --example quickstart
 //! ```
+//!
+//! Set `DYNAWAVE_TRACE=1` to record the run with `dynawave-obs`: the
+//! JSON-lines event stream goes to **stderr** (pipe it into
+//! `obs_validate` or any JSON-lines tool) and a per-stage "Pipeline
+//! profile" section is printed to stdout. The traced run also exercises a
+//! miniature journaled campaign, including a kill-and-resume, so the
+//! stream covers all five pipeline stages (sim, wavelet, neural,
+//! predictor, campaign).
 
-use dynawave_core::{collect_traces, trace_for, Metric, PredictorParams, WaveletNeuralPredictor};
+use dynawave_core::campaign::{CampaignRunner, CampaignSpec};
+use dynawave_core::experiment::ExperimentConfig;
+use dynawave_core::{
+    collect_traces, report, trace_for, Metric, PredictorParams, WaveletNeuralPredictor,
+};
 use dynawave_numeric::stats::nmse_percent;
 use dynawave_sampling::{lhs, random, DesignSpace, Split};
 use dynawave_sim::SimOptions;
 use dynawave_workloads::Benchmark;
 
 fn main() {
+    let tracing = std::env::var("DYNAWAVE_TRACE").map(|v| v == "1") == Ok(true);
+    if tracing {
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+    }
+
     // 1. The paper's 9-parameter design space (Table 2).
     let space = DesignSpace::micro2007();
     println!(
@@ -65,4 +82,44 @@ fn main() {
         actual.iter().cloned().fold(0.0f64, f64::max),
     );
     println!("NMSE: {:.2}%", nmse_percent(&actual, &forecast));
+
+    if tracing {
+        // 6. Under tracing, also run a miniature in-memory campaign with a
+        //    simulated kill-and-resume, so the event stream demonstrates
+        //    heartbeats and the `resumed_from` marker.
+        let spec = CampaignSpec::single(
+            Benchmark::Gcc,
+            Metric::Cpi,
+            ExperimentConfig {
+                train_points: 10,
+                test_points: 3,
+                samples: 16,
+                interval_instructions: 400,
+                seed: 42,
+                ..ExperimentConfig::default()
+            },
+        );
+        let mut first = CampaignRunner::new(spec.clone());
+        for _ in 0..5 {
+            first.run_next();
+        }
+        let mut resumed = CampaignRunner::resume(spec, &first.journal())
+            .expect("a runner's own journal always resumes");
+        while resumed.run_next().is_some() {}
+        let evals = resumed
+            .finish()
+            .expect("the default recovery policy cannot fail training");
+        println!(
+            "\ncampaign: {} unit(s) completed, median NMSE {:.2}%",
+            resumed.completed_count(),
+            evals[0].median_nmse()
+        );
+
+        // 7. Flush the recorder: JSON lines to stderr (machine channel),
+        //    human-readable profile to stdout.
+        let events = dynawave_obs::drain().expect("recorder was installed above");
+        eprint!("{}", dynawave_obs::encode_lines(&events));
+        println!();
+        print!("{}", report::pipeline_profile_section(&events));
+    }
 }

@@ -4,11 +4,18 @@ cd /root/repo
 # Tier-1 gate first: hermetic build + tests + static analysis +
 # formatting, plus the chaos (fault-injection + checkpoint/resume) pass —
 # a long campaign must be provably resumable and degradation-tolerant
-# before hours are spent regenerating figures.
-./ci.sh --chaos || { echo CI_FAILED; exit 1; }
+# before hours are spent regenerating figures — and the obs pass, which
+# schema-validates a traced quickstart end to end.
+./ci.sh --chaos --obs || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
 # bit-reproducible, so re-assert the lint gate explicitly.
 cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }
+# Refresh the committed perf baseline: one obs-schema JSON line per
+# microbenchmark (per-stage ns/op for sim, DWT, RBF fit/predict, and the
+# end-to-end pipeline with tracing off/on). Diff this file across PRs to
+# catch perf regressions and obs-overhead creep.
+cargo bench --offline -q -p dynawave-bench --bench microbench \
+  > BENCH_seed.json 2> results/bench.log && echo BENCH_OK || echo BENCH_FAIL
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
   echo "=== $fig ==="

@@ -81,6 +81,41 @@ fn end_to_end_nmse_is_identical_across_runs() {
 }
 
 #[test]
+fn obs_event_streams_are_byte_identical_across_runs() {
+    // Tracing must not perturb determinism, and must itself be
+    // deterministic: two identical seeded runs on the tick clock emit
+    // byte-identical JSON-lines streams.
+    let run = || {
+        let prior = dynawave_obs::take();
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+        let eval = evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg()).expect("pipeline runs");
+        let events = dynawave_obs::drain().expect("recorder was installed");
+        if let Some(prior) = prior {
+            dynawave_obs::install(prior);
+        }
+        (eval, dynawave_obs::encode_lines(&events))
+    };
+    let (eval_a, stream_a) = run();
+    let (eval_b, stream_b) = run();
+    assert_eq!(stream_a, stream_b, "traced event streams differ");
+    assert_eq!(eval_a.nmse_per_test, eval_b.nmse_per_test);
+    // The stream is schema-valid and covers the instrumented stages this
+    // path exercises.
+    let summary = dynawave_obs::validate_stream(&stream_a);
+    assert!(summary.is_clean(), "{:?}", summary.errors);
+    for stage in ["sim", "wavelet", "neural", "predictor", "experiment"] {
+        assert!(
+            summary.stages.contains(stage),
+            "stage {stage} missing from {:?}",
+            summary.stages
+        );
+    }
+    // An untraced run is unaffected by instrumentation.
+    let plain = evaluate_benchmark(Benchmark::Eon, Metric::Cpi, &cfg()).expect("pipeline runs");
+    assert_eq!(plain.nmse_per_test, eval_a.nmse_per_test);
+}
+
+#[test]
 fn chaos_runs_are_bit_identical_across_runs() {
     use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
     let cfg = cfg();

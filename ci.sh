@@ -14,12 +14,17 @@ cd "$(dirname "$0")"
 # --obs adds the observability pass: a traced quickstart run whose
 # JSON-lines event stream must validate with zero invalid lines and
 # cover all five pipeline stages.
+# --par adds the parallel-determinism pass: the concurrency test battery
+# plus a byte-for-byte comparison of the full-space demo's report at 1
+# and 4 worker threads — the report must not depend on thread count.
 CHAOS=0
 OBS=0
+PAR=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --obs) OBS=1 ;;
+    --par) PAR=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -47,6 +52,31 @@ if [ "$OBS" = 1 ]; then
     --example quickstart > /dev/null 2> "$OBS_STREAM"
   cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
     --require-stages sim,wavelet,neural,predictor,campaign < "$OBS_STREAM"
+fi
+
+if [ "$PAR" = 1 ]; then
+  echo "=== par: thread-count determinism matrix ==="
+  # The dedicated concurrency battery: byte-identical reports and
+  # journals across thread counts, kill-and-resume under 4 threads,
+  # chaos degradation independence, and the seeded interleaving
+  # stress harness against the sequential oracle.
+  cargo test -q --offline -p dynawave-core --test parallel
+  # Hard gate: the full-space demo's stdout (the report document) must
+  # be byte-identical at 1 and 4 worker threads. Small scale keeps the
+  # matrix cheap; stderr (timings) is machine-dependent and discarded.
+  PAR_T1="$(mktemp)"
+  PAR_T4="$(mktemp)"
+  # Keep the --obs temp file in the trap too: traps replace, not stack.
+  trap 'rm -f "${OBS_STREAM:-}" "$PAR_T1" "$PAR_T4"' EXIT
+  for t in 1 4; do
+    out="$PAR_T1"; [ "$t" = 4 ] && out="$PAR_T4"
+    DYNAWAVE_THREADS=$t DYNAWAVE_TRAIN=8 DYNAWAVE_TEST=3 \
+      DYNAWAVE_SAMPLES=8 DYNAWAVE_INTERVAL=400 \
+      cargo run -q --release --offline -p dynawave-core \
+      --example parallel_campaign > "$out" 2> /dev/null
+  done
+  cmp "$PAR_T1" "$PAR_T4"
+  echo "parallel reports byte-identical across thread counts"
 fi
 
 echo "=== dynawave-lint ==="

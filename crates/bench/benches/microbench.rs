@@ -217,6 +217,46 @@ fn bench_end_to_end(h: &Harness) {
     });
 }
 
+fn bench_campaign(h: &Harness) {
+    use dynawave_core::campaign::{run_journaled_parallel, shard_path, CampaignSpec};
+    use dynawave_core::experiment::ExperimentConfig;
+    use dynawave_core::Metric;
+    // The campaign/parallel pair: the same journaled campaign at 1 and 4
+    // worker threads. On a multi-core box the t4 line should approach a
+    // 4x lower median for the simulation phase (training is sequential);
+    // on a single hardware thread the pair instead bounds the sharding
+    // overhead — both are worth tracking in BENCH_*.json.
+    let spec = CampaignSpec::single(
+        Benchmark::Gcc,
+        Metric::Cpi,
+        ExperimentConfig {
+            train_points: 24,
+            test_points: 8,
+            samples: 32,
+            interval_instructions: 600,
+            seed: 61,
+            ..ExperimentConfig::default()
+        },
+    );
+    let units = spec.unit_count() as u64;
+    for threads in [1usize, 4] {
+        let path = std::env::temp_dir().join(format!(
+            "dynawave-bench-campaign-t{threads}-{}.journal",
+            std::process::id()
+        ));
+        h.bench(&format!("campaign/parallel/t{threads}"), units, || {
+            // Fresh campaign each iteration: a leftover journal would
+            // resume instead of simulate.
+            let _ = std::fs::remove_file(&path);
+            run_journaled_parallel(&spec, &path, threads).map(|evals| evals.len())
+        });
+        let _ = std::fs::remove_file(&path);
+        for shard in 0..threads {
+            let _ = std::fs::remove_file(shard_path(&path, shard));
+        }
+    }
+}
+
 fn main() {
     let h = Harness::new();
     bench_wavelet(&h);
@@ -225,6 +265,7 @@ fn main() {
     bench_trace_generation(&h);
     bench_sampling(&h);
     bench_end_to_end(&h);
+    bench_campaign(&h);
     // Benches run under `timeout` in CI; an unflushed stdout buffer there
     // would truncate the last JSON line mid-record.
     use std::io::Write as _;

@@ -19,6 +19,23 @@
 //! journal written under one configuration can never silently poison a
 //! resumed run under another.
 //!
+//! # Parallel execution
+//!
+//! Work units are independent by construction, so campaigns shard across
+//! worker threads ([`run_journaled_parallel`]; `std::thread` only — the
+//! workspace is hermetic). Unit `i` always belongs to shard `i % N`, each
+//! worker appends to its own `<journal>.shard<k>` sidecar in the same
+//! fingerprinted format, and completed traces merge back into canonical
+//! unit order — so the final report and the final journal are
+//! **byte-identical for any thread count**, including under kill-and-resume
+//! and fault injection (all fault-injection sites live in training, which
+//! stays sequential on the caller's thread). Sidecars record their shard
+//! count; resuming under a different `N` is refused with
+//! [`CampaignError::ShardMismatch`] instead of silently merging. See
+//! DESIGN.md §10 for the full determinism argument, and
+//! [`ShardedCampaign`] for the storage-agnostic core the stress harness
+//! drives.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -36,7 +53,7 @@
 //! ```
 
 use crate::dataset::{trace_for, Metric, TraceSet};
-use crate::experiment::{score_model, BenchmarkEvaluation, ExperimentConfig};
+use crate::experiment::{score_model, BenchmarkEvaluation, EnvConfigError, ExperimentConfig};
 use crate::predictor::WaveletNeuralPredictor;
 use dynawave_neural::ModelError;
 use dynawave_sampling::DesignPoint;
@@ -44,7 +61,7 @@ use dynawave_workloads::Benchmark;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Format tag on the first line of every campaign journal.
 const MAGIC: &str = "dynawave-campaign v1";
@@ -196,6 +213,22 @@ pub enum CampaignError {
         /// Units not yet simulated.
         remaining: usize,
     },
+    /// Shard journals on disk were written by a run with a different
+    /// worker count. Merging them silently would orphan units assigned to
+    /// shards that no longer exist, so the resume is refused.
+    ShardMismatch {
+        /// Shard count of the resuming run.
+        expected: usize,
+        /// Shard count recorded in the sidecar journal.
+        found: usize,
+    },
+    /// A worker thread died (panicked) mid-campaign.
+    Worker {
+        /// Which shard's worker failed.
+        shard: usize,
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
     /// Model training failed (possible only under a restrictive
     /// [`crate::RecoveryPolicy`]).
     Model(ModelError),
@@ -231,6 +264,15 @@ impl fmt::Display for CampaignError {
             ),
             CampaignError::Incomplete { remaining } => {
                 write!(f, "campaign has {remaining} pending units")
+            }
+            CampaignError::ShardMismatch { expected, found } => write!(
+                f,
+                "shard journals were written by a {found}-worker run but this run \
+                 uses {expected} worker(s); rerun with DYNAWAVE_THREADS={found} or \
+                 remove the .shard* sidecar files"
+            ),
+            CampaignError::Worker { shard, message } => {
+                write!(f, "campaign worker for shard {shard} failed: {message}")
             }
             CampaignError::Model(e) => write!(f, "model training failed: {e}"),
             CampaignError::Io(msg) => write!(f, "journal I/O failed: {msg}"),
@@ -333,13 +375,27 @@ impl CampaignRunner {
     /// units).
     pub fn resume(spec: CampaignSpec, journal: &str) -> Result<Self, CampaignError> {
         let mut runner = CampaignRunner::new(spec);
-        // Only newline-terminated lines are trustworthy: a kill mid-write
-        // leaves a partial final line, which resume must ignore.
-        let complete = match journal.rfind('\n') {
-            Some(last) => &journal[..=last],
-            None => "",
-        };
-        let mut lines = complete.lines().enumerate();
+        let mut lines = complete_lines(journal).lines().enumerate();
+        runner.check_header(&mut lines)?;
+        for (i, l) in lines {
+            runner.ingest_unit_line(i + 1, l)?;
+        }
+        if dynawave_obs::is_enabled() && !runner.completed.is_empty() {
+            dynawave_obs::marker_with_detail(
+                "campaign.resumed_from",
+                &format!("{} completed unit(s)", runner.completed.len()),
+            );
+            dynawave_obs::counter_add("campaign.units_resumed", runner.completed.len() as u64);
+        }
+        Ok(runner)
+    }
+
+    /// Validates the two-line journal header (magic + fingerprint) off the
+    /// front of `lines`, leaving the iterator at the first body line.
+    fn check_header<'a>(
+        &self,
+        lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    ) -> Result<(), CampaignError> {
         let (_, magic) = lines.next().ok_or(CampaignError::Malformed {
             line: 1,
             expected: "magic header",
@@ -358,70 +414,66 @@ impl CampaignRunner {
                 line: 2,
                 expected: "fingerprint <hex>",
             })?;
-        let expected = runner.spec.fingerprint();
+        let expected = self.spec.fingerprint();
         if found != expected {
             return Err(CampaignError::SpecMismatch { expected, found });
         }
-        for (i, l) in lines {
-            let line = i + 1;
-            if l.trim().is_empty() {
-                continue;
-            }
-            let mut parts = l.split_whitespace();
-            if parts.next() != Some("unit") {
-                return Err(CampaignError::Malformed {
-                    line,
-                    expected: "unit <benchmark> <metric> <train|test> <index> <samples...>",
-                });
-            }
-            let (bench, metric, role, idx) = match (
-                parts.next().and_then(Benchmark::from_name),
-                parts.next().and_then(Metric::parse),
-                parts.next().and_then(UnitRole::parse),
-                parts.next().and_then(|v| v.parse::<usize>().ok()),
-            ) {
-                (Some(b), Some(m), Some(r), Some(i)) => (b, m, r, i),
-                _ => return Err(CampaignError::UnknownUnit { line }),
-            };
-            let key = WorkUnit {
-                benchmark: bench,
-                metric,
-                role,
-                point_index: idx,
-            }
-            .key();
-            let unit_index = *runner
-                .index
-                .get(&key)
-                .ok_or(CampaignError::UnknownUnit { line })?;
-            let mut trace = Vec::with_capacity(runner.spec.config.samples);
-            for p in parts {
-                let v: f64 = p.parse().map_err(|_| CampaignError::Malformed {
-                    line,
-                    expected: "floating-point trace sample",
-                })?;
-                if !v.is_finite() {
-                    return Err(CampaignError::NonFinite { line });
-                }
-                trace.push(v);
-            }
-            if trace.len() != runner.spec.config.samples {
-                return Err(CampaignError::BadTraceLength {
-                    line,
-                    expected: runner.spec.config.samples,
-                    got: trace.len(),
-                });
-            }
-            runner.completed.insert(unit_index, trace);
+        Ok(())
+    }
+
+    /// Parses one `unit ...` journal body line (1-based `line` for error
+    /// reporting) and records its trace as completed.
+    fn ingest_unit_line(&mut self, line: usize, l: &str) -> Result<(), CampaignError> {
+        if l.trim().is_empty() {
+            return Ok(());
         }
-        if dynawave_obs::is_enabled() && !runner.completed.is_empty() {
-            dynawave_obs::marker_with_detail(
-                "campaign.resumed_from",
-                &format!("{} completed unit(s)", runner.completed.len()),
-            );
-            dynawave_obs::counter_add("campaign.units_resumed", runner.completed.len() as u64);
+        let mut parts = l.split_whitespace();
+        if parts.next() != Some("unit") {
+            return Err(CampaignError::Malformed {
+                line,
+                expected: "unit <benchmark> <metric> <train|test> <index> <samples...>",
+            });
         }
-        Ok(runner)
+        let (bench, metric, role, idx) = match (
+            parts.next().and_then(Benchmark::from_name),
+            parts.next().and_then(Metric::parse),
+            parts.next().and_then(UnitRole::parse),
+            parts.next().and_then(|v| v.parse::<usize>().ok()),
+        ) {
+            (Some(b), Some(m), Some(r), Some(i)) => (b, m, r, i),
+            _ => return Err(CampaignError::UnknownUnit { line }),
+        };
+        let key = WorkUnit {
+            benchmark: bench,
+            metric,
+            role,
+            point_index: idx,
+        }
+        .key();
+        let unit_index = *self
+            .index
+            .get(&key)
+            .ok_or(CampaignError::UnknownUnit { line })?;
+        let mut trace = Vec::with_capacity(self.spec.config.samples);
+        for p in parts {
+            let v: f64 = p.parse().map_err(|_| CampaignError::Malformed {
+                line,
+                expected: "floating-point trace sample",
+            })?;
+            if !v.is_finite() {
+                return Err(CampaignError::NonFinite { line });
+            }
+            trace.push(v);
+        }
+        if trace.len() != self.spec.config.samples {
+            return Err(CampaignError::BadTraceLength {
+                line,
+                expected: self.spec.config.samples,
+                got: trace.len(),
+            });
+        }
+        self.completed.insert(unit_index, trace);
+        Ok(())
     }
 
     /// The campaign spec this runner executes.
@@ -467,7 +519,19 @@ impl CampaignRunner {
     pub fn run_next(&mut self) -> Option<(WorkUnit, String)> {
         let i = self.next_pending()?;
         self.cursor = i;
-        let unit = self.units[i];
+        self.run_unit(i)
+    }
+
+    /// Simulates the unit at `index` if it is still pending, recording its
+    /// trace. Returns the unit and its newline-terminated journal line, or
+    /// `None` when `index` is out of range or already completed. This is
+    /// the random-access sibling of [`CampaignRunner::run_next`] that
+    /// sharded executors drive.
+    pub fn run_unit(&mut self, index: usize) -> Option<(WorkUnit, String)> {
+        if index >= self.units.len() || self.completed.contains_key(&index) {
+            return None;
+        }
+        let unit = self.units[index];
         let trace = trace_for(
             unit.benchmark,
             self.design_point(&unit),
@@ -475,13 +539,8 @@ impl CampaignRunner {
             &self.spec.config.sim_options(),
         );
         let line = journal_line(&unit, &trace);
-        self.completed.insert(i, trace);
-        if dynawave_obs::is_enabled() {
-            // Heartbeat per completed unit: a killed campaign's stream
-            // shows exactly how far it got.
-            dynawave_obs::marker_with_detail("campaign.heartbeat", &unit.key());
-            dynawave_obs::counter_add("campaign.units_done", 1);
-        }
+        self.completed.insert(index, trace);
+        observe_unit_done(&unit);
         Some((unit, line))
     }
 
@@ -562,6 +621,244 @@ impl CampaignRunner {
     }
 }
 
+/// A campaign partitioned into shards: unit `i` belongs to shard
+/// `i % shards`, always — the assignment depends only on the spec, never
+/// on thread scheduling, which is the first half of the determinism
+/// argument (DESIGN.md §10). The second half is the merge:
+/// completed traces land in the runner's `BTreeMap` keyed by canonical
+/// unit index, so [`ShardedCampaign::merged_journal`] and
+/// [`ShardedCampaign::finish`] are byte-identical for any shard count.
+///
+/// Like [`CampaignRunner`] this is storage-agnostic — [`ShardedCampaign::step`]
+/// advances one shard by one unit and hands back the journal line, and
+/// [`ShardedCampaign::ingest_shard_journal`] rebuilds progress from
+/// sidecar text — which is what lets the `dynawave-testkit` stress
+/// harness drive it through arbitrary interleavings and mid-run kills
+/// in-memory. The file-backed threaded driver is
+/// [`run_journaled_parallel`].
+#[derive(Debug, Clone)]
+pub struct ShardedCampaign {
+    runner: CampaignRunner,
+    shards: usize,
+    /// Unit indices owned by each shard, in canonical order.
+    queues: Vec<Vec<usize>>,
+}
+
+impl ShardedCampaign {
+    /// Partitions a fresh campaign into `shards` shards (clamped to at
+    /// least one).
+    pub fn new(spec: CampaignSpec, shards: usize) -> Self {
+        ShardedCampaign::from_runner(CampaignRunner::new(spec), shards)
+    }
+
+    /// Partitions an existing (possibly partially complete) runner.
+    pub fn from_runner(runner: CampaignRunner, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut queues = vec![Vec::new(); shards];
+        for i in 0..runner.units.len() {
+            queues[i % shards].push(i);
+        }
+        ShardedCampaign {
+            runner,
+            shards,
+            queues,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &CampaignRunner {
+        &self.runner
+    }
+
+    /// Unwraps the underlying runner.
+    pub fn into_runner(self) -> CampaignRunner {
+        self.runner
+    }
+
+    /// Number of completed units across all shards.
+    pub fn completed_count(&self) -> usize {
+        self.runner.completed_count()
+    }
+
+    /// `true` when every unit in every shard has a trace.
+    pub fn is_complete(&self) -> bool {
+        self.runner.is_complete()
+    }
+
+    /// Pending unit indices owned by `shard`, in canonical order.
+    pub fn pending_for_shard(&self, shard: usize) -> Vec<usize> {
+        self.queues
+            .get(shard)
+            .map(|q| {
+                q.iter()
+                    .copied()
+                    .filter(|i| !self.runner.completed.contains_key(i))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Runs `shard`'s next pending unit. Returns the unit and its journal
+    /// line (append it to the shard's sidecar before acting on the
+    /// result), or `None` when the shard index is out of range or the
+    /// shard has no pending work.
+    pub fn step(&mut self, shard: usize) -> Option<(WorkUnit, String)> {
+        let next = self
+            .queues
+            .get(shard)?
+            .iter()
+            .copied()
+            .find(|i| !self.runner.completed.contains_key(i))?;
+        self.runner.run_unit(next)
+    }
+
+    /// The full sidecar journal text for one shard: the canonical header,
+    /// a `shard <k> of <n>` declaration line, then one line per completed
+    /// unit owned by the shard, in canonical order.
+    pub fn shard_journal(&self, shard: usize) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "fingerprint {:016x}\n",
+            self.runner.spec.fingerprint()
+        ));
+        out.push_str(&format!("shard {shard} of {}\n", self.shards));
+        if let Some(queue) = self.queues.get(shard) {
+            for i in queue {
+                if let Some(trace) = self.runner.completed.get(i) {
+                    out.push_str(&journal_line(&self.runner.units[*i], trace));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replays one shard's sidecar journal into this campaign, returning
+    /// `(declared shard, units ingested)`. Tolerates a torn final line
+    /// (the kill signature), like [`CampaignRunner::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Header errors as in [`CampaignRunner::resume`], plus
+    /// [`CampaignError::ShardMismatch`] when the sidecar declares a
+    /// different shard count than this campaign uses, and
+    /// [`CampaignError::Malformed`] when the declared shard index is out
+    /// of range for the declared count.
+    pub fn ingest_shard_journal(&mut self, text: &str) -> Result<(usize, usize), CampaignError> {
+        let mut lines = complete_lines(text).lines().enumerate();
+        self.runner.check_header(&mut lines)?;
+        let declared = lines.next().and_then(|(_, l)| parse_shard_line(l)).ok_or(
+            CampaignError::Malformed {
+                line: 3,
+                expected: "shard <k> of <n>",
+            },
+        )?;
+        let (shard, of) = declared;
+        if of != self.shards {
+            return Err(CampaignError::ShardMismatch {
+                expected: self.shards,
+                found: of,
+            });
+        }
+        if shard >= of {
+            return Err(CampaignError::Malformed {
+                line: 3,
+                expected: "shard <k> of <n> with k < n",
+            });
+        }
+        let before = self.runner.completed.len();
+        for (i, l) in lines {
+            self.runner.ingest_unit_line(i + 1, l)?;
+        }
+        Ok((shard, self.runner.completed.len() - before))
+    }
+
+    /// The canonical merged journal for the current state — identical to
+    /// what a sequential [`CampaignRunner::journal`] produces from the
+    /// same completed set, whatever order the shards ran in.
+    pub fn merged_journal(&self) -> String {
+        self.runner.journal()
+    }
+
+    /// Trains and scores the completed campaign; see
+    /// [`CampaignRunner::finish`]. Training runs on the calling thread —
+    /// sequentially — which is what keeps fault-injection schedules (all
+    /// sites are solver-side) independent of the shard count.
+    pub fn finish(&self) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+        self.runner.finish()
+    }
+}
+
+/// `shard <k> of <n>` → `(k, n)`.
+fn parse_shard_line(l: &str) -> Option<(usize, usize)> {
+    let mut parts = l.split_whitespace();
+    if parts.next() != Some("shard") {
+        return None;
+    }
+    let shard = parts.next()?.parse().ok()?;
+    if parts.next() != Some("of") {
+        return None;
+    }
+    let of = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((shard, of))
+}
+
+/// Only newline-terminated lines of a journal are trustworthy: a kill
+/// mid-write leaves a partial final line, which must be ignored.
+fn complete_lines(journal: &str) -> &str {
+    match journal.rfind('\n') {
+        Some(last) => &journal[..=last],
+        None => "",
+    }
+}
+
+/// Per-unit completion heartbeat: a killed campaign's stream shows
+/// exactly how far it got, and the unit key in the marker detail is what
+/// the parallel merge sorts worker segments by.
+fn observe_unit_done(unit: &WorkUnit) {
+    if dynawave_obs::is_enabled() {
+        dynawave_obs::marker_with_detail("campaign.heartbeat", &unit.key());
+        dynawave_obs::counter_add("campaign.units_done", 1);
+    }
+}
+
+/// Worker count for parallel campaigns: `DYNAWAVE_THREADS` when set, the
+/// machine's available parallelism otherwise. Deliberately *not* part of
+/// [`ExperimentConfig`] — the journal fingerprint covers the config, and
+/// the whole point of the deterministic merge is that the same journal
+/// serves any thread count.
+///
+/// # Errors
+///
+/// [`EnvConfigError`] when `DYNAWAVE_THREADS` is set but is not a
+/// positive integer.
+pub fn threads_from_env() -> Result<usize, EnvConfigError> {
+    // dynalint:allow(D004) -- documented, explicit config entry point (mirrors ExperimentConfig::from_env)
+    match std::env::var("DYNAWAVE_THREADS") {
+        Ok(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvConfigError {
+                name: "DYNAWAVE_THREADS",
+                value,
+                expected: "a positive worker count",
+            }),
+        },
+        // dynalint:allow(D004) -- capacity probe at the documented entry point; affects wall-clock only, never report bytes
+        Err(_) => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+    }
+}
+
 /// Formats one completed unit as its journal line (newline-terminated).
 /// Floats use Rust's shortest round-trip representation, which is what
 /// makes a resumed campaign bit-identical to an uninterrupted one.
@@ -634,16 +931,240 @@ pub fn run_journaled(
     runner.finish()
 }
 
-/// Loads or initializes the journal-backed runner and rewrites the file
-/// so it is partial-tail-free before any new work starts.
-fn load_runner(spec: &CampaignSpec, path: &Path) -> Result<CampaignRunner, CampaignError> {
+/// Runs a campaign to completion across `threads` worker threads, each
+/// journaling to its own `<path>.shard<k>` sidecar, then merges into the
+/// canonical journal at `path` and deletes the sidecars. The returned
+/// evaluations, the final report, and the final journal bytes are
+/// identical to [`run_journaled`]'s for every thread count; with tracing
+/// enabled, each worker records to its own recorder and the streams merge
+/// deterministically in canonical unit order (see
+/// [`dynawave_obs::absorb_workers`]).
+///
+/// A killed parallel run resumes by calling this again with the same
+/// spec, path, and thread count; surviving sidecars (torn tails included)
+/// are replayed before new work starts. Resuming under a *different*
+/// thread count is refused with [`CampaignError::ShardMismatch`] — a
+/// completed canonical journal, however, has no sidecars and serves any
+/// thread count.
+///
+/// # Errors
+///
+/// Everything [`run_journaled`] can raise, plus
+/// [`CampaignError::ShardMismatch`] for foreign sidecars and
+/// [`CampaignError::Worker`] when a worker thread panics.
+pub fn run_journaled_parallel(
+    spec: &CampaignSpec,
+    path: &Path,
+    threads: usize,
+) -> Result<Vec<BenchmarkEvaluation>, CampaignError> {
+    let _span = dynawave_obs::span("campaign.run");
+    let threads = threads.max(1);
+    let mut sharded = load_sharded(spec, path, threads)?;
+    let traced = dynawave_obs::is_enabled();
+    let opts = sharded.runner.spec.config.sim_options();
+    // Snapshot each shard's pending work as (canonical index, unit,
+    // design point) so workers never touch shared state.
+    let work: Vec<Vec<(usize, WorkUnit, DesignPoint)>> = (0..threads)
+        .map(|shard| {
+            sharded
+                .pending_for_shard(shard)
+                .into_iter()
+                .map(|i| {
+                    let unit = sharded.runner.units[i];
+                    (i, unit, sharded.runner.design_point(&unit).clone())
+                })
+                .collect()
+        })
+        .collect();
+    let outcomes: Vec<Result<ShardOutcome, CampaignError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .iter()
+            .enumerate()
+            .map(|(shard, units)| {
+                let opts = &opts;
+                let sidecar = shard_path(path, shard);
+                scope.spawn(move || run_shard(units, opts, &sidecar, traced))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(shard, handle)| {
+                handle.join().unwrap_or_else(|payload| {
+                    Err(CampaignError::Worker {
+                        shard,
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            })
+            .collect()
+    });
+    let mut recorders = Vec::new();
+    for outcome in outcomes {
+        let ShardOutcome {
+            completed,
+            recorder,
+        } = outcome?;
+        for (i, trace) in completed {
+            sharded.runner.completed.insert(i, trace);
+        }
+        recorders.extend(recorder);
+    }
+    if traced {
+        // Sort worker event segments into canonical unit order so the
+        // merged stream is byte-identical for any thread count.
+        let order: BTreeMap<String, usize> = sharded.runner.index.clone();
+        dynawave_obs::absorb_workers(recorders, "campaign.heartbeat", move |detail| {
+            order.get(detail).map(|i| *i as u64).unwrap_or(u64::MAX)
+        });
+    }
+    std::fs::write(path, sharded.runner.journal()).map_err(io_err)?;
+    for shard in 0..threads {
+        let _ = std::fs::remove_file(shard_path(path, shard));
+    }
+    sharded.runner.finish()
+}
+
+/// What one worker thread hands back to the merge.
+struct ShardOutcome {
+    /// `(canonical unit index, trace)` for every unit the worker ran.
+    completed: Vec<(usize, Vec<f64>)>,
+    /// The worker's thread-local recorder, when tracing was on.
+    recorder: Option<dynawave_obs::Recorder>,
+}
+
+/// Worker body: simulate each assigned unit, appending its journal line
+/// to the shard's sidecar *before* moving on so the journal stays ahead
+/// of the computation.
+fn run_shard(
+    units: &[(usize, WorkUnit, DesignPoint)],
+    opts: &dynawave_sim::SimOptions,
+    sidecar: &Path,
+    traced: bool,
+) -> Result<ShardOutcome, CampaignError> {
+    if traced {
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+    }
+    let mut completed = Vec::with_capacity(units.len());
+    for (i, unit, point) in units {
+        let trace = trace_for(unit.benchmark, point, unit.metric, opts);
+        append(sidecar, &journal_line(unit, &trace))?;
+        observe_unit_done(unit);
+        completed.push((*i, trace));
+    }
+    Ok(ShardOutcome {
+        completed,
+        recorder: dynawave_obs::take(),
+    })
+}
+
+/// Best-effort stringification of a worker panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("worker panicked")
+    }
+}
+
+/// The sidecar journal path for one shard: `<path>.shard<k>`.
+pub fn shard_path(path: &Path, shard: usize) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".shard{shard}"));
+    PathBuf::from(name)
+}
+
+/// Finds `<path>.shard<k>` sidecars next to the canonical journal,
+/// returning `(k, text)` pairs sorted by `k`.
+fn discover_sidecars(path: &Path) -> Result<Vec<(usize, String)>, CampaignError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let prefix = match path.file_name().and_then(|n| n.to_str()) {
+        Some(stem) => format!("{stem}.shard"),
+        None => return Ok(Vec::new()),
+    };
+    let entries = match std::fs::read_dir(&parent) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(e)),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let shard = match name.to_str().and_then(|n| n.strip_prefix(&prefix)) {
+            Some(suffix) => match suffix.parse::<usize>() {
+                Ok(shard) => shard,
+                Err(_) => continue,
+            },
+            None => continue,
+        };
+        let text = std::fs::read_to_string(entry.path()).map_err(io_err)?;
+        found.push((shard, text));
+    }
+    found.sort_by_key(|(shard, _)| *shard);
+    Ok(found)
+}
+
+/// Loads or initializes the sharded campaign from the canonical journal
+/// plus any shard sidecars, then rewrites all of them partial-tail-free
+/// before new work starts. Sidecars declaring a different shard count are
+/// refused ([`CampaignError::ShardMismatch`]); sidecars whose declared
+/// index differs from their filename are corrupt
+/// ([`CampaignError::Malformed`]).
+fn load_sharded(
+    spec: &CampaignSpec,
+    path: &Path,
+    threads: usize,
+) -> Result<ShardedCampaign, CampaignError> {
     let runner = match std::fs::read_to_string(path) {
         Ok(text) => CampaignRunner::resume(spec.clone(), &text)?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => CampaignRunner::new(spec.clone()),
         Err(e) => return Err(io_err(e)),
     };
-    std::fs::write(path, runner.journal()).map_err(io_err)?;
-    Ok(runner)
+    let mut sharded = ShardedCampaign::from_runner(runner, threads);
+    let mut sidecar_units = 0;
+    for (file_shard, text) in discover_sidecars(path)? {
+        let (declared, ingested) = sharded.ingest_shard_journal(&text)?;
+        if declared != file_shard {
+            return Err(CampaignError::Malformed {
+                line: 3,
+                expected: "shard index matching the sidecar filename",
+            });
+        }
+        sidecar_units += ingested;
+    }
+    if dynawave_obs::is_enabled() && sidecar_units > 0 {
+        dynawave_obs::marker_with_detail(
+            "campaign.resumed_from",
+            &format!("{sidecar_units} sharded unit(s)"),
+        );
+        dynawave_obs::counter_add("campaign.units_resumed", sidecar_units as u64);
+    }
+    std::fs::write(path, sharded.runner.journal()).map_err(io_err)?;
+    for shard in 0..threads {
+        std::fs::write(shard_path(path, shard), sharded.shard_journal(shard)).map_err(io_err)?;
+    }
+    Ok(sharded)
+}
+
+/// Loads or initializes the journal-backed runner and rewrites the file
+/// so it is partial-tail-free before any new work starts.
+///
+/// Sequential execution is the one-shard case: a sidecar left by a killed
+/// single-thread parallel run folds back into the canonical journal, but
+/// sidecars from a multi-thread run are refused
+/// ([`CampaignError::ShardMismatch`]) instead of silently merged.
+fn load_runner(spec: &CampaignSpec, path: &Path) -> Result<CampaignRunner, CampaignError> {
+    let sharded = load_sharded(spec, path, 1)?;
+    // The canonical rewrite above already folded shard 0 in; a sequential
+    // run appends to the canonical journal only, so drop the sidecar.
+    let _ = std::fs::remove_file(shard_path(path, 0));
+    Ok(sharded.into_runner())
 }
 
 fn append(path: &Path, text: &str) -> Result<(), CampaignError> {
@@ -820,6 +1341,114 @@ mod tests {
         while resumed.run_next().is_some() {}
         let resumed_report = report::full_report("campaign", &resumed.finish().unwrap());
         assert_eq!(ref_report, resumed_report);
+    }
+
+    #[test]
+    fn sharded_merge_is_byte_identical_to_sequential_for_any_shard_count() {
+        let spec = tiny_spec();
+        let mut sequential = CampaignRunner::new(spec.clone());
+        while sequential.run_next().is_some() {}
+        let want = sequential.journal();
+        for shards in [1, 2, 3, 5, 16, 17] {
+            let mut sharded = ShardedCampaign::new(spec.clone(), shards);
+            // Drain shards round-robin — any schedule reaches the same
+            // merged bytes.
+            loop {
+                let mut progressed = false;
+                for shard in 0..sharded.shards() {
+                    progressed |= sharded.step(shard).is_some();
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            assert!(sharded.is_complete());
+            assert_eq!(sharded.merged_journal(), want, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn shard_journals_roundtrip_with_torn_tails() {
+        let spec = tiny_spec();
+        let mut sharded = ShardedCampaign::new(spec.clone(), 3);
+        for _ in 0..2 {
+            for shard in 0..3 {
+                sharded.step(shard);
+            }
+        }
+        let mut rebuilt = ShardedCampaign::new(spec, 3);
+        for shard in 0..3 {
+            let text = sharded.shard_journal(shard);
+            // Tear the tail of one sidecar, as a kill mid-write would.
+            let text = if shard == 1 {
+                &text[..text.len() - 9]
+            } else {
+                &text
+            };
+            let (declared, _) = rebuilt.ingest_shard_journal(text).unwrap();
+            assert_eq!(declared, shard);
+        }
+        // Shard 1 lost its torn final unit; everything else survived.
+        assert_eq!(rebuilt.completed_count(), 5);
+    }
+
+    #[test]
+    fn ingest_refuses_foreign_shard_counts_and_bad_indices() {
+        let spec = tiny_spec();
+        let four = ShardedCampaign::new(spec.clone(), 4);
+        let mut two = ShardedCampaign::new(spec.clone(), 2);
+        assert!(matches!(
+            two.ingest_shard_journal(&four.shard_journal(0)),
+            Err(CampaignError::ShardMismatch {
+                expected: 2,
+                found: 4,
+            })
+        ));
+        let mut corrupt = ShardedCampaign::new(spec, 2);
+        let text = two.shard_journal(0).replace("shard 0 of 2", "shard 7 of 2");
+        assert!(matches!(
+            corrupt.ingest_shard_journal(&text),
+            Err(CampaignError::Malformed { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_loader_rejects_sidecars_from_a_multi_thread_run() {
+        // The satellite fix: load_runner must refuse a shard-count
+        // mismatch instead of silently merging sidecar journals.
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "dynawave-unit-shardrefusal-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut sharded = ShardedCampaign::new(spec.clone(), 4);
+        sharded.step(2);
+        std::fs::write(shard_path(&path, 2), sharded.shard_journal(2)).unwrap();
+        let got = load_runner(&spec, &path);
+        assert!(
+            matches!(
+                got,
+                Err(CampaignError::ShardMismatch {
+                    expected: 1,
+                    found: 4,
+                })
+            ),
+            "{got:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(shard_path(&path, 2));
+        let _ = std::fs::remove_file(shard_path(&path, 0));
+    }
+
+    #[test]
+    fn shard_line_parses_strictly() {
+        assert_eq!(parse_shard_line("shard 3 of 8"), Some((3, 8)));
+        assert_eq!(parse_shard_line("shard 3 of"), None);
+        assert_eq!(parse_shard_line("shard x of 8"), None);
+        assert_eq!(parse_shard_line("shard 3 of 8 extra"), None);
+        assert_eq!(parse_shard_line("unit eon cpi train 0"), None);
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod predictor;
 pub mod recovery;
 pub mod report;
 
+pub use campaign::{run_journaled, run_journaled_parallel, threads_from_env, ShardedCampaign};
 pub use dataset::{collect_domain_traces, collect_traces, trace_for, Metric, TraceSet};
 pub use predictor::{
     CoefficientSelection, ModelKind, PortableCoeffModel, PortableModel, PredictorParams,

@@ -6,7 +6,7 @@
 //! | D001 | `.unwrap()` / `.expect(…)` in non-test library code | library panics abort whole experiment runs |
 //! | D002 | `panic!` / `todo!` / `unimplemented!` outside tests and bins | same; use the crate error types |
 //! | D003 | `==` / `!=` against a float literal | bit-level float equality is almost never intended |
-//! | D004 | `std::time`, `thread::sleep`, `std::env`, `Instant`, `SystemTime`, `HashMap`, `HashSet` outside the harness crates | wall-clock, environment and randomized hash iteration break bit-reproducibility |
+//! | D004 | `std::time`, `thread::sleep`, `thread::available_parallelism`, `thread::current`, `std::env`, `Instant`, `SystemTime`, `HashMap`, `HashSet`, `ThreadId` outside the harness crates | wall-clock, environment, machine capacity, thread identity and randomized hash iteration break bit-reproducibility |
 //! | D005 | non-`path` dependencies in any `Cargo.toml` | the workspace is hermetic by policy |
 //! | D006 | `unsafe` anywhere | `#![forbid(unsafe_code)]` is workspace policy |
 //! | D007 | `Instant::now()` / `SystemTime` anywhere — tests included — outside the harness crates and the obs clock impls | wall-clock reads belong behind `dynawave_obs::Clock`, so even test timing is deterministic |
@@ -305,9 +305,15 @@ fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
 }
 
 /// Nondeterministic two-segment paths (`std::time`, `thread::sleep`, …).
-const NONDET_PATHS: [(&str, &str); 6] = [
+/// `thread::available_parallelism` and `thread::current` are
+/// machine/schedule-dependent: worker counts must flow through the
+/// documented config entry points (where the allow is explicit) and
+/// nothing may branch on thread identity.
+const NONDET_PATHS: [(&str, &str); 8] = [
     ("std", "time"),
     ("thread", "sleep"),
+    ("thread", "available_parallelism"),
+    ("thread", "current"),
     ("env", "var"),
     ("env", "vars"),
     ("env", "var_os"),
@@ -315,8 +321,9 @@ const NONDET_PATHS: [(&str, &str); 6] = [
 ];
 
 /// Nondeterministic bare identifiers. `HashMap` / `HashSet` use a
-/// randomized hasher, so their iteration order differs between runs.
-const NONDET_IDENTS: [&str; 4] = ["Instant", "SystemTime", "HashMap", "HashSet"];
+/// randomized hasher, so their iteration order differs between runs;
+/// `ThreadId` values depend on spawn order and recycling.
+const NONDET_IDENTS: [&str; 5] = ["Instant", "SystemTime", "HashMap", "HashSet", "ThreadId"];
 
 /// Lints one Rust source file. `path` must be workspace-relative with
 /// `/` separators; it determines which rules apply (see [`classify`]).

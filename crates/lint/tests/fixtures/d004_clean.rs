@@ -10,7 +10,13 @@ pub fn ordered_iteration() -> usize {
 }
 
 pub fn describe() -> &'static str {
-    "strings may say std::time::Instant and HashMap freely"
+    "strings may say std::time::Instant, HashMap, ThreadId and thread::available_parallelism freely"
+}
+
+pub fn scoped_workers(n: usize) -> usize {
+    // Spawning threads is fine in itself — determinism comes from what
+    // the code *reads*, and a fixed worker count reads nothing ambient.
+    std::thread::scope(|_| n)
 }
 
 #[cfg(test)]

@@ -19,3 +19,13 @@ pub fn randomized_iteration() -> usize {
     let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     m.len()
 }
+
+pub fn machine_width() -> usize {
+    // Capacity probes are machine-dependent: worker counts must come
+    // through a documented, explicitly-allowed config entry point.
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub fn thread_identity() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

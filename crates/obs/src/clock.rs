@@ -13,8 +13,10 @@
 ///
 /// Implementations must be monotonic (each call returns a value `>=` the
 /// previous one) but need not be related to wall time at all — the default
-/// [`TickClock`] counts reads, not nanoseconds.
-pub trait Clock {
+/// [`TickClock`] counts reads, not nanoseconds. Clocks are `Send` so a
+/// worker thread's recorder can be handed back to the coordinating thread
+/// for a deterministic merge (see `Recorder::absorb_workers`).
+pub trait Clock: Send {
     /// Returns the current timestamp in clock-defined units.
     fn now(&mut self) -> u64;
 }

@@ -118,6 +118,78 @@ impl Recorder {
         self.events.is_empty() && self.metrics.is_empty()
     }
 
+    /// Merges worker recorders into this one, deterministically.
+    ///
+    /// Parallel executors give every worker thread its own recorder; this
+    /// is the merge sink. Each worker's event stream is split into
+    /// *segments*: runs of events ending at a `boundary` marker (one per
+    /// completed work unit, the marker's `detail` naming the unit). All
+    /// segments are then stably sorted by `(order(detail), worker index)`
+    /// and appended here with fresh `seq`/`tick` numbering, so the merged
+    /// stream is byte-identical for any worker count as long as the
+    /// segment set is — the canonical unit order, not the racy thread
+    /// schedule, decides placement. Events after a worker's last boundary
+    /// marker (an aborted unit's partial span, say) sort after every
+    /// complete segment, in worker order.
+    ///
+    /// Renumbering keeps the schema validator green: `seq` stays strictly
+    /// increasing and `tick` non-decreasing (each appended event takes the
+    /// next tick from this recorder's clock). Span enter/exit pairs must
+    /// not cross a boundary marker, otherwise their `ticks` deltas are
+    /// recomputed from the merged clock. Worker metrics fold in through
+    /// [`MetricSet::merge`] — counters sum, histograms with identical
+    /// bounds sum, gauges take the value from the highest-ordered segment
+    /// owner's set (sets merge in worker order).
+    pub fn absorb_workers<F>(&mut self, workers: Vec<Recorder>, boundary: &str, order: F)
+    where
+        F: Fn(&str) -> u64,
+    {
+        let mut segments: Vec<(u64, usize, Vec<Event>)> = Vec::new();
+        for (worker, recorder) in workers.into_iter().enumerate() {
+            let Recorder {
+                events, metrics, ..
+            } = recorder;
+            self.metrics.merge(&metrics);
+            let mut current: Vec<Event> = Vec::new();
+            for event in events {
+                let boundary_key = if event.kind == EventKind::Marker && event.name == boundary {
+                    event.detail.as_deref().map(&order)
+                } else {
+                    None
+                };
+                current.push(event);
+                if let Some(key) = boundary_key {
+                    segments.push((key, worker, std::mem::take(&mut current)));
+                }
+            }
+            if !current.is_empty() {
+                segments.push((u64::MAX, worker, current));
+            }
+        }
+        segments.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        for (_, _, segment) in segments {
+            let mut enter_ticks: Vec<u64> = Vec::new();
+            for mut event in segment {
+                event.seq = self.seq;
+                self.seq += 1;
+                event.tick = self.clock.now();
+                match event.kind {
+                    EventKind::SpanEnter => enter_ticks.push(event.tick),
+                    EventKind::SpanExit => {
+                        // Recompute the delta on the merged clock so exit
+                        // ticks stay consistent with their (renumbered)
+                        // enters. Unmatched exits keep the worker's delta.
+                        if let Some(enter) = enter_ticks.pop() {
+                            event.ticks = Some(event.tick.saturating_sub(enter));
+                        }
+                    }
+                    _ => {}
+                }
+                self.events.push(event);
+            }
+        }
+    }
+
     /// Consumes the recorder, appending one snapshot event per metric
     /// (counters, then gauges, then histograms, each in sorted name
     /// order) and returning the full ordered stream.
@@ -245,6 +317,16 @@ pub fn marker_with_detail(name: &str, detail: &str) {
     });
 }
 
+/// Merges worker recorders into this thread's active recorder via
+/// [`Recorder::absorb_workers`]. A no-op (the workers are dropped) when no
+/// recorder is installed — matching every other free function here.
+pub fn absorb_workers<F>(workers: Vec<Recorder>, boundary: &str, order: F)
+where
+    F: Fn(&str) -> u64,
+{
+    with_recorder(|rec| rec.absorb_workers(workers, boundary, order));
+}
+
 /// Opens a span scoped to the rest of the enclosing block:
 /// `span!("sim.run_trace");` is shorthand for binding [`span`]'s guard
 /// to a local.
@@ -354,6 +436,95 @@ mod tests {
             assert_eq!(events[0].kind, EventKind::SpanEnter);
             assert_eq!(events[1].name, "neural.mid");
             assert_eq!(events[2].kind, EventKind::SpanExit, "exit after marker");
+        });
+    }
+
+    #[test]
+    fn absorb_workers_orders_segments_canonically_and_renumbers() {
+        with_clean_slot(|| {
+            // Two workers complete interleaved units; the merge must land
+            // them in canonical unit order regardless of which worker ran
+            // them, with strictly increasing seq and valid span deltas.
+            let make_worker = |units: &[&str]| {
+                let mut rec = Recorder::with_tick_clock();
+                for unit in units {
+                    let tick = rec.clock.now();
+                    let seq = rec.seq;
+                    rec.seq += 1;
+                    rec.events
+                        .push(Event::new(seq, tick, EventKind::SpanEnter, "sim.run_trace"));
+                    rec.events.last_mut().unwrap().depth = Some(0);
+                    let tick = rec.clock.now();
+                    let seq = rec.seq;
+                    rec.seq += 1;
+                    rec.events
+                        .push(Event::new(seq, tick, EventKind::SpanExit, "sim.run_trace"));
+                    rec.events.last_mut().unwrap().depth = Some(0);
+                    rec.events.last_mut().unwrap().ticks = Some(1);
+                    let tick = rec.clock.now();
+                    let seq = rec.seq;
+                    rec.seq += 1;
+                    rec.events
+                        .push(Event::new(seq, tick, EventKind::Marker, "unit.done"));
+                    rec.events.last_mut().unwrap().detail = Some(unit.to_string());
+                    rec.metrics.counter_add("units", 1);
+                }
+                rec
+            };
+            let worker_a = make_worker(&["1", "3"]);
+            let worker_b = make_worker(&["0", "2"]);
+            install(Recorder::with_tick_clock());
+            marker("before");
+            absorb_workers(vec![worker_a, worker_b], "unit.done", |d| {
+                d.parse::<u64>().unwrap_or(u64::MAX)
+            });
+            let events = drain().unwrap();
+            let details: Vec<&str> = events
+                .iter()
+                .filter(|e| e.name == "unit.done")
+                .filter_map(|e| e.detail.as_deref())
+                .collect();
+            assert_eq!(details, vec!["0", "1", "2", "3"]);
+            let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+            assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>());
+            let stream = encode_lines(&events);
+            assert!(validate_stream(&stream).is_clean());
+            // Worker counters summed into the main metric snapshot.
+            let units = events.iter().find(|e| e.name == "units").unwrap();
+            assert_eq!(units.count, Some(4));
+        });
+    }
+
+    #[test]
+    fn absorb_workers_merge_is_identical_for_any_worker_split() {
+        with_clean_slot(|| {
+            // The same four units split across 1 vs 2 workers must encode
+            // to identical bytes after the merge.
+            let run_split = |splits: &[&[&str]]| {
+                let workers: Vec<Recorder> = splits
+                    .iter()
+                    .map(|units| {
+                        let mut rec = Recorder::with_tick_clock();
+                        for unit in *units {
+                            let tick = rec.clock.now();
+                            let seq = rec.seq;
+                            rec.seq += 1;
+                            rec.events
+                                .push(Event::new(seq, tick, EventKind::Marker, "unit.done"));
+                            rec.events.last_mut().unwrap().detail = Some(unit.to_string());
+                        }
+                        rec
+                    })
+                    .collect();
+                install(Recorder::with_tick_clock());
+                absorb_workers(workers, "unit.done", |d| {
+                    d.parse::<u64>().unwrap_or(u64::MAX)
+                });
+                encode_lines(&drain().unwrap())
+            };
+            let one = run_split(&[&["0", "1", "2", "3"]]);
+            let two = run_split(&[&["1", "3"], &["0", "2"]]);
+            assert_eq!(one, two);
         });
     }
 

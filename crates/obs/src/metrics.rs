@@ -54,6 +54,18 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Adds another histogram's counts into this one, bucket by bucket.
+    /// The two must have been created with identical bounds; mismatched
+    /// bounds leave `self` untouched (the merge is a best-effort
+    /// aggregation, not a schema migration).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *mine += theirs;
+            }
+        }
+    }
 }
 
 /// In-memory metric state for one recorder.
@@ -111,6 +123,28 @@ impl MetricSet {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
+
+    /// Folds another metric set into this one: counters sum, gauges take
+    /// the incoming value (callers control determinism by merging sets in
+    /// a stable order), and histograms with matching bounds sum bucket by
+    /// bucket. `BTreeMap` storage keeps the merged snapshot order
+    /// byte-stable regardless of how many sets were folded in.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (name, delta) in other.counters() {
+            self.counter_add(name, delta);
+        }
+        for (name, value) in other.gauges() {
+            self.gauge_set(name, value);
+        }
+        for (name, hist) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.to_string(), hist.clone());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +188,40 @@ mod tests {
         m.gauge_set("bad", f64::INFINITY);
         let snap: Vec<(&str, f64)> = m.gauges().collect();
         assert_eq!(snap, vec![("g", 1.5)]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_matching_histograms() {
+        let mut a = MetricSet::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 1.0);
+        a.histogram_observe("h", &[1.0, 10.0], 0.5);
+        let mut b = MetricSet::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 2.5);
+        b.histogram_observe("h", &[1.0, 10.0], 5.0);
+        b.histogram_observe("h2", &[4.0], 1.0);
+        a.merge(&b);
+        let counters: Vec<(&str, u64)> = a.counters().collect();
+        assert_eq!(counters, vec![("c", 5), ("only_b", 1)]);
+        let gauges: Vec<(&str, f64)> = a.gauges().collect();
+        assert_eq!(gauges, vec![("g", 2.5)]);
+        let hists: Vec<(&str, &Histogram)> = a.histograms().collect();
+        assert_eq!(hists[0].1.counts(), &[1, 1, 0]);
+        assert_eq!(hists[1].0, "h2");
+    }
+
+    #[test]
+    fn merge_ignores_histograms_with_different_bounds() {
+        let mut a = MetricSet::new();
+        a.histogram_observe("h", &[1.0], 0.5);
+        let mut b = MetricSet::new();
+        b.histogram_observe("h", &[2.0], 0.5);
+        a.merge(&b);
+        let (_, h) = a.histograms().next().unwrap();
+        assert_eq!(h.bounds(), &[1.0]);
+        assert_eq!(h.counts(), &[1, 0]);
     }
 
     #[test]

@@ -52,8 +52,10 @@ use dynawave_numeric::rng::{derive_seed, splitmix64};
 
 pub mod gen;
 mod shrink;
+pub mod stress;
 
 pub use shrink::Shrink;
+pub use stress::{stress_parallel, StressOp, StressPlan};
 
 /// Outcome of a single property case: `Err` carries the failure message.
 pub type CaseResult = Result<(), String>;

@@ -4,9 +4,10 @@ cd /root/repo
 # Tier-1 gate first: hermetic build + tests + static analysis +
 # formatting, plus the chaos (fault-injection + checkpoint/resume) pass —
 # a long campaign must be provably resumable and degradation-tolerant
-# before hours are spent regenerating figures — and the obs pass, which
-# schema-validates a traced quickstart end to end.
-./ci.sh --chaos --obs || { echo CI_FAILED; exit 1; }
+# before hours are spent regenerating figures — the obs pass, which
+# schema-validates a traced quickstart end to end, and the par pass,
+# which proves reports are byte-identical across worker thread counts.
+./ci.sh --chaos --obs --par || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
 # bit-reproducible, so re-assert the lint gate explicitly.
 cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }
@@ -16,6 +17,11 @@ cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1;
 # catch perf regressions and obs-overhead creep.
 cargo bench --offline -q -p dynawave-bench --bench microbench \
   > BENCH_seed.json 2> results/bench.log && echo BENCH_OK || echo BENCH_FAIL
+# Parallel-campaign baseline: full-space campaign wall clock at 1 vs 4
+# worker threads plus the derived speedup and the machine's available
+# parallelism (the speedup is only interpretable next to that number).
+cargo run -q --release --offline -p dynawave-bench --bin campaign_parallel \
+  > BENCH_6.json 2> results/bench_parallel.log && echo BENCH6_OK || echo BENCH6_FAIL
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
   echo "=== $fig ==="

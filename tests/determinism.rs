@@ -116,6 +116,59 @@ fn obs_event_streams_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn traced_parallel_campaign_streams_are_byte_identical_across_runs() {
+    use dynawave_core::campaign::{run_journaled_parallel, shard_path, CampaignSpec};
+    // Four worker threads, each with its own thread-local recorder; the
+    // merged stream must be deterministic run to run, schema-valid, and
+    // cover the same stages `obs_validate --require-stages` gates on in
+    // CI.
+    let spec = CampaignSpec::single(
+        Benchmark::Eon,
+        Metric::Cpi,
+        ExperimentConfig {
+            train_points: 10,
+            test_points: 4,
+            samples: 16,
+            interval_instructions: 400,
+            seed: 20260808,
+            ..ExperimentConfig::default()
+        },
+    );
+    let run = |tag: &str| {
+        let journal = std::env::temp_dir().join(format!(
+            "dynawave-determinism-par-{}-{tag}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        let prior = dynawave_obs::take();
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+        let evals = run_journaled_parallel(&spec, &journal, 4).expect("campaign runs");
+        let events = dynawave_obs::drain().expect("recorder was installed");
+        if let Some(prior) = prior {
+            dynawave_obs::install(prior);
+        }
+        let _ = std::fs::remove_file(&journal);
+        for shard in 0..4 {
+            let _ = std::fs::remove_file(shard_path(&journal, shard));
+        }
+        (evals, dynawave_obs::encode_lines(&events))
+    };
+    let (evals_a, stream_a) = run("a");
+    let (evals_b, stream_b) = run("b");
+    assert_eq!(stream_a, stream_b, "traced parallel streams differ");
+    assert_eq!(evals_a[0].nmse_per_test, evals_b[0].nmse_per_test);
+    let summary = dynawave_obs::validate_stream(&stream_a);
+    assert!(summary.is_clean(), "{:?}", summary.errors);
+    for stage in ["sim", "wavelet", "neural", "predictor", "campaign"] {
+        assert!(
+            summary.stages.contains(stage),
+            "stage {stage} missing from {:?}",
+            summary.stages
+        );
+    }
+}
+
+#[test]
 fn chaos_runs_are_bit_identical_across_runs() {
     use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
     let cfg = cfg();

@@ -13,21 +13,35 @@ cd "$(dirname "$0")"
 # campaign checkpoint/resume suite.
 # --obs adds the observability pass: a traced quickstart run whose
 # JSON-lines event stream must validate with zero invalid lines and
-# cover all five pipeline stages.
+# cover all five pipeline stages, and whose derived `obs_report` render
+# must be byte-identical at 1 and 4 worker threads.
 # --par adds the parallel-determinism pass: the concurrency test battery
 # plus a byte-for-byte comparison of the full-space demo's report at 1
 # and 4 worker threads — the report must not depend on thread count.
+# --perf adds the perf-trajectory ratchet: a quick microbench subset
+# diffed against the committed BENCH_seed.json baseline with
+# compare_bench. Soft by default (regressions warn, like the lint
+# baseline); --strict-perf turns flagged regressions into failures.
 CHAOS=0
 OBS=0
 PAR=0
+PERF=0
+STRICT_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --obs) OBS=1 ;;
     --par) PAR=1 ;;
+    --perf) PERF=1 ;;
+    --strict-perf) PERF=1; STRICT_PERF=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+# One scratch dir for every optional pass; traps replace, so a single
+# EXIT trap owning a single tree is the robust shape.
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
 
 echo "=== cargo build --release --offline ==="
 cargo build --release --offline --workspace
@@ -45,13 +59,24 @@ if [ "$OBS" = 1 ]; then
   echo "=== obs: traced quickstart through schema validator ==="
   # The quickstart writes its event stream to stderr (stdout stays
   # human-readable), so capture stderr alone and feed it to the
-  # validator: zero invalid lines, all five pipeline stages present.
-  OBS_STREAM="$(mktemp)"
-  trap 'rm -f "$OBS_STREAM"' EXIT
-  DYNAWAVE_TRACE=1 cargo run -q --release --offline -p dynawave-core \
-    --example quickstart > /dev/null 2> "$OBS_STREAM"
+  # validator: zero invalid lines, all five pipeline stages present,
+  # per-kind/per-stage counts in the CI log.
+  DYNAWAVE_TRACE=1 DYNAWAVE_THREADS=1 cargo run -q --release --offline \
+    -p dynawave-core --example quickstart > /dev/null 2> "$CI_TMP/obs_t1.jsonl"
   cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
-    --require-stages sim,wavelet,neural,predictor,campaign < "$OBS_STREAM"
+    --stats --require-stages sim,wavelet,neural,predictor,campaign \
+    < "$CI_TMP/obs_t1.jsonl"
+  # Analysis gate: the derived obs_report (self/inclusive time, unit
+  # latencies, rollups) must also be byte-identical across worker
+  # thread counts — the stream already is; this pins the analyzer too.
+  DYNAWAVE_TRACE=1 DYNAWAVE_THREADS=4 cargo run -q --release --offline \
+    -p dynawave-core --example quickstart > /dev/null 2> "$CI_TMP/obs_t4.jsonl"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_report \
+    < "$CI_TMP/obs_t1.jsonl" > "$CI_TMP/obs_report_t1.md"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_report \
+    < "$CI_TMP/obs_t4.jsonl" > "$CI_TMP/obs_report_t4.md"
+  cmp "$CI_TMP/obs_report_t1.md" "$CI_TMP/obs_report_t4.md"
+  echo "obs_report byte-identical across thread counts"
 fi
 
 if [ "$PAR" = 1 ]; then
@@ -64,19 +89,30 @@ if [ "$PAR" = 1 ]; then
   # Hard gate: the full-space demo's stdout (the report document) must
   # be byte-identical at 1 and 4 worker threads. Small scale keeps the
   # matrix cheap; stderr (timings) is machine-dependent and discarded.
-  PAR_T1="$(mktemp)"
-  PAR_T4="$(mktemp)"
-  # Keep the --obs temp file in the trap too: traps replace, not stack.
-  trap 'rm -f "${OBS_STREAM:-}" "$PAR_T1" "$PAR_T4"' EXIT
   for t in 1 4; do
-    out="$PAR_T1"; [ "$t" = 4 ] && out="$PAR_T4"
     DYNAWAVE_THREADS=$t DYNAWAVE_TRAIN=8 DYNAWAVE_TEST=3 \
       DYNAWAVE_SAMPLES=8 DYNAWAVE_INTERVAL=400 \
       cargo run -q --release --offline -p dynawave-core \
-      --example parallel_campaign > "$out" 2> /dev/null
+      --example parallel_campaign > "$CI_TMP/par_t$t.txt" 2> /dev/null
   done
-  cmp "$PAR_T1" "$PAR_T4"
+  cmp "$CI_TMP/par_t1.txt" "$CI_TMP/par_t4.txt"
   echo "parallel reports byte-identical across thread counts"
+fi
+
+if [ "$PERF" = 1 ]; then
+  echo "=== perf: trajectory ratchet vs BENCH_seed.json ==="
+  # A quick microbench subset (the wavelet stage: cheap, stable) at
+  # reduced sampling, diffed against the committed seed baseline. Only
+  # noise-aware flags count: a delta must beat the relative threshold
+  # AND escape the baseline's min/max band. Benches outside the subset
+  # show up as "Removed" in the report, which is informational.
+  DYNAWAVE_BENCH_SAMPLES=7 DYNAWAVE_BENCH_MIN_BATCH_MS=5 \
+    cargo bench --offline -q -p dynawave-bench --bench microbench -- wavelet \
+    > "$CI_TMP/bench_now.json"
+  STRICT_FLAG=""
+  [ "$STRICT_PERF" = 1 ] && STRICT_FLAG="--strict"
+  cargo run -q --release --offline -p dynawave-obs --bin compare_bench -- \
+    $STRICT_FLAG BENCH_seed.json "$CI_TMP/bench_now.json"
 fi
 
 echo "=== dynawave-lint ==="

@@ -17,7 +17,7 @@
 //! `DYNAWAVE_INTERVAL` / `DYNAWAVE_SEED`; repetitions via
 //! `DYNAWAVE_BENCH_SAMPLES` (default 3 — each rep is a full campaign).
 
-use dynawave_bench::bench_json_line;
+use dynawave_bench::{bench_json_line, bench_json_line_with_unit};
 use dynawave_core::campaign::{run_journaled_parallel, shard_path, CampaignSpec};
 use dynawave_core::experiment::ExperimentConfig;
 use dynawave_core::{report, Metric};
@@ -128,15 +128,18 @@ fn main() {
             units
         )
     );
-    // Derived lines: speedup (in thousandths, so the integer-friendly
-    // JSON number stays exact) and the hardware context it was measured
-    // under. A 4-thread speedup can only approach 4x when
-    // available_parallelism >= 4; on a 1-thread container it hovers
-    // around 1x and the pair instead bounds sharding overhead.
+    // Derived lines, each tagged with its real unit (bench schema v2) so
+    // they no longer masquerade as nanoseconds: the speedup in
+    // thousandths (so the integer-friendly JSON number stays exact) and
+    // the hardware context it was measured under. A 4-thread speedup can
+    // only approach 4x when available_parallelism >= 4; on a 1-thread
+    // container it hovers around 1x and the pair instead bounds sharding
+    // overhead.
     println!(
         "{}",
-        bench_json_line(
+        bench_json_line_with_unit(
             "campaign/full_space/speedup_x1000",
+            "ratio_x1000",
             (speedup * 1000.0).round(),
             (speedup * 1000.0).round(),
             (speedup * 1000.0).round(),
@@ -146,8 +149,9 @@ fn main() {
     );
     println!(
         "{}",
-        bench_json_line(
+        bench_json_line_with_unit(
             "campaign/full_space/available_parallelism",
+            "count",
             cores as f64,
             cores as f64,
             cores as f64,

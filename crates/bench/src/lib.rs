@@ -54,12 +54,38 @@ impl dynawave_obs::Clock for WallClock {
     }
 }
 
-/// Formats one benchmark measurement as a JSON line in the obs sink
-/// schema (`"kind":"bench"`, no `seq`/`tick` — bench lines carry
-/// measurements, not recorder state). `dynawave-obs`'s validator accepts
-/// these lines, so bench output and event streams share one toolchain.
+/// Formats one wall-nanosecond benchmark measurement as a JSON line in
+/// the obs sink schema (`"kind":"bench"`, no `seq`/`tick` — bench lines
+/// carry measurements, not recorder state). `dynawave-obs`'s validator
+/// accepts these lines, so bench output and event streams share one
+/// toolchain, and `compare_bench` diffs whole files of them.
 pub fn bench_json_line(
     bench: &str,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+    throughput_elems: u64,
+) -> String {
+    bench_json_line_with_unit(
+        bench,
+        dynawave_obs::BENCH_UNIT_NS,
+        median_ns,
+        min_ns,
+        max_ns,
+        iters,
+        throughput_elems,
+    )
+}
+
+/// [`bench_json_line`] for derived measurements: `unit` names what the
+/// numbers mean (`"ratio_x1000"`, `"count"`, ...) so they no longer
+/// masquerade as nanoseconds. Emits a bench-schema-v2 line; the plain
+/// `"ns"` unit is omitted from the JSON (it is the v1-compatible
+/// default, and committed baselines never bit-rot).
+pub fn bench_json_line_with_unit(
+    bench: &str,
+    unit: &str,
     median_ns: f64,
     min_ns: f64,
     max_ns: f64,
@@ -73,9 +99,13 @@ pub fn bench_json_line(
         "{{\"schema\":\"{}\",\"v\":{},\"schema_version\":{},\"kind\":\"bench\",\"bench\":",
         dynawave_obs::SCHEMA_NAME,
         dynawave_obs::SCHEMA_VERSION,
-        dynawave_obs::SCHEMA_VERSION,
+        dynawave_obs::BENCH_SCHEMA_VERSION,
     );
     dynawave_obs::event::push_json_string(&mut out, bench);
+    if unit != dynawave_obs::BENCH_UNIT_NS {
+        out.push_str(",\"unit\":");
+        dynawave_obs::event::push_json_string(&mut out, unit);
+    }
     out.push_str(",\"median_ns\":");
     dynawave_obs::event::push_json_number(&mut out, median_ns);
     out.push_str(",\"min_ns\":");
@@ -262,11 +292,35 @@ mod tests {
     fn bench_json_line_validates_under_obs_schema() {
         let line = bench_json_line("wavelet/wavedec_haar/128", 1234.0, 1200.0, 1300.0, 512, 128);
         assert!(line.contains("\"schema\":\"dynawave-obs\""), "{line}");
-        assert!(line.contains("\"schema_version\":1"), "{line}");
+        assert!(line.contains("\"schema_version\":2"), "{line}");
         assert!(line.contains("\"median_ns\":1234"), "{line}");
+        assert!(!line.contains("\"unit\""), "ns unit stays implicit: {line}");
         let summary = dynawave_obs::validate_stream(&line);
         assert!(summary.is_clean(), "{:?}", summary.errors);
         assert_eq!(summary.kinds.get("bench"), Some(&1));
+        let snap = dynawave_obs::BenchSnapshot::parse(&line).unwrap();
+        let record = snap.get("wavelet/wavedec_haar/128").unwrap();
+        assert_eq!(record.unit, dynawave_obs::BENCH_UNIT_NS);
+        assert_eq!(record.schema_version, 2);
+    }
+
+    #[test]
+    fn bench_json_line_with_unit_names_derived_measurements() {
+        let line = bench_json_line_with_unit(
+            "campaign/full_space/speedup_x1000",
+            "ratio_x1000",
+            3841.0,
+            3700.0,
+            3900.0,
+            1,
+            0,
+        );
+        assert!(line.contains("\"unit\":\"ratio_x1000\""), "{line}");
+        let summary = dynawave_obs::validate_stream(&line);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        let snap = dynawave_obs::BenchSnapshot::parse(&line).unwrap();
+        let record = snap.get("campaign/full_space/speedup_x1000").unwrap();
+        assert_eq!(record.unit, "ratio_x1000");
     }
 
     #[test]

@@ -821,12 +821,29 @@ fn complete_lines(journal: &str) -> &str {
     }
 }
 
+/// Bucket bounds for the `campaign.unit_latency` histogram: per-unit
+/// tick deltas between heartbeats. On the deterministic tick clock a
+/// unit costs single-digit ticks today; the doubling tail leaves room
+/// for more heavily instrumented stages without re-bucketing committed
+/// streams (histogram merges require identical bounds).
+const UNIT_LATENCY_BOUNDS: [f64; 6] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
 /// Per-unit completion heartbeat: a killed campaign's stream shows
 /// exactly how far it got, and the unit key in the marker detail is what
-/// the parallel merge sorts worker segments by.
+/// the parallel merge sorts worker segments by. The tick delta since the
+/// previous heartbeat lands in the `campaign.unit_latency` histogram, so
+/// `obs_report` gets a latency distribution without re-deriving it from
+/// raw spans. Deltas count recorder activity per unit, which is
+/// identical for every worker split of the same unit set — histograms
+/// with matching bounds sum across workers at merge time.
 fn observe_unit_done(unit: &WorkUnit) {
     if dynawave_obs::is_enabled() {
-        dynawave_obs::marker_with_detail("campaign.heartbeat", &unit.key());
+        dynawave_obs::marker_latency(
+            "campaign.heartbeat",
+            &unit.key(),
+            "campaign.unit_latency",
+            &UNIT_LATENCY_BOUNDS,
+        );
         dynawave_obs::counter_add("campaign.units_done", 1);
     }
 }

@@ -44,6 +44,39 @@ pub fn pipeline_profile_section(events: &[dynawave_obs::Event]) -> String {
     profile.render_markdown()
 }
 
+/// Renders the "Perf trajectory" section: the noise-aware diff of two
+/// bench snapshots (`BENCH_*.json` texts in the obs schema), as produced
+/// by the `compare_bench` tool. Archived campaign reports carry this
+/// next to their accuracy tables so a perf regression is as visible as
+/// an accuracy one. Returns an explanatory note instead of a table when
+/// either snapshot fails to parse, so callers can append it
+/// unconditionally.
+pub fn perf_trajectory_section(
+    base_label: &str,
+    base_text: &str,
+    new_label: &str,
+    new_text: &str,
+) -> String {
+    let parsed = dynawave_obs::BenchSnapshot::parse(base_text)
+        .map_err(|e| format!("{base_label}: {e}"))
+        .and_then(|base| {
+            dynawave_obs::BenchSnapshot::parse(new_text)
+                .map(|new| (base, new))
+                .map_err(|e| format!("{new_label}: {e}"))
+        });
+    match parsed {
+        Ok((base, new)) => {
+            let comparison = dynawave_obs::BenchComparison::compare(
+                &base,
+                &new,
+                &dynawave_obs::CompareOptions::default(),
+            );
+            comparison.render_markdown(base_label, new_label)
+        }
+        Err(reason) => format!("Perf trajectory: unavailable ({reason}).\n"),
+    }
+}
+
 /// Renders one evaluation as a markdown section.
 pub fn evaluation_section(eval: &BenchmarkEvaluation) -> String {
     let mut out = String::new();
@@ -190,6 +223,32 @@ mod tests {
         assert!(text.contains("| sim |"), "{text}");
         assert!(text.contains("| predictor |"), "{text}");
         assert!(text.contains("`sim.intervals_retired`"), "{text}");
+    }
+
+    #[test]
+    fn perf_trajectory_section_diffs_snapshots_and_survives_bad_input() {
+        let line = |name: &str, median: f64, min: f64, max: f64| {
+            format!(
+                "{{\"schema\":\"dynawave-obs\",\"v\":1,\"schema_version\":1,\
+                 \"kind\":\"bench\",\"bench\":\"{name}\",\"median_ns\":{median},\
+                 \"min_ns\":{min},\"max_ns\":{max},\"iters\":3,\"throughput_elems\":1}}"
+            )
+        };
+        let base = line("sim/run_trace/64", 100.0, 95.0, 105.0);
+        let new = line("sim/run_trace/64", 150.0, 145.0, 155.0);
+        let text = perf_trajectory_section("seed", &base, "current", &new);
+        assert!(text.contains("# Perf trajectory: seed → current"), "{text}");
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("+50.00%"), "{text}");
+        // Deterministic render.
+        assert_eq!(
+            text,
+            perf_trajectory_section("seed", &base, "current", &new)
+        );
+        // Unparseable input degrades to a note, not a panic.
+        let bad = perf_trajectory_section("seed", "not json", "current", &new);
+        assert!(bad.contains("Perf trajectory: unavailable"), "{bad}");
+        assert!(bad.contains("seed"), "{bad}");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Perf-trajectory ratchet CLI: diffs two `BENCH_*.json` snapshots.
+//!
+//! Reads two obs-schema bench files, classifies every common benchmark
+//! under the noise-aware ratchet rule (a delta counts only when it
+//! exceeds the relative threshold AND escapes the baseline's min/max
+//! noise band), and prints a deterministic markdown report. Used by
+//! `ci.sh --perf`:
+//!
+//! ```text
+//! cargo run -p dynawave-obs --bin compare_bench -- \
+//!     BENCH_seed.json BENCH_7.json
+//! ```
+//!
+//! Exit status: `0` when clean (or when regressions were found but
+//! `--strict` was not given — the *soft* ratchet), `1` on flagged
+//! regressions under `--strict`, `2` on usage or parse errors.
+
+use dynawave_obs::{BenchComparison, BenchSnapshot, CompareOptions};
+
+struct Args {
+    base: String,
+    current: String,
+    threshold: f64,
+    strict: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = CompareOptions::default().threshold;
+    let mut strict = false;
+    // dynalint:allow(D004) -- CLI arguments are the tool's intended input
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--threshold" => {
+                let value = argv.next().ok_or("--threshold needs a value (e.g. 0.10)")?;
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --threshold '{value}'"))?;
+                if !parsed.is_finite() || parsed < 0.0 {
+                    return Err(format!("bad --threshold '{value}'"));
+                }
+                threshold = parsed;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: compare_bench [--threshold 0.10] [--strict] \
+                     BASE.json CURRENT.json\n\
+                     Diffs two obs-schema bench snapshots into a markdown \
+                     perf-trajectory report.\n\
+                     --strict exits 1 when a noise-aware regression is flagged \
+                     (the default is a soft warning)."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument '{other}'"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    match <[String; 2]>::try_from(paths) {
+        Ok([base, current]) => Ok(Args {
+            base,
+            current,
+            threshold,
+            strict,
+        }),
+        Err(_) => Err("expected exactly two snapshot paths".to_string()),
+    }
+}
+
+fn load_snapshot(path: &str) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(reason) => {
+            eprintln!("compare_bench: {reason}");
+            std::process::exit(2);
+        }
+    };
+    let (base, current) = match (load_snapshot(&args.base), load_snapshot(&args.current)) {
+        (Ok(base), Ok(current)) => (base, current),
+        (Err(reason), _) | (_, Err(reason)) => {
+            eprintln!("compare_bench: {reason}");
+            std::process::exit(2);
+        }
+    };
+    let opts = CompareOptions {
+        threshold: args.threshold,
+    };
+    let comparison = BenchComparison::compare(&base, &current, &opts);
+    print!("{}", comparison.render_markdown(&args.base, &args.current));
+    let regressions = comparison.regressions().count();
+    if regressions > 0 {
+        eprintln!(
+            "compare_bench: {regressions} noise-aware regression(s) vs {}{}",
+            args.base,
+            if args.strict {
+                ""
+            } else {
+                " (soft ratchet: not failing; pass --strict to gate)"
+            }
+        );
+        if args.strict {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Trace analyzer CLI: renders an obs event stream as a markdown report.
+//!
+//! Reads a recorded JSON-lines stream on stdin (or from a file argument)
+//! and prints per-stage and per-span self-time vs. inclusive-time
+//! attribution, campaign-unit latency distributions from heartbeat
+//! markers, top-K slowest units, and counter/gauge/histogram rollups.
+//! Field order is fixed and every collection is sorted, so the report is
+//! byte-identical across runs and worker thread counts — `ci.sh --obs`
+//! relies on that by `cmp`-ing two reports. Typical use:
+//!
+//! ```text
+//! DYNAWAVE_TRACE=1 cargo run --example quickstart 2>&1 >/dev/null \
+//!   | cargo run -p dynawave-obs --bin obs_report
+//! ```
+//!
+//! Exit status: `0` on success, `2` on usage, read, or parse errors.
+
+use dynawave_obs::{parse_events, StreamAnalysis};
+use std::io::Read as _;
+
+fn main() {
+    let mut top_k = 5usize;
+    let mut path: Option<String> = None;
+    // dynalint:allow(D004) -- CLI arguments are the tool's intended input
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(value) = argv.next() else {
+                    eprintln!("obs_report: --top needs a count");
+                    std::process::exit(2);
+                };
+                match value.parse() {
+                    Ok(parsed) => top_k = parsed,
+                    Err(_) => {
+                        eprintln!("obs_report: bad --top '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: obs_report [--top K] [events.jsonl]\n\
+                     Renders a dynawave-obs event stream (stdin by default) \
+                     as a deterministic markdown report."
+                );
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("obs_report: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+            file => {
+                if path.replace(file.to_string()).is_some() {
+                    eprintln!("obs_report: expected at most one input file");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let input = match &path {
+        Some(file) => std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}")),
+        None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map(|_| text)
+                .map_err(|_| "stdin is not valid UTF-8".to_string())
+        }
+    };
+    let input = match input {
+        Ok(input) => input,
+        Err(reason) => {
+            eprintln!("obs_report: {reason}");
+            std::process::exit(2);
+        }
+    };
+
+    let events = match parse_events(&input) {
+        Ok(events) => events,
+        Err(reason) => {
+            eprintln!("obs_report: {reason}");
+            std::process::exit(2);
+        }
+    };
+    print!(
+        "{}",
+        StreamAnalysis::from_events(&events).render_markdown(top_k)
+    );
+}

@@ -16,6 +16,7 @@ use std::io::Read as _;
 
 fn main() {
     let mut required: Vec<String> = Vec::new();
+    let mut stats = false;
     // dynalint:allow(D004) -- CLI arguments are the tool's intended input
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -27,10 +28,13 @@ fn main() {
                 };
                 required.extend(list.split(',').map(|s| s.trim().to_string()));
             }
+            "--stats" => stats = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: obs_validate [--require-stages s1,s2,...] < events.jsonl\n\
-                     Validates a dynawave-obs JSON-lines stream from stdin."
+                    "usage: obs_validate [--require-stages s1,s2,...] [--stats] < events.jsonl\n\
+                     Validates a dynawave-obs JSON-lines stream from stdin.\n\
+                     --stats prints per-kind and per-stage event counts after \
+                     the summary line."
                 );
                 return;
             }
@@ -59,6 +63,14 @@ fn main() {
         summary.errors.len(),
         summary.stages.len()
     );
+    if stats {
+        for (kind, count) in &summary.kinds {
+            println!("obs_validate:   kind {kind}: {count}");
+        }
+        for (stage, count) in &summary.stage_counts {
+            println!("obs_validate:   stage {stage}: {count}");
+        }
+    }
     for (line_no, reason) in &summary.errors {
         eprintln!("obs_validate: line {line_no}: {reason}");
     }

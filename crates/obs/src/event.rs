@@ -13,6 +13,17 @@ pub const SCHEMA_NAME: &str = "dynawave-obs";
 /// Current schema version.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// Current version of the `"kind":"bench"` line schema (the
+/// `schema_version` field carried by bench lines, independent of the
+/// event-stream `v`). Version 2 adds the optional `unit` field so
+/// derived measurements (ratios, counts) no longer masquerade as
+/// nanoseconds; version-1 lines (no `unit`) remain valid forever —
+/// committed `BENCH_*.json` baselines must never bit-rot.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// The default measurement unit of a bench line: wall nanoseconds.
+pub const BENCH_UNIT_NS: &str = "ns";
+
 /// What kind of record an event is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {

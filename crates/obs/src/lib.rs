@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analyze;
 pub mod clock;
 pub mod event;
 pub mod json;
@@ -36,13 +37,21 @@ pub mod metrics;
 pub mod profile;
 pub mod validate;
 
+pub use analyze::{
+    parse_events, BenchComparison, BenchDelta, BenchRecord, BenchSnapshot, CompareOptions,
+    DeltaFlag, SpanStats, StreamAnalysis, UnitLatency, HEARTBEAT_MARKER,
+};
 pub use clock::{Clock, TickClock};
-pub use event::{encode_lines, Event, EventKind, SCHEMA_NAME, SCHEMA_VERSION};
+pub use event::{
+    encode_lines, Event, EventKind, BENCH_SCHEMA_VERSION, BENCH_UNIT_NS, SCHEMA_NAME,
+    SCHEMA_VERSION,
+};
 pub use metrics::{Histogram, MetricSet};
 pub use profile::{PipelineProfile, StageProfile};
 pub use validate::{validate_stream, SchemaValidator, ValidationSummary};
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 thread_local! {
     static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
@@ -61,6 +70,10 @@ pub struct Recorder {
     metrics: MetricSet,
     seq: u64,
     depth: u64,
+    /// Last emission tick per marker name, for [`Recorder::marker_latency`]
+    /// deltas. Deliberately *not* carried through [`Recorder::absorb_workers`]:
+    /// latencies are a per-worker-stream notion.
+    marker_ticks: BTreeMap<String, u64>,
 }
 
 impl Recorder {
@@ -79,7 +92,28 @@ impl Recorder {
             metrics: MetricSet::new(),
             seq: 0,
             depth: 0,
+            marker_ticks: BTreeMap::new(),
         }
+    }
+
+    /// Emits a marker with `detail` and records the tick delta since the
+    /// previous marker of the same `name` (or since tick 0 for the first)
+    /// into the fixed-bound histogram `hist`.
+    ///
+    /// This is how campaign executors publish per-unit latency: the delta
+    /// between consecutive heartbeats counts the recorder activity one
+    /// work unit generated, which on the deterministic [`TickClock`] is
+    /// identical for every worker split of the same unit set.
+    pub fn marker_latency(&mut self, name: &str, detail: &str, hist: &str, bounds: &[f64]) {
+        let e = self.push(EventKind::Marker, name);
+        e.detail = Some(detail.to_string());
+        let tick = e.tick;
+        let last = self
+            .marker_ticks
+            .insert(name.to_string(), tick)
+            .unwrap_or(0);
+        self.metrics
+            .histogram_observe(hist, bounds, tick.saturating_sub(last) as f64);
     }
 
     fn push(&mut self, kind: EventKind, name: &str) -> &mut Event {
@@ -317,6 +351,13 @@ pub fn marker_with_detail(name: &str, detail: &str) {
     });
 }
 
+/// Emits a marker with detail and records the tick delta since the
+/// previous same-named marker into the `hist` histogram. See
+/// [`Recorder::marker_latency`].
+pub fn marker_latency(name: &str, detail: &str, hist: &str, bounds: &[f64]) {
+    with_recorder(|rec| rec.marker_latency(name, detail, hist, bounds));
+}
+
 /// Merges worker recorders into this thread's active recorder via
 /// [`Recorder::absorb_workers`]. A no-op (the workers are dropped) when no
 /// recorder is installed — matching every other free function here.
@@ -525,6 +566,37 @@ mod tests {
             let one = run_split(&[&["0", "1", "2", "3"]]);
             let two = run_split(&[&["1", "3"], &["0", "2"]]);
             assert_eq!(one, two);
+        });
+    }
+
+    #[test]
+    fn marker_latency_observes_tick_deltas() {
+        with_clean_slot(|| {
+            install(Recorder::with_tick_clock());
+            let beat = |detail: &str| {
+                marker_latency(
+                    "campaign.heartbeat",
+                    detail,
+                    "campaign.unit_latency",
+                    &[2.0, 4.0],
+                );
+            };
+            beat("u0"); // tick 1, delta 1 from tick 0
+            marker("campaign.other"); // tick 2: unrelated markers don't reset
+            beat("u1"); // tick 3, delta 2
+            let events = drain().unwrap();
+            let markers: Vec<&str> = events
+                .iter()
+                .filter(|e| e.name == "campaign.heartbeat")
+                .filter_map(|e| e.detail.as_deref())
+                .collect();
+            assert_eq!(markers, vec!["u0", "u1"]);
+            let hist = events
+                .iter()
+                .find(|e| e.name == "campaign.unit_latency")
+                .unwrap();
+            assert_eq!(hist.bounds, Some(vec![2.0, 4.0]));
+            assert_eq!(hist.counts, Some(vec![2, 0, 0]), "deltas 1 and 2");
         });
     }
 

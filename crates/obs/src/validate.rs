@@ -7,7 +7,7 @@
 //! `"kind":"bench"` lines, which carry measurements instead of
 //! recorder state and therefore have no `seq`/`tick`.
 
-use crate::event::{EventKind, SCHEMA_NAME, SCHEMA_VERSION};
+use crate::event::{EventKind, BENCH_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION};
 use crate::json::{self, Value};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -23,6 +23,9 @@ pub struct ValidationSummary {
     pub stages: BTreeSet<String>,
     /// Count of lines per event kind (including `"bench"`).
     pub kinds: BTreeMap<String, u64>,
+    /// Count of valid event lines per pipeline stage (bench lines have
+    /// no stage and are excluded). Feeds `obs_validate --stats`.
+    pub stage_counts: BTreeMap<String, u64>,
 }
 
 impl ValidationSummary {
@@ -141,8 +144,13 @@ impl SchemaValidator {
         }
         let stage = name.split('.').next().unwrap_or(name);
         self.summary.stages.insert(stage.to_string());
-
-        check_kind_fields(parsed_kind, obj)
+        check_kind_fields(parsed_kind, obj)?;
+        *self
+            .summary
+            .stage_counts
+            .entry(stage.to_string())
+            .or_insert(0) += 1;
+        Ok(())
     }
 }
 
@@ -219,6 +227,35 @@ fn check_bench(obj: &BTreeMap<String, Value>) -> Result<(), String> {
         return Err("empty 'bench' name".to_string());
     }
     require_finite(obj, "median_ns")?;
+    for field in ["min_ns", "max_ns"] {
+        if obj.contains_key(field) {
+            require_finite(obj, field)?;
+        }
+    }
+    // Bench lines carry their own sub-schema version. Version 1 (the
+    // committed seed baseline) has no `unit` field; version 2 may name
+    // the measurement unit. Both stay valid — baselines never bit-rot.
+    let version = match obj.get("schema_version") {
+        Some(v) => v
+            .as_u64()
+            .ok_or("non-integer bench 'schema_version'".to_string())?,
+        None => 1,
+    };
+    if version == 0 || version > BENCH_SCHEMA_VERSION {
+        return Err(format!("unsupported bench schema_version {version}"));
+    }
+    match obj.get("unit") {
+        None => {}
+        Some(_) if version < 2 => {
+            return Err("'unit' field requires bench schema_version >= 2".to_string());
+        }
+        Some(unit) => {
+            let unit = unit.as_str().ok_or("non-string bench 'unit'")?;
+            if unit.is_empty() {
+                return Err("empty bench 'unit'".to_string());
+            }
+        }
+    }
     Ok(())
 }
 
@@ -272,6 +309,43 @@ mod tests {
         let summary = validate_stream(line);
         assert!(summary.is_clean(), "{:?}", summary.errors);
         assert_eq!(summary.kinds.get("bench"), Some(&1));
+    }
+
+    #[test]
+    fn bench_v2_units_validate_and_misversioned_units_reject() {
+        let v2 = "{\"schema\":\"dynawave-obs\",\"v\":1,\"schema_version\":2,\
+                  \"kind\":\"bench\",\"bench\":\"campaign/speedup\",\
+                  \"median_ns\":3800,\"unit\":\"ratio_x1000\"}";
+        assert!(validate_stream(v2).is_clean());
+        // `unit` on a v1 line is a schema violation, not a silent extra.
+        let v1_unit = "{\"schema\":\"dynawave-obs\",\"v\":1,\"schema_version\":1,\
+                       \"kind\":\"bench\",\"bench\":\"x\",\"median_ns\":1,\
+                       \"unit\":\"count\"}";
+        let summary = validate_stream(v1_unit);
+        assert!(summary.errors[0].1.contains("schema_version >= 2"));
+        // Future versions are rejected until the validator learns them.
+        let v3 = "{\"schema\":\"dynawave-obs\",\"v\":1,\"schema_version\":3,\
+                  \"kind\":\"bench\",\"bench\":\"x\",\"median_ns\":1}";
+        assert!(!validate_stream(v3).is_clean());
+        // Non-finite noise bounds are rejected when present.
+        let inf = "{\"schema\":\"dynawave-obs\",\"v\":1,\"kind\":\"bench\",\
+                   \"bench\":\"x\",\"median_ns\":1,\"min_ns\":1e999}";
+        assert!(validate_stream(inf).errors[0].1.contains("min_ns"));
+    }
+
+    #[test]
+    fn stage_counts_tally_valid_event_lines_only() {
+        let text = "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":1,\
+                    \"kind\":\"marker\",\"name\":\"sim.start\"}\n\
+                    {\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":1,\"tick\":2,\
+                    \"kind\":\"counter\",\"name\":\"sim.intervals_retired\"}\n\
+                    {\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":2,\"tick\":3,\
+                    \"kind\":\"marker\",\"name\":\"campaign.heartbeat\"}";
+        let summary = validate_stream(text);
+        // The counter line is invalid (no 'count'), so sim tallies 1.
+        assert_eq!(summary.stage_counts.get("sim"), Some(&1));
+        assert_eq!(summary.stage_counts.get("campaign"), Some(&1));
+        assert_eq!(summary.errors.len(), 1);
     }
 
     #[test]

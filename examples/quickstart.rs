@@ -12,11 +12,14 @@
 //! JSON-lines event stream goes to **stderr** (pipe it into
 //! `obs_validate` or any JSON-lines tool) and a per-stage "Pipeline
 //! profile" section is printed to stdout. The traced run also exercises a
-//! miniature journaled campaign, including a kill-and-resume, so the
+//! miniature journaled campaign — kill-and-resume, then finished by the
+//! parallel sharded executor under `DYNAWAVE_THREADS` workers — so the
 //! stream covers all five pipeline stages (sim, wavelet, neural,
-//! predictor, campaign).
+//! predictor, campaign) and is byte-identical for any worker count.
 
-use dynawave_core::campaign::{CampaignRunner, CampaignSpec};
+use dynawave_core::campaign::{
+    run_journaled_parallel, threads_from_env, CampaignRunner, CampaignSpec,
+};
 use dynawave_core::experiment::ExperimentConfig;
 use dynawave_core::{
     collect_traces, report, trace_for, Metric, PredictorParams, WaveletNeuralPredictor,
@@ -103,15 +106,22 @@ fn main() {
         for _ in 0..5 {
             first.run_next();
         }
-        let mut resumed = CampaignRunner::resume(spec, &first.journal())
-            .expect("a runner's own journal always resumes");
-        while resumed.run_next().is_some() {}
-        let evals = resumed
-            .finish()
+        // Persist the partial journal, then let the parallel sharded
+        // executor (DYNAWAVE_THREADS workers) resume and finish it. The
+        // merged event stream is byte-identical for any worker count —
+        // `ci.sh --obs` cross-checks the `obs_report` renders.
+        let journal = std::env::temp_dir().join(format!(
+            "dynawave-quickstart-{}.journal",
+            std::process::id()
+        ));
+        std::fs::write(&journal, first.journal()).expect("temp journal is writable");
+        let threads = threads_from_env().expect("DYNAWAVE_THREADS must be a positive integer");
+        let evals = run_journaled_parallel(&spec, &journal, threads)
             .expect("the default recovery policy cannot fail training");
+        let _ = std::fs::remove_file(&journal);
         println!(
             "\ncampaign: {} unit(s) completed, median NMSE {:.2}%",
-            resumed.completed_count(),
+            spec.unit_count(),
             evals[0].median_nmse()
         );
 

@@ -7,21 +7,28 @@ cd /root/repo
 # before hours are spent regenerating figures — the obs pass, which
 # schema-validates a traced quickstart end to end, and the par pass,
 # which proves reports are byte-identical across worker thread counts.
-./ci.sh --chaos --obs --par || { echo CI_FAILED; exit 1; }
+./ci.sh --chaos --obs --par --perf || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
 # bit-reproducible, so re-assert the lint gate explicitly.
 cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }
-# Refresh the committed perf baseline: one obs-schema JSON line per
-# microbenchmark (per-stage ns/op for sim, DWT, RBF fit/predict, and the
-# end-to-end pipeline with tracing off/on). Diff this file across PRs to
-# catch perf regressions and obs-overhead creep.
+# Fresh perf snapshot: one obs-schema JSON line per microbenchmark
+# (per-stage ns/op for sim, DWT, RBF fit/predict, and the end-to-end
+# pipeline with tracing off/on). BENCH_seed.json is the *immutable*
+# ratchet baseline and is never rewritten here — each suite run lands in
+# BENCH_7.json, and compare_bench diffs the two below.
 cargo bench --offline -q -p dynawave-bench --bench microbench \
-  > BENCH_seed.json 2> results/bench.log && echo BENCH_OK || echo BENCH_FAIL
+  > BENCH_7.json 2> results/bench.log && echo BENCH7_OK || echo BENCH7_FAIL
 # Parallel-campaign baseline: full-space campaign wall clock at 1 vs 4
 # worker threads plus the derived speedup and the machine's available
 # parallelism (the speedup is only interpretable next to that number).
 cargo run -q --release --offline -p dynawave-bench --bin campaign_parallel \
   > BENCH_6.json 2> results/bench_parallel.log && echo BENCH6_OK || echo BENCH6_FAIL
+# Perf trajectory: noise-aware diff of the fresh snapshot against the
+# committed seed baseline. Soft by default — the markdown report is the
+# artifact; flagged regressions print to stderr for the suite log.
+cargo run -q --release --offline -p dynawave-obs --bin compare_bench -- \
+  BENCH_seed.json BENCH_7.json > results/perf_trajectory.md \
+  && echo TRAJECTORY_OK || echo TRAJECTORY_FAIL
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
   echo "=== $fig ==="

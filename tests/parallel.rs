@@ -222,6 +222,67 @@ fn obs_streams_byte_identical_across_thread_counts_and_runs() {
 }
 
 #[test]
+fn stream_analysis_is_deterministic_and_sums_like_the_profile() {
+    let spec = tiny_spec(67);
+    let traced_run = |threads: usize, tag: &str| {
+        let scratch = Scratch::new(tag);
+        let prior = dynawave_obs::take();
+        dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+        run_journaled_parallel(&spec, &scratch.0, threads).unwrap();
+        let events = dynawave_obs::drain().expect("recorder was installed");
+        if let Some(prior) = prior {
+            dynawave_obs::install(prior);
+        }
+        events
+    };
+    let events_1 = traced_run(1, "analysis-1");
+    let events_4 = traced_run(4, "analysis-4");
+    let analysis_1 = dynawave_obs::StreamAnalysis::from_events(&events_1);
+    let analysis_4 = dynawave_obs::StreamAnalysis::from_events(&events_4);
+    // The derived report is byte-identical across worker counts, like the
+    // stream it came from.
+    let report_1 = analysis_1.render_markdown(5);
+    assert_eq!(
+        report_1,
+        analysis_4.render_markdown(5),
+        "obs report diverged between 1 and 4 threads"
+    );
+    assert_eq!(report_1, analysis_1.render_markdown(5), "render not stable");
+    // Per-stage inclusive time must agree exactly with the existing
+    // PipelineProfile section — two views of one attribution.
+    let profile = dynawave_obs::PipelineProfile::from_events(&events_4);
+    for (stage, stats) in profile.stages() {
+        let got = &analysis_4.stages[stage];
+        assert_eq!(
+            got.inclusive_ticks, stats.ticks,
+            "stage {stage} inclusive ticks diverged from PipelineProfile"
+        );
+        assert_eq!(got.count, stats.spans, "stage {stage} span count diverged");
+        assert!(
+            got.self_ticks <= got.inclusive_ticks,
+            "stage {stage} self time exceeds inclusive"
+        );
+    }
+    // One latency sample per completed unit, and the executor's
+    // campaign.unit_latency histogram holds the same population.
+    assert_eq!(analysis_4.unit_latencies.len(), spec.unit_count());
+    let (_, counts) = &analysis_4.histograms["campaign.unit_latency"];
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        spec.unit_count() as u64,
+        "histogram population != unit count"
+    );
+    assert!(analysis_4.latency_summary().is_some());
+    // parse_events round-trips the encoded stream into the same analysis.
+    let text = dynawave_obs::encode_lines(&events_4);
+    let reparsed = dynawave_obs::parse_events(&text).unwrap();
+    assert_eq!(
+        dynawave_obs::StreamAnalysis::from_events(&reparsed).render_markdown(5),
+        report_1
+    );
+}
+
+#[test]
 fn parallel_resume_refuses_foreign_shard_counts() {
     let spec = tiny_spec(61);
     let scratch = Scratch::new("mismatch");

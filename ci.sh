@@ -116,10 +116,18 @@ if [ "$PERF" = 1 ]; then
 fi
 
 echo "=== dynawave-lint ==="
-# Static analysis gate: determinism, panic-freedom, hermetic deps
-# (rules D001-D007, see DESIGN.md). Exits nonzero on any finding not
-# covered by lint-baseline.toml.
-cargo run -q --release --offline -p dynawave-lint
+# Static analysis gate: determinism, panic-freedom, hermetic deps,
+# panic-reachability, concurrency containment and schema drift (rules
+# D001-D013, see DESIGN.md). Exits nonzero on any finding not covered
+# by lint-baseline.toml. --json emits the findings as a dynawave-obs
+# event stream; the stream itself must pass the schema validator, and
+# the archived copy in results/ is the machine-readable lint record.
+cargo run -q --release --offline -p dynawave-lint -- --json \
+  > "$CI_TMP/lint_findings.jsonl"
+cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
+  --require-stages lint < "$CI_TMP/lint_findings.jsonl"
+mkdir -p results
+cp "$CI_TMP/lint_findings.jsonl" results/lint_findings.jsonl
 
 echo "=== cargo fmt --check ==="
 cargo fmt --check

@@ -23,11 +23,7 @@ fn main() {
         let eval = score_model(bench, metric, model, test);
         // Show the median-error test configuration.
         let mut order: Vec<usize> = (0..eval.nmse_per_test.len()).collect();
-        order.sort_by(|&a, &b| {
-            eval.nmse_per_test[a]
-                .partial_cmp(&eval.nmse_per_test[b])
-                .expect("finite")
-        });
+        order.sort_by(|&a, &b| eval.nmse_per_test[a].total_cmp(&eval.nmse_per_test[b]));
         let pick = order[order.len() / 2];
         let actual = &eval.test.traces[pick];
         let predicted = &eval.predictions[pick];

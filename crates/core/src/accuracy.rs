@@ -38,13 +38,9 @@ pub struct Thresholds {
 impl Thresholds {
     /// Derives the thresholds from a reference trace (normally the
     /// *simulated* trace, so predicted and actual classifications share
-    /// the same levels).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `trace` is empty.
+    /// the same levels). An empty trace yields all-zero thresholds.
     pub fn from_trace(trace: &[f64]) -> Self {
-        let (lo, hi) = min_max(trace).expect("thresholds of an empty trace");
+        let (lo, hi) = min_max(trace).unwrap_or((0.0, 0.0));
         let span = hi - lo;
         Thresholds {
             q1: lo + span * 0.25,

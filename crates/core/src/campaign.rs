@@ -64,7 +64,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Format tag on the first line of every campaign journal.
-const MAGIC: &str = "dynawave-campaign v1";
+const MAGIC: &str = dynawave_obs::schema::CAMPAIGN_JOURNAL;
 
 /// Whether a design point belongs to the training or the test design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -26,8 +26,9 @@ use dynawave_wavelet::Wavelet;
 use std::error::Error;
 use std::fmt;
 
-/// Format version tag written at the top of every snapshot.
-const MAGIC: &str = "dynawave-model v1";
+/// Format version tag written at the top of every snapshot (canonical
+/// vocabulary lives in `dynawave_obs::schema`).
+const MAGIC: &str = dynawave_obs::schema::MODEL_MAGIC;
 
 /// Errors raised while parsing a model snapshot.
 #[derive(Debug, Clone, PartialEq)]

@@ -150,11 +150,10 @@ impl WaveletNeuralPredictor {
         policy: &RecoveryPolicy,
     ) -> Result<(Self, DegradationReport), ModelError> {
         let _span = dynawave_obs::span("predictor.train");
-        if train.is_empty() {
-            return Err(ModelError::EmptyTrainingSet);
-        }
-        let trace_len = train.traces[0].len();
-        let dims = train.points[0].values().len();
+        let (trace_len, dims) = match (train.traces.first(), train.points.first()) {
+            (Some(trace), Some(point)) => (trace.len(), point.values().len()),
+            _ => return Err(ModelError::EmptyTrainingSet),
+        };
         if train.points.len() != train.traces.len() {
             return Err(ModelError::SampleCountMismatch {
                 features: train.points.len(),
@@ -257,7 +256,10 @@ impl WaveletNeuralPredictor {
             coeffs[idx] = if v.is_finite() { v } else { 0.0 };
         }
         let dec = Decomposition::from_coeffs(coeffs, self.wavelet);
-        waverec(&dec).expect("coefficient count matches by construction")
+        // The coefficient count matches `trace_len` by construction, so
+        // reconstruction cannot fail; degrade to the zero trace rather
+        // than aborting a campaign if that invariant is ever broken.
+        waverec(&dec).unwrap_or_else(|_| vec![0.0; self.trace_len])
     }
 
     /// Indices of the predicted coefficients, most significant first.

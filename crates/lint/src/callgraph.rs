@@ -1,0 +1,425 @@
+//! Workspace symbol index, over-approximate call graph and the D010
+//! panic-reachability rule.
+//!
+//! Nodes are the functions of every **library** file (bins, tests,
+//! benches and harness crates are out of scope — a panic there aborts a
+//! tool, not a campaign). Edges are resolved by name: a path call
+//! `helper(…)` links to every workspace fn named `helper` (restricted by
+//! qualifier when one is present: `Foo::helper` only links to `impl Foo`
+//! methods, `std::…` never links anywhere), and a method call `.m(…)`
+//! links to every impl/trait method named `m`. This over-approximates
+//! real dispatch — see DESIGN §12 for the envelope.
+//!
+//! A **panic source** is a non-suppressed `.unwrap()` / `.expect()` /
+//! `panic!` / `todo!` / `unimplemented!` site in library code. A site
+//! carrying an audited `dynalint:allow(D001|D002|D010)` is discharged:
+//! the allow's reason documents why it cannot fire, so reachability
+//! stops there. D010 reports:
+//!
+//! * every **public** library fn that *transitively* (depth ≥ 1) reaches
+//!   a panic source, with the witness call path — depth-0 sites are
+//!   D001/D002's business and are not re-reported;
+//! * every public library fn that **indexes one of its own parameters**
+//!   directly (`xs[i]` where `xs` is a parameter), unless the body
+//!   contains an `assert`-family contract check, because out-of-range
+//!   caller input then aborts the process.
+
+use crate::rules::{FileKind, Finding, RuleId, SourceFile};
+use crate::tree::{Expr, Span};
+use std::collections::BTreeMap;
+
+/// Qualifiers that are never workspace symbols: calls through them do
+/// not create edges.
+const EXTERNAL_QUALS: [&str; 22] = [
+    "std", "core", "alloc", "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16",
+    "i32", "i64", "i128", "isize", "bool", "char", "str", "String", "Vec",
+];
+
+/// One direct abort site inside a fn body.
+#[derive(Debug, Clone)]
+struct PanicSite {
+    what: String,
+    span: Span,
+}
+
+/// One outgoing call from a fn body.
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    /// Last-but-one path segment (`Foo` in `Foo::helper`).
+    qual: Option<String>,
+    /// First path segment of a multi-segment path (`std` in
+    /// `std::mem::take`) — used to rule out external roots.
+    root: Option<String>,
+    is_method: bool,
+}
+
+/// A fn node in the graph.
+struct Node {
+    file: usize,
+    name: String,
+    owner: Option<String>,
+    is_pub: bool,
+    span: Span,
+    direct: Vec<PanicSite>,
+    calls: Vec<CallSite>,
+    param_indexes: Vec<(String, Span)>,
+    has_assert: bool,
+}
+
+/// Runs the D010 panic-reachability analysis over a set of parsed files
+/// (the whole workspace, or a single file for the per-file API). Returned
+/// findings are **not** yet suppression-filtered.
+pub fn panic_reachability(files: &[SourceFile]) -> Vec<Finding> {
+    let nodes = collect_nodes(files);
+    let index = build_index(&nodes);
+    let edges: Vec<Vec<usize>> = nodes.iter().map(|n| resolve(n, &nodes, &index)).collect();
+
+    let mut findings = Vec::new();
+    for (start, node) in nodes.iter().enumerate() {
+        if !node.is_pub {
+            continue;
+        }
+        let file = match files.get(node.file) {
+            Some(f) => f,
+            None => continue,
+        };
+        // Transitive reachability (depth >= 1). A fn whose own body has a
+        // direct site is already a D001/D002 finding; re-reporting it
+        // here would double-count.
+        if node.direct.is_empty() {
+            if let Some((path, site)) = shortest_witness(start, &nodes, &edges) {
+                let chain: Vec<&str> = path
+                    .iter()
+                    .filter_map(|&i| nodes.get(i).map(|n| n.name.as_str()))
+                    .collect();
+                let site_file = path
+                    .last()
+                    .and_then(|&i| nodes.get(i))
+                    .and_then(|n| files.get(n.file))
+                    .map(|f| f.path.as_str())
+                    .unwrap_or("?");
+                findings.push(Finding {
+                    rule: RuleId::D010,
+                    file: file.path.clone(),
+                    line: node.span.line,
+                    col: node.span.col,
+                    message: format!(
+                        "public fn `{}` can reach a panic: {} ({} at {}:{})",
+                        node.name,
+                        chain.join(" -> "),
+                        site.what,
+                        site_file,
+                        site.span.line,
+                    ),
+                });
+            }
+        }
+        // Direct parameter indexing in the public fn itself.
+        if !node.has_assert {
+            for (param, span) in &node.param_indexes {
+                findings.push(Finding {
+                    rule: RuleId::D010,
+                    file: file.path.clone(),
+                    line: span.line,
+                    col: span.col,
+                    message: format!(
+                        "public fn `{}` indexes its parameter `{}` directly; \
+                         out-of-range caller input aborts — use `.get()` or assert the contract",
+                        node.name, param,
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// BFS from `start` (exclusive) to the nearest node with a direct panic
+/// site; returns the call path `start -> … -> site_fn` and the site.
+fn shortest_witness(
+    start: usize,
+    nodes: &[Node],
+    edges: &[Vec<usize>],
+) -> Option<(Vec<usize>, PanicSite)> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    queue.push_back(start);
+    parent.insert(start, start);
+    while let Some(cur) = queue.pop_front() {
+        for &next in edges.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+            if parent.contains_key(&next) {
+                continue;
+            }
+            parent.insert(next, cur);
+            let node = nodes.get(next)?;
+            if let Some(site) = node.direct.first() {
+                // Reconstruct start -> ... -> next.
+                let mut path = vec![next];
+                let mut cursor = next;
+                while cursor != start {
+                    cursor = *parent.get(&cursor)?;
+                    path.push(cursor);
+                }
+                path.reverse();
+                return Some((path, site.clone()));
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+fn collect_nodes(files: &[SourceFile]) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    for (file_idx, sf) in files.iter().enumerate() {
+        if sf.kind != FileKind::Lib {
+            continue;
+        }
+        for fr in sf.tree.functions() {
+            if sf.in_test_region(fr.func.span.line) {
+                continue;
+            }
+            let mut node = Node {
+                file: file_idx,
+                name: fr.func.name.clone(),
+                owner: fr.owner.map(str::to_string),
+                is_pub: fr.vis_pub,
+                span: fr.func.span,
+                direct: Vec::new(),
+                calls: Vec::new(),
+                param_indexes: Vec::new(),
+                has_assert: false,
+            };
+            let params: Vec<&str> = fr
+                .func
+                .params
+                .iter()
+                .map(String::as_str)
+                .filter(|p| *p != "self")
+                .collect();
+            if let Some(body) = &fr.func.body {
+                for e in body {
+                    e.walk(&mut |e| visit_expr(e, sf, &params, &mut node));
+                }
+            }
+            nodes.push(node);
+        }
+    }
+    nodes
+}
+
+fn visit_expr(e: &Expr, sf: &SourceFile, params: &[&str], node: &mut Node) {
+    match e {
+        Expr::MethodCall { name, span, .. } => {
+            if name == "unwrap" || name == "expect" {
+                let discharged = sf.is_allowed(span.line, RuleId::D001)
+                    || sf.is_allowed(span.line, RuleId::D010)
+                    || sf.in_test_region(span.line);
+                if !discharged {
+                    node.direct.push(PanicSite {
+                        what: format!("`.{name}()`"),
+                        span: *span,
+                    });
+                }
+            } else {
+                node.calls.push(CallSite {
+                    name: name.clone(),
+                    qual: None,
+                    root: None,
+                    is_method: true,
+                });
+            }
+        }
+        Expr::Macro { name, span, .. } => {
+            if matches!(name.as_str(), "panic" | "todo" | "unimplemented") {
+                let discharged = sf.is_allowed(span.line, RuleId::D002)
+                    || sf.is_allowed(span.line, RuleId::D010)
+                    || sf.in_test_region(span.line);
+                if !discharged {
+                    node.direct.push(PanicSite {
+                        what: format!("`{name}!`"),
+                        span: *span,
+                    });
+                }
+            } else if name.starts_with("assert") || name.starts_with("debug_assert") {
+                node.has_assert = true;
+            }
+        }
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if let Some(name) = segs.last() {
+                    let qual = segs.len().checked_sub(2).and_then(|i| segs.get(i)).cloned();
+                    let root = (segs.len() >= 2).then(|| segs.first().cloned()).flatten();
+                    node.calls.push(CallSite {
+                        name: name.clone(),
+                        qual,
+                        root,
+                        is_method: false,
+                    });
+                }
+            }
+        }
+        Expr::Index { base, span, .. } => {
+            if let Some(root) = base.root_ident() {
+                if params.contains(&root)
+                    && !sf.is_allowed(span.line, RuleId::D010)
+                    && !sf.in_test_region(span.line)
+                {
+                    node.param_indexes.push((root.to_string(), *span));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn build_index(nodes: &[Node]) -> BTreeMap<&str, Vec<usize>> {
+    let mut index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        index.entry(n.name.as_str()).or_default().push(i);
+    }
+    index
+}
+
+/// Resolves one node's call sites to candidate callee node ids.
+fn resolve(node: &Node, nodes: &[Node], index: &BTreeMap<&str, Vec<usize>>) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for call in &node.calls {
+        let Some(candidates) = index.get(call.name.as_str()) else {
+            continue;
+        };
+        // A path rooted in an external crate never resolves to workspace
+        // code, regardless of how deep it is (`std::mem::take`).
+        if call
+            .root
+            .as_deref()
+            .is_some_and(|r| EXTERNAL_QUALS.contains(&r))
+        {
+            continue;
+        }
+        let filtered: Vec<usize> = match &call.qual {
+            Some(q) if EXTERNAL_QUALS.contains(&q.as_str()) => Vec::new(),
+            Some(q) if q == "Self" || q == "self" => candidates
+                .iter()
+                .copied()
+                .filter(|&i| nodes.get(i).is_some_and(|n| n.owner == node.owner))
+                .collect(),
+            Some(q) => {
+                let owned: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| nodes.get(i).is_some_and(|n| n.owner.as_deref() == Some(q)))
+                    .collect();
+                if owned.is_empty() {
+                    // Unknown qualifier (module path, crate name): keep
+                    // every candidate — over-approximation by design.
+                    candidates.clone()
+                } else {
+                    owned
+                }
+            }
+            None if call.is_method => candidates
+                .iter()
+                .copied()
+                .filter(|&i| nodes.get(i).is_some_and(|n| n.owner.is_some()))
+                .collect(),
+            None => candidates.clone(),
+        };
+        out.extend(filtered);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourceFile;
+
+    fn d010(path: &str, src: &str) -> Vec<Finding> {
+        let sf = SourceFile::parse(path, src);
+        panic_reachability(std::slice::from_ref(&sf))
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    #[test]
+    fn transitive_unwrap_reported_with_witness() {
+        let src = "pub fn api(v: &[f64]) -> f64 { mid(v) }\n\
+                   fn mid(v: &[f64]) -> f64 { leaf(v) }\n\
+                   fn leaf(v: &[f64]) -> f64 { *v.first().unwrap() }\n";
+        let f = d010(LIB, src);
+        assert_eq!(f.len(), 1);
+        let msg = &f.first().expect("one finding").message;
+        assert!(msg.contains("api -> mid -> leaf"), "witness path in {msg}");
+        assert!(msg.contains(".unwrap()"), "site kind in {msg}");
+    }
+
+    #[test]
+    fn depth_zero_sites_are_not_reported() {
+        // Direct unwrap in the pub fn is D001's finding, not D010's.
+        let src = "pub fn api(v: &[f64]) -> f64 { *v.first().unwrap() }";
+        assert!(d010(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allowed_site_discharges_reachability() {
+        let src = "pub fn api(v: &[f64]) -> f64 { leaf(v) }\n\
+                   fn leaf(v: &[f64]) -> f64 {\n\
+                   *v.first().unwrap() // dynalint:allow(D001) -- caller checks non-empty\n\
+                   }\n";
+        assert!(d010(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn param_index_fires_without_assert_guard() {
+        let src = "pub fn nth(xs: &[f64], i: usize) -> f64 { xs[i] }";
+        let f = d010(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert!(f.first().expect("one").message.contains("parameter `xs`"));
+    }
+
+    #[test]
+    fn param_index_with_assert_is_contractual() {
+        let src = "pub fn nth(xs: &[f64], i: usize) -> f64 { assert!(i < xs.len()); xs[i] }";
+        assert!(d010(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn local_index_is_fine() {
+        let src = "pub fn head() -> f64 { let xs = vec![1.0]; xs[0] }";
+        assert!(d010(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_harness_are_out_of_scope() {
+        let src = "pub fn api(v: &[f64]) -> f64 { leaf(v) }\n\
+                   fn leaf(v: &[f64]) -> f64 { *v.first().unwrap() }\n";
+        assert!(d010("crates/demo/src/bin/tool.rs", src).is_empty());
+        assert!(d010("crates/bench/src/lib.rs", src).is_empty());
+        assert!(d010("crates/demo/tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn method_calls_link_to_impl_methods() {
+        let src = "pub struct S;\n\
+                   impl S {\n\
+                   fn boom(&self) -> u8 { self.v.first().unwrap() }\n\
+                   }\n\
+                   pub fn api(s: &S) -> u8 { s.boom() }\n";
+        let f = d010(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert!(f.first().expect("one").message.contains("api -> boom"));
+    }
+
+    #[test]
+    fn qualified_external_calls_do_not_link() {
+        // `std::mem::take` shares no name with workspace fns; and even a
+        // name collision behind `std::` must not create an edge.
+        let src = "pub fn api(v: Vec<f64>) -> Vec<f64> { std::mem::take(&mut take(v)) }\n\
+                   fn take(v: Vec<f64>) -> Vec<f64> { v }\n";
+        assert!(d010(LIB, src).is_empty());
+    }
+}

@@ -46,6 +46,10 @@ pub struct Token {
     pub line: usize,
     /// 1-based column of the first character.
     pub col: usize,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
 }
 
 /// A comment, kept separate from the token stream.
@@ -59,6 +63,10 @@ pub struct Comment {
     /// the comment owns the whole line. Suppression comments that own
     /// their line apply to the *next* line instead.
     pub owns_line: bool,
+    /// Byte offset of the first byte of the comment in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the comment.
+    pub end: usize,
 }
 
 /// Output of [`lex`]: the token stream plus the comments.
@@ -80,11 +88,17 @@ const OPS: [&str; 25] = [
 /// are emitted as single-character [`TokenKind::Op`] tokens so the rule
 /// engine always sees the full file.
 pub fn lex(src: &str) -> Lexed {
+    // Byte offset of each char, plus a final sentinel, so spans can be
+    // reported in bytes while the scanner itself walks chars.
+    let mut byte_offsets: Vec<usize> = src.char_indices().map(|(i, _)| i).collect();
+    byte_offsets.push(src.len());
     Lexer {
         chars: src.chars().collect(),
+        byte_offsets,
         pos: 0,
         line: 1,
         col: 1,
+        tok_start: 0,
         line_has_token: false,
         out: Lexed::default(),
     }
@@ -93,17 +107,25 @@ pub fn lex(src: &str) -> Lexed {
 
 struct Lexer {
     chars: Vec<char>,
+    byte_offsets: Vec<usize>,
     pos: usize,
     line: usize,
     col: usize,
+    tok_start: usize,
     line_has_token: bool,
     out: Lexed,
 }
 
 impl Lexer {
+    fn byte_at(&self, pos: usize) -> usize {
+        let last = self.byte_offsets.last().copied().unwrap_or(0);
+        self.byte_offsets.get(pos).copied().unwrap_or(last)
+    }
+
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
             let (line, col) = (self.line, self.col);
+            self.tok_start = self.byte_at(self.pos);
             if c == '\n' {
                 self.bump();
                 continue;
@@ -163,11 +185,14 @@ impl Lexer {
 
     fn push_token(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
         self.line_has_token = true;
+        let (start, end) = (self.tok_start, self.byte_at(self.pos));
         self.out.tokens.push(Token {
             kind,
             text,
             line,
             col,
+            start,
+            end,
         });
     }
 
@@ -181,10 +206,13 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
+        let (start, end) = (self.tok_start, self.byte_at(self.pos));
         self.out.comments.push(Comment {
             text,
             line,
             owns_line,
+            start,
+            end,
         });
     }
 
@@ -211,10 +239,13 @@ impl Lexer {
                 self.bump();
             }
         }
+        let (start, end) = (self.tok_start, self.byte_at(self.pos));
         self.out.comments.push(Comment {
             text,
             line,
             owns_line,
+            start,
+            end,
         });
     }
 
@@ -549,5 +580,32 @@ mod tests {
         let out = lex("ab\n  cd");
         assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
         assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_spans_cover_every_non_whitespace_byte() {
+        let src = "let s = \"héllo\"; // trailing 你好\nfn f() {}";
+        let out = lex(src);
+        let mut covered = vec![false; src.len()];
+        for (start, end) in out
+            .tokens
+            .iter()
+            .map(|t| (t.start, t.end))
+            .chain(out.comments.iter().map(|c| (c.start, c.end)))
+        {
+            assert!(start < end, "empty span {start}..{end}");
+            assert!(end <= src.len());
+            for flag in covered.iter_mut().take(end).skip(start) {
+                *flag = true;
+            }
+        }
+        for (i, flag) in covered.iter().enumerate() {
+            let at_ws = src.as_bytes()[i].is_ascii_whitespace();
+            assert!(
+                *flag || at_ws,
+                "byte {i} ({:?}) not covered by any span",
+                src.as_bytes()[i] as char
+            );
+        }
     }
 }

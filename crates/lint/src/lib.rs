@@ -2,9 +2,10 @@
 //!
 //! PR 1 made the workspace hermetic and bit-reproducible *by
 //! construction*; this crate makes those properties hold *by
-//! enforcement*. It is a zero-dependency linter with a hand-rolled Rust
-//! lexer (so rules never fire inside string literals, comments or doc
-//! examples) and seven rules:
+//! enforcement*. It is an in-tree linter with a hand-rolled Rust lexer
+//! (so rules never fire inside string literals, comments or doc
+//! examples), a recursive-descent [`parser`] producing a lightweight
+//! syntax [`tree`], and a workspace-wide [`callgraph`]. The token rules:
 //!
 //! * **D001** — `.unwrap()` / `.expect()` in non-test library code.
 //! * **D002** — `panic!` / `todo!` / `unimplemented!` outside tests/bins.
@@ -17,6 +18,21 @@
 //! * **D007** — `Instant::now()` / `SystemTime` anywhere, tests included,
 //!   outside the harness crates and the `dynawave-obs` clock impls: wall
 //!   time goes through the `dynawave_obs::Clock` trait.
+//!
+//! And the structural rules, which run on the parse tree and call graph:
+//!
+//! * **D010** — public library fns that *transitively* reach a panic
+//!   site, reported with the witness call path; plus public fns that
+//!   index their own parameters without an assert contract.
+//! * **D011** — float determinism: `partial_cmp` comparators and float
+//!   reductions over unordered hash iteration.
+//! * **D012** — concurrency containment: threads, locks, atomics,
+//!   channels and `static mut` only in the approved modules.
+//! * **D013** — schema-literal drift from the canonical vocabulary in
+//!   `dynawave_obs::schema`.
+//!
+//! `dynawave-lint --explain D010` prints any rule's rationale and fix
+//! pattern; `--json` emits findings as `dynawave-obs` marker events.
 //!
 //! Individual lines opt out with an audited suppression:
 //!
@@ -36,9 +52,14 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod tree;
 pub mod walk;
 
 pub use baseline::{Baseline, BaselineReport};
-pub use rules::{classify, lint_manifest, lint_rust_source, FileKind, Finding, RuleId};
+pub use rules::{
+    classify, lint_manifest, lint_rust_source, lint_sources, FileKind, Finding, RuleId, SourceFile,
+};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dynawave-lint [ROOT] [--no-baseline] [--update-baseline] [--verbose]
+//!               [--json] [--explain RULE]
 //! ```
 //!
 //! Walks the workspace at `ROOT` (default: the nearest ancestor of the
@@ -10,8 +11,15 @@
 //! committed baseline and exits nonzero on any new finding. Findings are
 //! printed as `file:line:col: RULE: message` so terminals make them
 //! clickable.
+//!
+//! `--json` switches stdout to the dynawave-obs JSON-lines schema (one
+//! `lint.finding` marker per new finding plus per-rule counters), so the
+//! stream can be piped straight into `obs_validate`; the human report
+//! moves to stderr. `--explain RULE` prints a rule's summary, rationale
+//! and fix pattern, then exits.
 
-use dynawave_lint::{walk, Baseline};
+use dynawave_lint::{walk, Baseline, BaselineReport, RuleId};
+use dynawave_obs::event::{encode_lines, Event, EventKind};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,7 +28,12 @@ struct Options {
     use_baseline: bool,
     update_baseline: bool,
     verbose: bool,
+    json: bool,
+    explain: Option<String>,
 }
+
+const USAGE: &str = "usage: dynawave-lint [ROOT] [--no-baseline] [--update-baseline] \
+                     [--verbose] [--json] [--explain RULE]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -28,29 +41,35 @@ fn parse_args() -> Result<Options, String> {
         use_baseline: true,
         update_baseline: false,
         verbose: false,
+        json: false,
+        explain: None,
     };
     let mut root: Option<PathBuf> = None;
     // dynalint:allow(D004) -- CLI arguments are the tool's intended input
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-baseline" => opts.use_baseline = false,
             "--update-baseline" => opts.update_baseline = true,
             "--verbose" => opts.verbose = true,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: dynawave-lint [ROOT] [--no-baseline] [--update-baseline] \
-                            [--verbose]"
-                        .to_string(),
-                )
+            "--json" => opts.json = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    return Err("--explain needs a rule name (e.g. --explain D010)".to_string());
+                };
+                opts.explain = Some(rule);
             }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    opts.root = match root {
-        Some(r) => r,
-        None => find_root()?,
-    };
+    if opts.explain.is_none() {
+        opts.root = match root {
+            Some(r) => r,
+            None => find_root()?,
+        };
+    }
     Ok(opts)
 }
 
@@ -75,6 +94,74 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
+/// Prints the rule card for `--explain RULE`.
+fn explain(rule_name: &str) -> ExitCode {
+    let Some(rule) = RuleId::parse(rule_name) else {
+        let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.name()).collect();
+        eprintln!(
+            "dynawave-lint: unknown rule {rule_name:?}; known rules: {}",
+            known.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{rule}: {}", rule.summary());
+    println!();
+    println!("why:  {}", rule.rationale());
+    println!("fix:  {}", rule.fix_pattern());
+    println!();
+    println!(
+        "suppress a single audited site with a trailing\n\
+         `// dynalint:allow({rule}) -- reason` comment."
+    );
+    ExitCode::SUCCESS
+}
+
+/// Renders the baseline report as a dynawave-obs JSON-lines stream:
+/// a `lint.run` marker, one `lint.finding` marker per new finding, one
+/// counter per rule, and summary counters. Paths in marker details are
+/// workspace-relative, so the stream is machine-independent.
+fn render_obs_stream(report: &BaselineReport) -> String {
+    let mut events: Vec<Event> = Vec::new();
+    let mut push = |mut e: Event| {
+        let seq = events.len() as u64;
+        e.seq = seq;
+        e.tick = seq;
+        events.push(e);
+    };
+
+    let mut run = Event::new(0, 0, EventKind::Marker, "lint.run");
+    run.detail = Some(format!(
+        "{} new, {} baselined, {} stale baseline entries",
+        report.new.len(),
+        report.baselined,
+        report.stale.len()
+    ));
+    push(run);
+
+    for f in &report.new {
+        let mut e = Event::new(0, 0, EventKind::Marker, "lint.finding");
+        e.detail = Some(f.to_string());
+        push(e);
+    }
+
+    for rule in RuleId::ALL {
+        let n = report.new.iter().filter(|f| f.rule == rule).count() as u64;
+        let mut e = Event::new(0, 0, EventKind::Counter, format!("lint.rule.{rule}"));
+        e.count = Some(n);
+        push(e);
+    }
+    for (name, value) in [
+        ("lint.findings.new", report.new.len() as u64),
+        ("lint.findings.baselined", report.baselined as u64),
+        ("lint.baseline.stale", report.stale.len() as u64),
+    ] {
+        let mut e = Event::new(0, 0, EventKind::Counter, name);
+        e.count = Some(value);
+        push(e);
+    }
+    encode_lines(&events)
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -83,6 +170,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = &opts.explain {
+        return explain(rule);
+    }
     let findings = match walk::lint_workspace(&opts.root) {
         Ok(f) => f,
         Err(e) => {
@@ -129,26 +219,39 @@ fn main() -> ExitCode {
     };
 
     let report = baseline.check(&findings);
+
+    // In --json mode stdout carries the obs stream and the human report
+    // moves to stderr, so piping into obs_validate stays clean.
+    let say = |line: String| {
+        if opts.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    if opts.json {
+        print!("{}", render_obs_stream(&report));
+    }
     for f in &report.new {
-        println!("{f}");
+        say(f.to_string());
     }
     for (key, allowed, found) in &report.stale {
-        println!(
+        say(format!(
             "stale baseline entry {key}: allows {allowed}, found {found} — \
              ratchet down with --update-baseline"
-        );
+        ));
     }
     if opts.verbose || !report.new.is_empty() {
-        println!(
+        say(format!(
             "dynawave-lint: {} new, {} baselined, {} stale baseline entries",
             report.new.len(),
             report.baselined,
             report.stale.len()
-        );
+        ));
     }
     if report.new.is_empty() {
         if opts.verbose {
-            println!("dynawave-lint: clean");
+            say("dynawave-lint: clean".to_string());
         }
         ExitCode::SUCCESS
     } else {

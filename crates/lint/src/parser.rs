@@ -1,0 +1,1754 @@
+//! Panic-free, always-terminating recursive-descent parser.
+//!
+//! Produces the [`crate::tree`] structure from the span-carrying token
+//! stream. Three hard guarantees, enforced mechanically rather than by
+//! hope:
+//!
+//! * **No panics.** The parser never indexes, unwraps or asserts; every
+//!   token access goes through `Option`. Unparseable input degrades to
+//!   [`Expr::Other`] — the rules see less, they never crash.
+//! * **Termination.** A global fuel counter (a small multiple of the
+//!   token count) is burned on every `bump`; when it runs out the cursor
+//!   jumps to end-of-input and every loop unwinds. Additionally, every
+//!   loop either consumes a token or breaks.
+//! * **Bounded recursion.** Expression recursion is capped at
+//!   [`MAX_DEPTH`]; beyond it, nested input is skipped as balanced token
+//!   soup instead of recursed into.
+//!
+//! The grammar is deliberately approximate: patterns are skipped
+//! token-wise, types are skipped with bracket matching, macro arguments
+//! are parsed tolerantly as expression soup (so `assert_eq!(a.unwrap(), …)`
+//! still surfaces the method call). DESIGN §12 documents the resulting
+//! false-negative/positive envelope.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::tree::{Expr, File, Fn, Impl, Item, ItemKind, Mod, Span, Use};
+
+/// Maximum expression nesting before the parser falls back to balanced
+/// token skipping. Real code in this workspace nests < 40 deep; the cap
+/// exists for adversarial input.
+const MAX_DEPTH: usize = 96;
+
+/// Binding power of prefix operators (`-x`, `!x`, `&x`, `*x`).
+const PREFIX_BP: u8 = 23;
+
+/// Parses a lexed file. Never fails; see module docs for the guarantees.
+pub fn parse_file(lexed: &Lexed) -> File {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        fuel: lexed.tokens.len().saturating_mul(16).saturating_add(256),
+        depth: 0,
+        hoisted: Vec::new(),
+    };
+    let mut items = p.items(false);
+    items.append(&mut p.hoisted);
+    File { items }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    fuel: usize,
+    depth: usize,
+    /// Items found inside fn bodies, hoisted to the file level so the
+    /// call graph still sees them.
+    hoisted: Vec<Item>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn at(&self, text: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.text == text)
+    }
+
+    fn at_ahead(&self, ahead: usize, text: &str) -> bool {
+        self.peek(ahead).is_some_and(|t| t.text == text)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        if self.fuel == 0 {
+            // Out of fuel: jump to EOF so every loop sees exhaustion.
+            self.pos = self.toks.len();
+            return None;
+        }
+        self.fuel -= 1;
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span_here(&self) -> Span {
+        match self.peek(0) {
+            Some(t) => Span {
+                line: t.line,
+                col: t.col,
+            },
+            None => Span::default(),
+        }
+    }
+
+    /// Consumes a balanced bracket group starting at the current opener.
+    /// Tolerant: any opener/closer of any bracket kind adjusts depth.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            if self.bump().is_none() {
+                return;
+            }
+            if depth == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Consumes a generic-argument group starting at `<`. `<<`/`>>`
+    /// count double; `->` (fn-pointer types) is neutral. Gives up at
+    /// `;`, `{` or EOF so a stray `<` cannot swallow the file.
+    fn skip_angles(&mut self) {
+        let mut depth = 0isize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ">=" => depth -= 1,
+                ";" | "{" => return,
+                _ => {}
+            }
+            if self.bump().is_none() {
+                return;
+            }
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skips `#[...]` / `#![...]` attributes; returns true if any were
+    /// consumed.
+    fn skip_attrs(&mut self) -> bool {
+        let mut any = false;
+        while self.at("#") {
+            any = true;
+            self.bump();
+            if self.at("!") {
+                self.bump();
+            }
+            if self.at("[") {
+                self.skip_balanced();
+            }
+        }
+        any
+    }
+
+    /// Consumes tokens up to and including the next `;` at bracket depth
+    /// zero (or `{...}` group followed by nothing, for items like
+    /// `struct S { .. }`).
+    fn skip_item_tail(&mut self) {
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "(" | "[" => self.skip_balanced(),
+                "{" => {
+                    self.skip_balanced();
+                    return;
+                }
+                "<" => self.skip_angles(),
+                _ => {
+                    if self.bump().is_none() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Items
+    // ---------------------------------------------------------------
+
+    /// Parses items until EOF (or, when `inside_braces`, the matching
+    /// `}` which is consumed).
+    fn items(&mut self, inside_braces: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        loop {
+            let before = self.pos;
+            if self.peek(0).is_none() {
+                return out;
+            }
+            if self.at("}") {
+                self.bump();
+                if inside_braces {
+                    return out;
+                }
+                continue;
+            }
+            if let Some(item) = self.parse_one_item() {
+                out.push(item);
+            }
+            if self.pos == before && self.bump().is_none() {
+                return out;
+            }
+        }
+    }
+
+    /// Parses one item at the cursor, if the cursor is at something
+    /// item-shaped; otherwise consumes at least one token and returns
+    /// `None`.
+    fn parse_one_item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        let span = self.span_here();
+        let mut vis_pub = false;
+        if self.at("pub") {
+            vis_pub = true;
+            self.bump();
+            if self.at("(") {
+                self.skip_balanced();
+            }
+        }
+        // Fn modifiers and `extern "C"` blocks / `extern crate`.
+        loop {
+            let t = self.peek(0)?;
+            match t.text.as_str() {
+                "async" | "default" => {
+                    self.bump();
+                }
+                "unsafe" if !self.at_ahead(1, "{") => {
+                    self.bump();
+                }
+                "const" if self.at_ahead(1, "fn") => {
+                    self.bump();
+                }
+                "extern" => {
+                    self.bump();
+                    if self.peek(0).is_some_and(|t| t.kind == TokenKind::Str) {
+                        self.bump();
+                    }
+                    if self.at("crate") {
+                        self.skip_item_tail();
+                        return None;
+                    }
+                    if self.at("{") {
+                        // Foreign block: declarations only, skip whole.
+                        self.skip_balanced();
+                        return None;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let kw = self.peek(0)?;
+        match kw.text.as_str() {
+            "fn" => {
+                let func = self.parse_fn();
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Fn(func),
+                })
+            }
+            "impl" => Some(Item {
+                span,
+                vis_pub,
+                kind: self.parse_impl(),
+            }),
+            "trait" => {
+                // Model a trait as an impl-like container so default
+                // method bodies join the call graph with an owner.
+                self.bump();
+                let name = self.bump_ident().unwrap_or_default();
+                if self.at("<") {
+                    self.skip_angles();
+                }
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "{" => break,
+                        ";" => {
+                            self.bump();
+                            return Some(Item {
+                                span,
+                                vis_pub,
+                                kind: ItemKind::Other {
+                                    keyword: "trait".into(),
+                                },
+                            });
+                        }
+                        "<" => self.skip_angles(),
+                        _ => {
+                            self.bump()?;
+                        }
+                    }
+                }
+                self.bump(); // {
+                let items = self.items(true);
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Impl(Impl {
+                        type_name: name,
+                        trait_name: None,
+                        items,
+                    }),
+                })
+            }
+            "mod" => {
+                self.bump();
+                let name = self.bump_ident().unwrap_or_default();
+                if self.at("{") {
+                    self.bump();
+                    let items = self.items(true);
+                    Some(Item {
+                        span,
+                        vis_pub,
+                        kind: ItemKind::Mod(Mod { name, items }),
+                    })
+                } else {
+                    if self.at(";") {
+                        self.bump();
+                    }
+                    Some(Item {
+                        span,
+                        vis_pub,
+                        kind: ItemKind::Other {
+                            keyword: "mod".into(),
+                        },
+                    })
+                }
+            }
+            "use" => {
+                self.bump();
+                let paths = self.parse_use_tree();
+                if self.at(";") {
+                    self.bump();
+                }
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Use(Use { paths }),
+                })
+            }
+            "static" => {
+                self.bump();
+                let is_mut = self.at("mut");
+                if is_mut {
+                    self.bump();
+                }
+                let name = self.bump_ident().unwrap_or_default();
+                self.skip_item_tail();
+                let kind = if is_mut {
+                    ItemKind::StaticMut { name }
+                } else {
+                    ItemKind::Other {
+                        keyword: "static".into(),
+                    }
+                };
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind,
+                })
+            }
+            "const" | "type" => {
+                let keyword = kw.text.clone();
+                self.bump();
+                self.skip_item_tail();
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Other { keyword },
+                })
+            }
+            "struct" | "enum" | "union" => {
+                let keyword = kw.text.clone();
+                self.bump();
+                self.bump_ident();
+                if self.at("<") {
+                    self.skip_angles();
+                }
+                self.skip_item_tail();
+                // Tuple structs end `(...)` then `;`.
+                if self.at(";") {
+                    self.bump();
+                }
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Other { keyword },
+                })
+            }
+            "macro_rules" => {
+                self.bump();
+                if self.at("!") {
+                    self.bump();
+                }
+                self.bump_ident();
+                if self.at("{") || self.at("(") || self.at("[") {
+                    self.skip_balanced();
+                }
+                Some(Item {
+                    span,
+                    vis_pub,
+                    kind: ItemKind::Other {
+                        keyword: "macro_rules".into(),
+                    },
+                })
+            }
+            _ => {
+                self.bump();
+                None
+            }
+        }
+    }
+
+    fn bump_ident(&mut self) -> Option<String> {
+        let t = self.peek(0)?;
+        if t.kind == TokenKind::Ident {
+            let text = t.text.clone();
+            self.bump();
+            Some(text)
+        } else {
+            None
+        }
+    }
+
+    /// Parses a fn starting at the `fn` keyword.
+    fn parse_fn(&mut self) -> Fn {
+        let span = self.span_here();
+        self.bump(); // fn
+        let name = self.bump_ident().unwrap_or_default();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        let params = if self.at("(") {
+            self.parse_params()
+        } else {
+            Vec::new()
+        };
+        // Return type and where clause: skip to the body or `;`.
+        loop {
+            let Some(t) = self.peek(0) else {
+                return Fn {
+                    name,
+                    params,
+                    body: None,
+                    span,
+                };
+            };
+            match t.text.as_str() {
+                "{" => break,
+                ";" => {
+                    self.bump();
+                    return Fn {
+                        name,
+                        params,
+                        body: None,
+                        span,
+                    };
+                }
+                "(" | "[" => self.skip_balanced(),
+                "<" => self.skip_angles(),
+                _ => {
+                    if self.bump().is_none() {
+                        return Fn {
+                            name,
+                            params,
+                            body: None,
+                            span,
+                        };
+                    }
+                }
+            }
+        }
+        let (body, _) = self.parse_block();
+        Fn {
+            name,
+            params,
+            body: Some(body),
+            span,
+        }
+    }
+
+    /// Parses `( pattern: Type, ... )`, collecting pattern-side binding
+    /// idents. `self` receivers are recorded as `"self"`.
+    fn parse_params(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut angle = 0isize;
+        let mut in_pattern = true;
+        self.bump(); // (
+        paren += 1;
+        while let Some(t) = self.peek(0) {
+            let at_top = paren == 1 && bracket == 0 && angle <= 0;
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        self.bump();
+                        return params;
+                    }
+                }
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                ":" if at_top => in_pattern = false,
+                "," if at_top => in_pattern = true,
+                "self" => {
+                    if in_pattern {
+                        params.push("self".to_string());
+                    }
+                }
+                "mut" | "ref" | "_" | "&" | "&&" | "dyn" | "impl" => {}
+                _ => {
+                    if in_pattern && t.kind == TokenKind::Ident {
+                        params.push(t.text.clone());
+                    }
+                }
+            }
+            if self.bump().is_none() {
+                return params;
+            }
+        }
+        params
+    }
+
+    fn parse_impl(&mut self) -> ItemKind {
+        self.bump(); // impl
+        if self.at("<") {
+            self.skip_angles();
+        }
+        // First path up to `for` / `{` / `where`; if `for` appears, the
+        // first path was the trait and the second is the type.
+        let first = self.parse_type_path();
+        let (type_name, trait_name) = if self.at("for") {
+            self.bump();
+            (self.parse_type_path(), Some(first))
+        } else {
+            (first, None)
+        };
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "{" => break,
+                ";" => {
+                    self.bump();
+                    return ItemKind::Other {
+                        keyword: "impl".into(),
+                    };
+                }
+                "<" => self.skip_angles(),
+                "(" | "[" => self.skip_balanced(),
+                _ => {
+                    if self.bump().is_none() {
+                        return ItemKind::Other {
+                            keyword: "impl".into(),
+                        };
+                    }
+                }
+            }
+        }
+        self.bump(); // {
+        let items = self.items(true);
+        ItemKind::Impl(Impl {
+            type_name,
+            trait_name: trait_name.filter(|t| !t.is_empty()),
+            items,
+        })
+    }
+
+    /// Parses a type path (`a::b::Foo<Bar>`) returning the last plain
+    /// segment before any generic arguments.
+    fn parse_type_path(&mut self) -> String {
+        let mut last = String::new();
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "::" => {
+                    self.bump();
+                }
+                "<" => self.skip_angles(),
+                "&" | "&&" | "dyn" | "mut" => {
+                    self.bump();
+                }
+                _ if t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "for" | "where") => {
+                    last = t.text.clone();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Parses a use tree after the `use` keyword, expanding brace groups
+    /// into full paths.
+    fn parse_use_tree(&mut self) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        self.use_tree_into(&mut Vec::new(), &mut out, 0);
+        out
+    }
+
+    fn use_tree_into(
+        &mut self,
+        prefix: &mut Vec<String>,
+        out: &mut Vec<Vec<String>>,
+        depth: usize,
+    ) {
+        if depth > 16 {
+            // Adversarially nested use tree: record what we have.
+            out.push(prefix.clone());
+            self.skip_balanced();
+            return;
+        }
+        let mut segs: Vec<String> = Vec::new();
+        loop {
+            let Some(t) = self.peek(0) else { break };
+            match t.text.as_str() {
+                "::" => {
+                    self.bump();
+                }
+                "{" => {
+                    self.bump();
+                    loop {
+                        if self.peek(0).is_none() || self.at("}") {
+                            self.bump();
+                            break;
+                        }
+                        let before = self.pos;
+                        let mut nested_prefix: Vec<String> =
+                            prefix.iter().chain(segs.iter()).cloned().collect();
+                        self.use_tree_into(&mut nested_prefix, out, depth + 1);
+                        if self.at(",") {
+                            self.bump();
+                        }
+                        if self.pos == before && self.bump().is_none() {
+                            break;
+                        }
+                    }
+                    return;
+                }
+                ";" | "," | "}" => break,
+                "*" => {
+                    segs.push("*".to_string());
+                    self.bump();
+                }
+                "as" => {
+                    // Rename: the original path is what matters.
+                    self.bump();
+                    self.bump_ident();
+                }
+                _ if t.kind == TokenKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if !segs.is_empty() || !prefix.is_empty() {
+            let full: Vec<String> = prefix.iter().cloned().chain(segs).collect();
+            out.push(full);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Statements and expressions
+    // ---------------------------------------------------------------
+
+    /// Parses `{ ... }` starting at the opening brace; consumes the
+    /// matching close. Returns the statements and the brace's span.
+    fn parse_block(&mut self) -> (Vec<Expr>, Span) {
+        let span = self.span_here();
+        self.bump(); // {
+        let mut out = Vec::new();
+        loop {
+            let before = self.pos;
+            let Some(t) = self.peek(0) else {
+                return (out, span);
+            };
+            match t.text.as_str() {
+                "}" => {
+                    self.bump();
+                    return (out, span);
+                }
+                ";" => {
+                    self.bump();
+                }
+                "#" => {
+                    self.skip_attrs();
+                }
+                "let" => {
+                    out.push(self.parse_let());
+                }
+                "fn" | "use" | "impl" | "mod" | "struct" | "enum" | "trait" | "macro_rules"
+                | "type" => {
+                    if let Some(item) = self.parse_one_item() {
+                        self.hoisted.push(item);
+                    }
+                }
+                // `static`/`const` statements are items too, but `const`
+                // can also start a const block expression; disambiguate
+                // by the following token.
+                "static" => {
+                    if let Some(item) = self.parse_one_item() {
+                        self.hoisted.push(item);
+                    }
+                }
+                "const" if !self.at_ahead(1, "{") => {
+                    if let Some(item) = self.parse_one_item() {
+                        self.hoisted.push(item);
+                    }
+                }
+                "pub" => {
+                    if let Some(item) = self.parse_one_item() {
+                        self.hoisted.push(item);
+                    }
+                }
+                _ => {
+                    out.push(self.parse_expr(0, true));
+                }
+            }
+            if self.pos == before && self.bump().is_none() {
+                return (out, span);
+            }
+        }
+    }
+
+    /// Parses a `let` statement starting at the `let` keyword.
+    fn parse_let(&mut self) -> Expr {
+        let span = self.span_here();
+        self.bump(); // let
+        let mut name: Option<String> = None;
+        let mut ty: Vec<String> = Vec::new();
+        let mut in_ty = false;
+        let mut depth = 0isize;
+        loop {
+            let Some(t) = self.peek(0) else {
+                return Expr::Let {
+                    name,
+                    ty,
+                    init: None,
+                    span,
+                };
+            };
+            let at_top = depth <= 0;
+            match t.text.as_str() {
+                "=" if at_top => {
+                    self.bump();
+                    break;
+                }
+                ";" if at_top => {
+                    return Expr::Let {
+                        name,
+                        ty,
+                        init: None,
+                        span,
+                    };
+                }
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ":" if at_top => in_ty = true,
+                "mut" | "ref" => {}
+                _ => {
+                    if t.kind == TokenKind::Ident {
+                        if in_ty {
+                            ty.push(t.text.clone());
+                        } else if name.is_none() && t.text != "_" {
+                            name = Some(t.text.clone());
+                        }
+                    }
+                }
+            }
+            if self.bump().is_none() {
+                return Expr::Let {
+                    name,
+                    ty,
+                    init: None,
+                    span,
+                };
+            }
+        }
+        let mut init = self.parse_expr(0, true);
+        // `let ... else { diverge }`
+        if self.at("else") && self.at_ahead(1, "{") {
+            self.bump();
+            let (body, bspan) = self.parse_block();
+            init = Expr::Other {
+                children: vec![
+                    init,
+                    Expr::Block {
+                        exprs: body,
+                        span: bspan,
+                    },
+                ],
+                span,
+            };
+        }
+        Expr::Let {
+            name,
+            ty,
+            init: Some(Box::new(init)),
+            span,
+        }
+    }
+
+    /// Depth-guarded expression entry point.
+    fn parse_expr(&mut self, min_bp: u8, allow_struct: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            return self.skip_expr_soup();
+        }
+        self.depth += 1;
+        let e = self.expr_bp(min_bp, allow_struct);
+        self.depth -= 1;
+        e
+    }
+
+    /// Consumes one expression-shaped run of tokens without building a
+    /// tree: stops before `,`/`;`/closers at depth zero.
+    fn skip_expr_soup(&mut self) -> Expr {
+        let span = self.span_here();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "," | ";" if depth == 0 => break,
+                _ => {}
+            }
+            if self.bump().is_none() {
+                break;
+            }
+        }
+        Expr::Other {
+            children: Vec::new(),
+            span,
+        }
+    }
+
+    fn expr_bp(&mut self, min_bp: u8, allow_struct: bool) -> Expr {
+        let mut lhs = self.prefix(allow_struct);
+        loop {
+            let Some(t) = self.peek(0) else { return lhs };
+            match t.text.as_str() {
+                "." => {
+                    lhs = self.postfix_dot(lhs);
+                }
+                "(" => {
+                    let span = lhs.span();
+                    let args = self.parse_args();
+                    lhs = Expr::Call {
+                        callee: Box::new(lhs),
+                        args,
+                        span,
+                    };
+                }
+                "[" => {
+                    let span = self.span_here();
+                    self.bump();
+                    let index = if self.at("]") {
+                        Expr::Other {
+                            children: Vec::new(),
+                            span,
+                        }
+                    } else {
+                        self.parse_expr(0, true)
+                    };
+                    // Tolerantly reach the closing bracket.
+                    while let Some(t) = self.peek(0) {
+                        match t.text.as_str() {
+                            "]" => {
+                                self.bump();
+                                break;
+                            }
+                            "(" | "[" | "{" => self.skip_balanced(),
+                            _ => {
+                                if self.bump().is_none() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    lhs = Expr::Index {
+                        base: Box::new(lhs),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                "?" => {
+                    let span = self.span_here();
+                    self.bump();
+                    lhs = Expr::Unary {
+                        op: "?".to_string(),
+                        expr: Box::new(lhs),
+                        span,
+                    };
+                }
+                "as" => {
+                    self.bump();
+                    self.skip_cast_type();
+                }
+                "{" if allow_struct && self.looks_like_struct_lit(&lhs) => {
+                    let span = self.span_here();
+                    let children = self.parse_struct_body();
+                    lhs = Expr::Other {
+                        children: {
+                            let mut c = vec![lhs];
+                            c.extend(children);
+                            c
+                        },
+                        span,
+                    };
+                }
+                op => {
+                    let Some((l_bp, r_bp)) = infix_bp(op) else {
+                        return lhs;
+                    };
+                    if l_bp < min_bp {
+                        return lhs;
+                    }
+                    let span = self.span_here();
+                    let op = op.to_string();
+                    self.bump();
+                    // Open ranges (`a..`) have no right operand.
+                    let rhs = if (op == ".." || op == "..=") && !self.starts_expr() {
+                        Expr::Other {
+                            children: Vec::new(),
+                            span,
+                        }
+                    } else {
+                        self.parse_expr(r_bp, allow_struct)
+                    };
+                    lhs = Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        span,
+                    };
+                }
+            }
+        }
+    }
+
+    /// True when the current token could start an expression.
+    fn starts_expr(&self) -> bool {
+        let Some(t) = self.peek(0) else { return false };
+        match t.kind {
+            TokenKind::Ident => !matches!(t.text.as_str(), "else" | "in" | "where"),
+            TokenKind::Int | TokenKind::Float | TokenKind::Str | TokenKind::Char => true,
+            TokenKind::Lifetime => true,
+            TokenKind::Op => matches!(
+                t.text.as_str(),
+                "(" | "[" | "{" | "|" | "||" | "&" | "&&" | "*" | "!" | "-" | ".." | "..=" | "#"
+            ),
+        }
+    }
+
+    /// `.name(...)`, `.name`, `.0`, `.await` — cursor is at the dot.
+    fn postfix_dot(&mut self, lhs: Expr) -> Expr {
+        self.bump(); // .
+        let span = self.span_here();
+        let Some(t) = self.peek(0) else { return lhs };
+        if t.kind == TokenKind::Ident {
+            let name = t.text.clone();
+            self.bump();
+            if self.at("::") && self.at_ahead(1, "<") {
+                self.bump();
+                self.skip_angles();
+            }
+            if self.at("(") {
+                let args = self.parse_args();
+                return Expr::MethodCall {
+                    recv: Box::new(lhs),
+                    name,
+                    args,
+                    span,
+                };
+            }
+            return Expr::Field {
+                recv: Box::new(lhs),
+                name,
+                span,
+            };
+        }
+        if matches!(t.kind, TokenKind::Int | TokenKind::Float) {
+            // Tuple index; `a.0.1` lexes the `0.1` as a float.
+            let name = t.text.clone();
+            self.bump();
+            return Expr::Field {
+                recv: Box::new(lhs),
+                name,
+                span,
+            };
+        }
+        // `.` followed by something unexpected — keep lhs, progress is
+        // guaranteed by the dot we consumed.
+        lhs
+    }
+
+    /// `(...)` argument list — cursor at the opening paren.
+    fn parse_args(&mut self) -> Vec<Expr> {
+        self.bump(); // (
+        let mut args = Vec::new();
+        loop {
+            let before = self.pos;
+            let Some(t) = self.peek(0) else { return args };
+            match t.text.as_str() {
+                ")" => {
+                    self.bump();
+                    return args;
+                }
+                "," => {
+                    self.bump();
+                }
+                _ => {
+                    args.push(self.parse_expr(0, true));
+                }
+            }
+            if self.pos == before && self.bump().is_none() {
+                return args;
+            }
+        }
+    }
+
+    /// After `as`: consume the cast target type.
+    fn skip_cast_type(&mut self) {
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "::" | "*" | "&" | "&&" | "mut" | "const" | "dyn" => {
+                    self.bump();
+                }
+                "<" => self.skip_angles(),
+                "(" | "[" => self.skip_balanced(),
+                _ if t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "if" | "else") => {
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Struct-literal lookahead: `Path {` followed by a field-ish token.
+    fn looks_like_struct_lit(&self, lhs: &Expr) -> bool {
+        if !matches!(lhs, Expr::Path { .. }) {
+            return false;
+        }
+        // cursor at `{`
+        let Some(t1) = self.peek(1) else { return false };
+        match t1.text.as_str() {
+            "}" | ".." => true,
+            _ if t1.kind == TokenKind::Ident => self
+                .peek(2)
+                .is_some_and(|t2| matches!(t2.text.as_str(), ":" | "," | "}")),
+            _ => false,
+        }
+    }
+
+    /// `{ field: expr, .. }` — cursor at the opening brace.
+    fn parse_struct_body(&mut self) -> Vec<Expr> {
+        self.bump(); // {
+        let mut out = Vec::new();
+        loop {
+            let before = self.pos;
+            let Some(t) = self.peek(0) else { return out };
+            match t.text.as_str() {
+                "}" => {
+                    self.bump();
+                    return out;
+                }
+                "," => {
+                    self.bump();
+                }
+                ".." => {
+                    self.bump();
+                    if self.starts_expr() {
+                        out.push(self.parse_expr(0, true));
+                    }
+                }
+                _ if t.kind == TokenKind::Ident
+                    && self.at_ahead(1, ":")
+                    && !self.at_ahead(1, "::") =>
+                {
+                    self.bump();
+                    self.bump();
+                    out.push(self.parse_expr(0, true));
+                }
+                _ => {
+                    out.push(self.parse_expr(0, true));
+                }
+            }
+            if self.pos == before && self.bump().is_none() {
+                return out;
+            }
+        }
+    }
+
+    fn prefix(&mut self, allow_struct: bool) -> Expr {
+        let span = self.span_here();
+        let Some(t) = self.peek(0) else {
+            return Expr::Other {
+                children: Vec::new(),
+                span,
+            };
+        };
+        match t.kind {
+            TokenKind::Int | TokenKind::Float | TokenKind::Str | TokenKind::Char => {
+                let (kind, text) = (t.kind, t.text.clone());
+                self.bump();
+                Expr::Lit { kind, text, span }
+            }
+            TokenKind::Lifetime => {
+                // Loop label: `'outer: loop { ... }`.
+                self.bump();
+                if self.at(":") {
+                    self.bump();
+                }
+                self.prefix(allow_struct)
+            }
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(),
+                "match" => self.parse_match(),
+                "while" => {
+                    self.bump();
+                    let mut children = Vec::new();
+                    if self.at("let") {
+                        self.bump();
+                        self.skip_pattern_until(&["="]);
+                        if self.at("=") {
+                            self.bump();
+                        }
+                    }
+                    children.push(self.parse_expr(0, false));
+                    if self.at("{") {
+                        let (body, bspan) = self.parse_block();
+                        children.push(Expr::Block {
+                            exprs: body,
+                            span: bspan,
+                        });
+                    }
+                    Expr::Other { children, span }
+                }
+                "loop" => {
+                    self.bump();
+                    let mut children = Vec::new();
+                    if self.at("{") {
+                        let (body, bspan) = self.parse_block();
+                        children.push(Expr::Block {
+                            exprs: body,
+                            span: bspan,
+                        });
+                    }
+                    Expr::Other { children, span }
+                }
+                "for" => {
+                    self.bump();
+                    self.skip_pattern_until(&["in"]);
+                    if self.at("in") {
+                        self.bump();
+                    }
+                    let mut children = vec![self.parse_expr(0, false)];
+                    if self.at("{") {
+                        let (body, bspan) = self.parse_block();
+                        children.push(Expr::Block {
+                            exprs: body,
+                            span: bspan,
+                        });
+                    }
+                    Expr::Other { children, span }
+                }
+                "unsafe" | "async" => {
+                    self.bump();
+                    if self.at("{") {
+                        let (body, bspan) = self.parse_block();
+                        Expr::Block {
+                            exprs: body,
+                            span: bspan,
+                        }
+                    } else {
+                        self.prefix(allow_struct)
+                    }
+                }
+                "return" | "break" => {
+                    self.bump();
+                    if self.starts_expr() {
+                        let e = self.parse_expr(0, allow_struct);
+                        Expr::Other {
+                            children: vec![e],
+                            span,
+                        }
+                    } else {
+                        Expr::Other {
+                            children: Vec::new(),
+                            span,
+                        }
+                    }
+                }
+                "continue" => {
+                    self.bump();
+                    Expr::Other {
+                        children: Vec::new(),
+                        span,
+                    }
+                }
+                "move" => {
+                    self.bump();
+                    self.prefix(allow_struct)
+                }
+                "let" => {
+                    // `if let`-style chains reach here via `&&`.
+                    self.bump();
+                    self.skip_pattern_until(&["="]);
+                    if self.at("=") {
+                        self.bump();
+                    }
+                    self.parse_expr(PREFIX_BP, false)
+                }
+                "const" if self.at_ahead(1, "{") => {
+                    self.bump();
+                    let (body, bspan) = self.parse_block();
+                    Expr::Block {
+                        exprs: body,
+                        span: bspan,
+                    }
+                }
+                _ => self.parse_path_expr(span),
+            },
+            TokenKind::Op => match t.text.as_str() {
+                "(" => {
+                    self.bump();
+                    let mut children = Vec::new();
+                    loop {
+                        let before = self.pos;
+                        let Some(t) = self.peek(0) else { break };
+                        match t.text.as_str() {
+                            ")" => {
+                                self.bump();
+                                break;
+                            }
+                            "," => {
+                                self.bump();
+                            }
+                            _ => children.push(self.parse_expr(0, true)),
+                        }
+                        if self.pos == before && self.bump().is_none() {
+                            break;
+                        }
+                    }
+                    if children.len() == 1 {
+                        children.pop().unwrap_or(Expr::Other {
+                            children: Vec::new(),
+                            span,
+                        })
+                    } else {
+                        Expr::Other { children, span }
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    loop {
+                        let before = self.pos;
+                        let Some(t) = self.peek(0) else { break };
+                        match t.text.as_str() {
+                            "]" => {
+                                self.bump();
+                                break;
+                            }
+                            "," | ";" => {
+                                self.bump();
+                            }
+                            _ => elems.push(self.parse_expr(0, true)),
+                        }
+                        if self.pos == before && self.bump().is_none() {
+                            break;
+                        }
+                    }
+                    Expr::Array { elems, span }
+                }
+                "{" => {
+                    let (body, bspan) = self.parse_block();
+                    Expr::Block {
+                        exprs: body,
+                        span: bspan,
+                    }
+                }
+                "|" | "||" => self.parse_closure(span, allow_struct),
+                "&" | "&&" => {
+                    let op = t.text.clone();
+                    self.bump();
+                    if self.at("mut") {
+                        self.bump();
+                    }
+                    Expr::Unary {
+                        op,
+                        expr: Box::new(self.parse_expr(PREFIX_BP, allow_struct)),
+                        span,
+                    }
+                }
+                "*" | "!" | "-" => {
+                    let op = t.text.clone();
+                    self.bump();
+                    Expr::Unary {
+                        op,
+                        expr: Box::new(self.parse_expr(PREFIX_BP, allow_struct)),
+                        span,
+                    }
+                }
+                ".." | "..=" => {
+                    self.bump();
+                    if self.starts_expr() {
+                        Expr::Other {
+                            children: vec![self.parse_expr(4, allow_struct)],
+                            span,
+                        }
+                    } else {
+                        Expr::Other {
+                            children: Vec::new(),
+                            span,
+                        }
+                    }
+                }
+                "#" => {
+                    self.skip_attrs();
+                    self.prefix(allow_struct)
+                }
+                _ => {
+                    self.bump();
+                    Expr::Other {
+                        children: Vec::new(),
+                        span,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Path expression (`a::b::c`, with optional turbofish) that may be
+    /// a macro invocation.
+    fn parse_path_expr(&mut self, span: Span) -> Expr {
+        let mut segs: Vec<String> = Vec::new();
+        loop {
+            let Some(t) = self.peek(0) else { break };
+            if t.kind == TokenKind::Ident
+                && segs.last().map_or(true, |_| {
+                    self.toks
+                        .get(self.pos.wrapping_sub(1))
+                        .is_some_and(|p| p.text == "::")
+                })
+            {
+                segs.push(t.text.clone());
+                self.bump();
+            } else if t.text == "::" {
+                self.bump();
+                if self.at("<") {
+                    self.skip_angles();
+                }
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            // Not actually a path (can happen after error recovery).
+            self.bump();
+            return Expr::Other {
+                children: Vec::new(),
+                span,
+            };
+        }
+        if self.at("!") {
+            let delim_ok = self.at_ahead(1, "(") || self.at_ahead(1, "[") || self.at_ahead(1, "{");
+            if delim_ok {
+                self.bump(); // !
+                let name = segs.last().cloned().unwrap_or_default();
+                let args = self.parse_macro_args();
+                return Expr::Macro { name, args, span };
+            }
+        }
+        Expr::Path { segs, span }
+    }
+
+    /// Macro argument soup: parse expressions tolerantly until the
+    /// closing delimiter.
+    fn parse_macro_args(&mut self) -> Vec<Expr> {
+        let closer = match self.peek(0).map(|t| t.text.as_str()) {
+            Some("(") => ")",
+            Some("[") => "]",
+            Some("{") => "}",
+            _ => return Vec::new(),
+        };
+        self.bump(); // opener
+        let mut args = Vec::new();
+        loop {
+            let before = self.pos;
+            let Some(t) = self.peek(0) else { return args };
+            match t.text.as_str() {
+                s if s == closer => {
+                    self.bump();
+                    return args;
+                }
+                "," | ";" | "=>" | "=" => {
+                    self.bump();
+                }
+                ")" | "]" | "}" => {
+                    // Mismatched closer inside soup: consume and go on.
+                    self.bump();
+                }
+                _ => {
+                    args.push(self.parse_expr(0, true));
+                }
+            }
+            if self.pos == before && self.bump().is_none() {
+                return args;
+            }
+        }
+    }
+
+    fn parse_closure(&mut self, span: Span, allow_struct: bool) -> Expr {
+        if self.at("||") {
+            self.bump();
+        } else {
+            self.bump(); // opening |
+            let mut depth = 0isize;
+            while let Some(t) = self.peek(0) {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "|" if depth <= 0 => {
+                        self.bump();
+                        break;
+                    }
+                    "{" | ";" => break, // runaway: missing closing |
+                    _ => {}
+                }
+                if self.bump().is_none() {
+                    break;
+                }
+            }
+        }
+        // Optional return type before a required block body.
+        if self.at("->") {
+            self.bump();
+            while let Some(t) = self.peek(0) {
+                match t.text.as_str() {
+                    "{" => break,
+                    "<" => self.skip_angles(),
+                    "(" | "[" => self.skip_balanced(),
+                    _ if t.kind == TokenKind::Ident || t.text == "::" || t.text == "&" => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let body = self.parse_expr(0, allow_struct);
+        Expr::Closure {
+            body: Box::new(body),
+            span,
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let span = self.span_here();
+        self.bump(); // if
+        let mut children = Vec::new();
+        if self.at("let") {
+            self.bump();
+            self.skip_pattern_until(&["="]);
+            if self.at("=") {
+                self.bump();
+            }
+        }
+        children.push(self.parse_expr(0, false));
+        if self.at("{") {
+            let (body, bspan) = self.parse_block();
+            children.push(Expr::Block {
+                exprs: body,
+                span: bspan,
+            });
+        }
+        if self.at("else") {
+            self.bump();
+            if self.at("if") {
+                children.push(self.parse_if());
+            } else if self.at("{") {
+                let (body, bspan) = self.parse_block();
+                children.push(Expr::Block {
+                    exprs: body,
+                    span: bspan,
+                });
+            }
+        }
+        Expr::Other { children, span }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let span = self.span_here();
+        self.bump(); // match
+        let mut children = vec![self.parse_expr(0, false)];
+        if !self.at("{") {
+            return Expr::Other { children, span };
+        }
+        self.bump(); // {
+        loop {
+            let before = self.pos;
+            let Some(t) = self.peek(0) else {
+                return Expr::Other { children, span };
+            };
+            match t.text.as_str() {
+                "}" => {
+                    self.bump();
+                    return Expr::Other { children, span };
+                }
+                "," => {
+                    self.bump();
+                }
+                "#" => {
+                    self.skip_attrs();
+                }
+                _ => {
+                    // Pattern (and optional guard) up to `=>`, then the
+                    // arm expression.
+                    self.skip_pattern_until(&["=>"]);
+                    if self.at("=>") {
+                        self.bump();
+                        children.push(self.parse_expr(0, true));
+                    }
+                }
+            }
+            if self.pos == before && self.bump().is_none() {
+                return Expr::Other { children, span };
+            }
+        }
+    }
+
+    /// Skips pattern tokens until one of `stops` at bracket depth zero
+    /// (also stopping at `{`, `;` or EOF as a safety net).
+    fn skip_pattern_until(&mut self, stops: &[&str]) {
+        let mut depth = 0isize;
+        while let Some(t) = self.peek(0) {
+            let text = t.text.as_str();
+            if depth <= 0 && stops.contains(&text) {
+                return;
+            }
+            match text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => return,
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth <= 0 => return,
+                _ => {}
+            }
+            if self.bump().is_none() {
+                return;
+            }
+        }
+    }
+}
+
+/// Infix binding powers (left, right). Higher binds tighter.
+fn infix_bp(op: &str) -> Option<(u8, u8)> {
+    Some(match op {
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => (2, 1),
+        ".." | "..=" => (4, 3),
+        "||" => (5, 6),
+        "&&" => (7, 8),
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => (9, 10),
+        "|" => (11, 12),
+        "^" => (13, 14),
+        "&" => (15, 16),
+        "<<" | ">>" => (17, 18),
+        "+" | "-" => (19, 20),
+        "*" | "/" | "%" => (21, 22),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::{Expr, ItemKind};
+
+    fn parse(src: &str) -> File {
+        parse_file(&lex(src))
+    }
+
+    fn method_calls(file: &File) -> Vec<String> {
+        let mut out = Vec::new();
+        file.walk_exprs(&mut |e| {
+            if let Expr::MethodCall { name, .. } = e {
+                out.push(name.clone());
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn fn_with_params_and_body() {
+        let f = parse("pub fn add(a: f64, b: &[f64]) -> f64 { a + b.len() as f64 }");
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        let fr = fns.first().expect("one fn");
+        assert!(fr.vis_pub);
+        assert_eq!(fr.func.name, "add");
+        assert_eq!(fr.func.params, ["a", "b"]);
+        assert_eq!(method_calls(&f), ["len"]);
+    }
+
+    #[test]
+    fn impl_block_and_method_ownership() {
+        let f = parse(
+            "struct S; impl S { pub fn go(&self) -> usize { self.items.sort_by(|a, b| a.cmp(b)); 0 } }",
+        );
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        let fr = fns.first().expect("one fn");
+        assert_eq!(fr.owner, Some("S"));
+        assert_eq!(fr.func.params, ["self"]);
+        assert!(method_calls(&f).contains(&"sort_by".to_string()));
+        assert!(method_calls(&f).contains(&"cmp".to_string()));
+    }
+
+    #[test]
+    fn use_brace_expansion() {
+        let f = parse("use std::sync::{Mutex, atomic::AtomicU64};");
+        let paths = f.use_paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(
+            paths.first().map(|p| p.join("::")).as_deref(),
+            Some("std::sync::Mutex")
+        );
+        assert_eq!(
+            paths.get(1).map(|p| p.join("::")).as_deref(),
+            Some("std::sync::atomic::AtomicU64")
+        );
+    }
+
+    #[test]
+    fn index_and_call_expressions() {
+        let f = parse("fn g(xs: &[f64], i: usize) -> f64 { helper(xs[i + 1]) }");
+        let mut saw_index = false;
+        let mut saw_call = false;
+        f.walk_exprs(&mut |e| match e {
+            Expr::Index { base, .. } => {
+                saw_index = true;
+                assert_eq!(base.root_ident(), Some("xs"));
+            }
+            Expr::Call { callee, .. } => {
+                saw_call = true;
+                assert_eq!(callee.root_ident(), Some("helper"));
+            }
+            _ => {}
+        });
+        assert!(saw_index && saw_call);
+    }
+
+    #[test]
+    fn macro_args_are_salvaged() {
+        let f = parse("fn t(v: Vec<u8>) { assert_eq!(v.first().unwrap(), &0); }");
+        assert!(method_calls(&f).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn static_mut_is_detected() {
+        let f = parse("static mut HITS: u64 = 0; static OK: u64 = 0;");
+        let muts: Vec<_> = f
+            .items
+            .iter()
+            .filter(|i| matches!(i.kind, ItemKind::StaticMut { .. }))
+            .collect();
+        assert_eq!(muts.len(), 1);
+    }
+
+    #[test]
+    fn match_arms_and_closures() {
+        let f = parse(
+            "fn m(o: Option<usize>) -> usize { match o { Some(x) if x > 0 => x, _ => fallback(|| compute()) } }",
+        );
+        let mut calls = Vec::new();
+        f.walk_exprs(&mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if let Some(root) = callee.root_ident() {
+                    calls.push(root.to_string());
+                }
+            }
+        });
+        assert!(calls.contains(&"fallback".to_string()));
+        assert!(calls.contains(&"compute".to_string()));
+    }
+
+    #[test]
+    fn struct_literal_values_are_visited() {
+        let f = parse("fn s() -> P { P { x: build(), y: 2 } }");
+        let mut calls = Vec::new();
+        f.walk_exprs(&mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                calls.extend(callee.root_ident().map(str::to_string));
+            }
+        });
+        assert_eq!(calls, ["build"]);
+    }
+
+    #[test]
+    fn nested_fn_is_hoisted() {
+        let f = parse("fn outer() { fn inner(q: usize) -> usize { q } inner(1); }");
+        let names: Vec<_> = f
+            .functions()
+            .iter()
+            .map(|fr| fr.func.name.clone())
+            .collect();
+        assert!(names.contains(&"outer".to_string()));
+        assert!(names.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn garbage_terminates() {
+        // Unbalanced everything; must terminate and not panic.
+        let srcs = [
+            "fn f( { ) [ } impl impl fn fn",
+            "((((((((((((((((((((((((((((",
+            "match match match { { {",
+            "let let = = fn |x| |y|",
+            "r#\"unterminated",
+            "' ' ' ''' \\ \\ \"",
+        ];
+        for src in srcs {
+            let _ = parse(src);
+        }
+    }
+}

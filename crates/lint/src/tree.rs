@@ -1,0 +1,396 @@
+//! Lightweight syntax tree for the structural lint rules.
+//!
+//! This is not a faithful Rust AST — it models exactly what the D010–D013
+//! rule families need: item structure (fns with parameter names, impl
+//! blocks, `use` paths, `static mut`), and an expression layer that keeps
+//! calls, method calls, indexing, macros, closures and `let` bindings
+//! while collapsing everything else into [`Expr::Other`] with its
+//! salvageable children. Every node carries a line/column span so
+//! findings point at real source positions.
+
+use crate::lexer::TokenKind;
+
+/// 1-based line/column position of a node's first token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// A parsed source file: a flat list of top-level items. Fns nested in
+/// blocks are hoisted here too, so the call graph sees them.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    /// Items in source order (hoisted nested items appended at the end).
+    pub items: Vec<Item>,
+}
+
+/// One item, at any nesting level.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Position of the item's introducing keyword.
+    pub span: Span,
+    /// True for `pub` (including `pub(crate)` and friends — the rules
+    /// treat any visibility wider than private as public surface).
+    pub vis_pub: bool,
+    /// What the item is.
+    pub kind: ItemKind,
+}
+
+/// Item discriminant.
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// A function (free, in an impl, or in a trait with a default body).
+    Fn(Fn),
+    /// An `impl` block with its contained items.
+    Impl(Impl),
+    /// An inline `mod name { ... }` with its contained items.
+    Mod(Mod),
+    /// A `use` declaration, brace groups expanded to full paths.
+    Use(Use),
+    /// A `static mut` item — D012 evidence regardless of its initializer.
+    StaticMut {
+        /// Name of the static.
+        name: String,
+    },
+    /// Anything else (struct, enum, type alias, const, plain static, ...).
+    Other {
+        /// The introducing keyword, for diagnostics.
+        keyword: String,
+    },
+}
+
+/// A function with its signature surface and body.
+#[derive(Debug, Clone)]
+pub struct Fn {
+    /// Function name.
+    pub name: String,
+    /// Parameter binding names in order; `self` receivers appear as
+    /// `"self"`, destructured patterns contribute every bound ident.
+    pub params: Vec<String>,
+    /// Body statements/expressions; `None` for bodiless declarations.
+    pub body: Option<Vec<Expr>>,
+    /// Position of the `fn` keyword.
+    pub span: Span,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct Impl {
+    /// Last path segment of the implemented type (`Foo` in
+    /// `impl<T> Trait for Foo<T>`).
+    pub type_name: String,
+    /// Last path segment of the trait, when this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Items inside the block (fns, consts, ...).
+    pub items: Vec<Item>,
+}
+
+/// An inline module.
+#[derive(Debug, Clone)]
+pub struct Mod {
+    /// Module name.
+    pub name: String,
+    /// Items inside the module body.
+    pub items: Vec<Item>,
+}
+
+/// A `use` declaration.
+#[derive(Debug, Clone)]
+pub struct Use {
+    /// Each imported path as its segment list; `use a::{b, c::d}` yields
+    /// `[["a","b"], ["a","c","d"]]`. Globs end with `"*"`.
+    pub paths: Vec<Vec<String>>,
+}
+
+/// Expression layer. Deliberately shallow: unmodelled forms become
+/// [`Expr::Other`] but keep their parsed children, so `walk` still visits
+/// every call/index the parser could salvage.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// `a::b::c` or a bare identifier.
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// Position of the first segment.
+        span: Span,
+    },
+    /// A literal token.
+    Lit {
+        /// Literal class (Int/Float/Str/Char).
+        kind: TokenKind,
+        /// Raw source text including quotes/prefixes.
+        text: String,
+        /// Position of the literal.
+        span: Span,
+    },
+    /// `callee(args...)`.
+    Call {
+        /// The called expression (usually a path).
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Position of the callee.
+        span: Span,
+    },
+    /// `recv.name(args...)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Position of the method name.
+        span: Span,
+    },
+    /// `recv.field` (also tuple fields `.0` and `.await`).
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Position of the field name.
+        span: Span,
+    },
+    /// `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Position of the opening bracket.
+        span: Span,
+    },
+    /// `lhs op rhs`.
+    Binary {
+        /// Operator text (`+`, `==`, `..`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position of the operator.
+        span: Span,
+    },
+    /// Prefix (`!x`, `-x`, `&x`, `*x`) or postfix (`x?`) unary.
+    Unary {
+        /// Operator text.
+        op: String,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Position of the operator.
+        span: Span,
+    },
+    /// `name!(...)` — arguments parsed tolerantly as expression soup.
+    Macro {
+        /// Macro name (last path segment before `!`).
+        name: String,
+        /// Salvaged argument expressions.
+        args: Vec<Expr>,
+        /// Position of the macro name.
+        span: Span,
+    },
+    /// `[a, b, c]` or `[x; n]`.
+    Array {
+        /// Element (and repeat-count) expressions.
+        elems: Vec<Expr>,
+        /// Position of the opening bracket.
+        span: Span,
+    },
+    /// `{ ... }` block, including if/loop/match bodies.
+    Block {
+        /// Statements/expressions in order.
+        exprs: Vec<Expr>,
+        /// Position of the opening brace.
+        span: Span,
+    },
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Closure body.
+        body: Box<Expr>,
+        /// Position of the opening `|`.
+        span: Span,
+    },
+    /// `let pat: Ty = init` statement.
+    Let {
+        /// First bound ident of the pattern, when recoverable.
+        name: Option<String>,
+        /// Raw tokens of the type annotation (empty when absent).
+        ty: Vec<String>,
+        /// Initializer expression.
+        init: Option<Box<Expr>>,
+        /// Position of the `let` keyword.
+        span: Span,
+    },
+    /// Anything unmodelled, keeping whatever children were parsed.
+    Other {
+        /// Salvaged child expressions.
+        children: Vec<Expr>,
+        /// Position of the construct.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Path { span, .. }
+            | Expr::Lit { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::MethodCall { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Macro { span, .. }
+            | Expr::Array { span, .. }
+            | Expr::Block { span, .. }
+            | Expr::Closure { span, .. }
+            | Expr::Let { span, .. }
+            | Expr::Other { span, .. } => *span,
+        }
+    }
+
+    /// Pre-order walk over this expression and all nested expressions.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Path { .. } | Expr::Lit { .. } => {}
+            Expr::Call { callee, args, .. } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Field { recv, .. } => recv.walk(f),
+            Expr::Index { base, index, .. } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Array { elems, .. } => {
+                for e in elems {
+                    e.walk(f);
+                }
+            }
+            Expr::Block { exprs, .. } => {
+                for e in exprs {
+                    e.walk(f);
+                }
+            }
+            Expr::Closure { body, .. } => body.walk(f),
+            Expr::Let { init, .. } => {
+                if let Some(i) = init {
+                    i.walk(f);
+                }
+            }
+            Expr::Other { children, .. } => {
+                for c in children {
+                    c.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Root identifier of an lvalue-ish chain: descends through field
+    /// accesses, method calls, indexing, unary refs/derefs and parens to
+    /// the leftmost path, returning its first segment.
+    pub fn root_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Path { segs, .. } => segs.first().map(String::as_str),
+            Expr::Field { recv, .. } => recv.root_ident(),
+            Expr::MethodCall { recv, .. } => recv.root_ident(),
+            Expr::Index { base, .. } => base.root_ident(),
+            Expr::Unary { expr, .. } => expr.root_ident(),
+            Expr::Call { callee, .. } => callee.root_ident(),
+            _ => None,
+        }
+    }
+}
+
+/// A function together with its ownership context, produced by
+/// [`File::functions`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnRef<'a> {
+    /// The function.
+    pub func: &'a Fn,
+    /// Enclosing impl's type name, when the fn is an associated fn.
+    pub owner: Option<&'a str>,
+    /// Effective visibility: the fn's own `pub` AND-ed with every
+    /// enclosing module being `pub` is not tracked — this is the fn's own
+    /// marker, which over-approximates public surface.
+    pub vis_pub: bool,
+}
+
+impl File {
+    /// Every function in the file, with impl-ownership context, in
+    /// source order.
+    pub fn functions(&self) -> Vec<FnRef<'_>> {
+        let mut out = Vec::new();
+        collect_fns(&self.items, None, &mut out);
+        out
+    }
+
+    /// Every `use` path in the file, flattened across nesting levels.
+    pub fn use_paths(&self) -> Vec<&[String]> {
+        let mut out = Vec::new();
+        collect_uses(&self.items, &mut out);
+        out
+    }
+
+    /// Pre-order walk over every expression in every fn body.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        for fr in self.functions() {
+            if let Some(body) = &fr.func.body {
+                for e in body {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+}
+
+fn collect_fns<'a>(items: &'a [Item], owner: Option<&'a str>, out: &mut Vec<FnRef<'a>>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(func) => out.push(FnRef {
+                func,
+                owner,
+                vis_pub: item.vis_pub,
+            }),
+            ItemKind::Impl(imp) => collect_fns(&imp.items, Some(&imp.type_name), out),
+            ItemKind::Mod(m) => collect_fns(&m.items, owner, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_uses<'a>(items: &'a [Item], out: &mut Vec<&'a [String]>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use(u) => out.extend(u.paths.iter().map(Vec::as_slice)),
+            ItemKind::Impl(imp) => collect_uses(&imp.items, out),
+            ItemKind::Mod(m) => collect_uses(&m.items, out),
+            _ => {}
+        }
+    }
+}

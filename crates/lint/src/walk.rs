@@ -79,14 +79,17 @@ fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), WalkEr
     Ok(())
 }
 
-/// Reads and lints every lintable file under `root`, returning all
-/// findings in walk order.
+/// Reads and lints every lintable file under `root`. Rust sources are
+/// parsed once into [`crate::rules::SourceFile`]s and linted as one set,
+/// so the D010 call graph spans file and crate boundaries; manifests are
+/// checked per-file. Findings are sorted by `(file, line, col, rule)`.
 ///
 /// # Errors
 ///
 /// Returns a [`WalkError`] for the first unreadable file or directory.
 pub fn lint_workspace(root: &Path) -> Result<Vec<crate::rules::Finding>, WalkError> {
     let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for rel in lintable_files(root)? {
         let full = root.join(&rel);
         let src = fs::read_to_string(&full).map_err(|e| WalkError {
@@ -96,8 +99,12 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<crate::rules::Finding>, WalkErr
         if rel.ends_with("Cargo.toml") {
             findings.extend(crate::rules::lint_manifest(&rel, &src));
         } else {
-            findings.extend(crate::rules::lint_rust_source(&rel, &src));
+            sources.push(crate::rules::SourceFile::parse(&rel, &src));
         }
     }
+    findings.extend(crate::rules::lint_sources(&sources));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
     Ok(findings)
 }

@@ -13,10 +13,10 @@ pub fn describe() -> &'static str {
     "strings may say std::time::Instant, HashMap, ThreadId and thread::available_parallelism freely"
 }
 
-pub fn scoped_workers(n: usize) -> usize {
-    // Spawning threads is fine in itself — determinism comes from what
-    // the code *reads*, and a fixed worker count reads nothing ambient.
-    std::thread::scope(|_| n)
+pub fn seeded_state(n: usize) -> usize {
+    // Deterministic derived state: no clock, no env, no hasher — a fixed
+    // arithmetic mix of the input only.
+    n.wrapping_mul(0x9e37_79b9).rotate_left(5)
 }
 
 #[cfg(test)]

@@ -1,0 +1,14 @@
+//! D010 suppression fixture: an audited allow discharges the panic site,
+//! so reachability stops there; a parameter index can be allowed in place.
+
+pub fn api(v: &[f64]) -> f64 {
+    inner(v)
+}
+
+fn inner(v: &[f64]) -> f64 {
+    *v.first().unwrap() // dynalint:allow(D001) -- every caller checks non-empty first
+}
+
+pub fn nth(xs: &[f64], i: usize) -> f64 {
+    xs[i] // dynalint:allow(D010) -- i is produced by enumerate() over xs
+}

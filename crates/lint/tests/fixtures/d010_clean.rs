@@ -1,0 +1,20 @@
+//! D010 negative fixture: fallible propagation and contractual indexing
+//! stay silent.
+
+pub fn api(v: &[f64]) -> Option<f64> {
+    inner(v)
+}
+
+fn inner(v: &[f64]) -> Option<f64> {
+    v.first().copied()
+}
+
+pub fn nth(xs: &[f64], i: usize) -> f64 {
+    // A documented contract check discharges the parameter-index rule.
+    assert!(i < xs.len(), "index out of contract");
+    xs[i]
+}
+
+pub fn head_or_zero(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}

@@ -1,0 +1,17 @@
+//! D010 positive fixture: a public fn reaching a panic only transitively,
+//! plus a public fn indexing its own parameter without a contract.
+
+pub fn api(v: &[f64]) -> f64 {
+    inner(v)
+}
+
+fn inner(v: &[f64]) -> f64 {
+    // Depth-1 from `api`: D001 fires here, D010 fires at `api` with the
+    // witness path `api -> inner`.
+    *v.first().unwrap()
+}
+
+pub fn nth(xs: &[f64], i: usize) -> f64 {
+    // No assert contract: out-of-range caller input aborts.
+    xs[i]
+}

@@ -1,0 +1,12 @@
+//! D011 suppression fixture: audited allows silence both trigger shapes.
+
+pub fn rank(xs: &mut Vec<f64>) {
+    // dynalint:allow(D011) -- inputs are pre-filtered finite, None is unreachable
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn total(pairs: &[(u32, f64)]) -> f64 {
+    let weights: std::collections::HashMap<u32, f64> = // dynalint:allow(D004) -- fixture exercises the reduction rule, not D004
+        pairs.iter().copied().collect();
+    weights.values().sum() // dynalint:allow(D011) -- sum feeds a tolerance check, not a golden file
+}

@@ -1,0 +1,18 @@
+//! D011 negative fixture: total_cmp comparators and ordered iteration
+//! keep float work deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn rank(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn total(weights: &BTreeMap<u32, f64>) -> f64 {
+    // BTreeMap iterates in key order: the reduction is reproducible.
+    weights.values().sum()
+}
+
+pub fn count_words(names: &[&str]) -> usize {
+    // Integer reductions over slices are order-stable anyway.
+    names.iter().map(|n| n.len()).sum()
+}

@@ -1,0 +1,15 @@
+//! D011 positive fixture: a partial_cmp comparator and a float reduction
+//! over unordered iteration.
+
+pub fn rank(xs: &mut Vec<f64>) {
+    // NaN makes partial_cmp return None and the comparator non-total.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn total(pairs: &[(u32, f64)]) -> f64 {
+    let weights: std::collections::HashMap<u32, f64> = // dynalint:allow(D004) -- fixture exercises the reduction rule, not D004
+        pairs.iter().copied().collect();
+    // Hash iteration order varies per process; float addition is not
+    // associative, so the sum is run-dependent.
+    weights.values().sum()
+}

@@ -1,0 +1,8 @@
+//! D012 suppression fixture: an audited allow admits a one-off escape
+//! hatch without widening the approved-module list.
+
+pub fn fan_out(jobs: Vec<u64>) -> u64 {
+    // dynalint:allow(D012) -- bounded one-shot helper thread, joined before return
+    let handle = std::thread::spawn(move || jobs.iter().sum::<u64>());
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+//! D012 negative fixture: the single-threaded shape of the same work.
+//! Sequential folds need no containment exemption.
+
+pub fn fan_out(jobs: Vec<u64>) -> u64 {
+    jobs.iter().sum()
+}
+
+pub fn fold_chunks(jobs: &[u64], chunk: usize) -> u64 {
+    jobs.chunks(chunk.max(1)).map(|c| c.iter().sum::<u64>()).sum()
+}

@@ -1,0 +1,18 @@
+//! D012 positive fixture: a deliberately misplaced worker pool. Threads,
+//! locks and shared mutable state outside the approved modules.
+
+use std::sync::Mutex;
+
+pub static mut SCRATCH: u64 = 0;
+
+pub fn fan_out(jobs: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);
+    let handle = std::thread::spawn(move || jobs.iter().sum::<u64>());
+    let part = handle.join().unwrap_or(0);
+    let mut guard = match total.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    *guard += part;
+    *guard
+}

@@ -147,6 +147,97 @@ fn d007_exempts_harness_crates_and_obs_clocks() {
         .all(|f| f.rule != RuleId::D007));
 }
 
+fn findings_for(name: &str) -> Vec<dynawave_lint::Finding> {
+    lint_rust_source(LIB_PATH, &fixture(name))
+}
+
+#[test]
+fn d010_fires_clean_and_allow() {
+    let findings = findings_for("d010_fire.rs");
+    let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+    // `inner`'s own unwrap is D001; `api` reaching it transitively and
+    // `nth` indexing its parameter are each D010.
+    assert_eq!(
+        rules.iter().filter(|&&r| r == RuleId::D001).count(),
+        1,
+        "{findings:?}"
+    );
+    assert_eq!(
+        rules.iter().filter(|&&r| r == RuleId::D010).count(),
+        2,
+        "{findings:?}"
+    );
+    let witness = findings
+        .iter()
+        .find(|f| f.message.contains("can reach a panic"))
+        .expect("reachability finding present");
+    assert!(
+        witness.message.contains("api -> inner"),
+        "witness path names the chain: {}",
+        witness.message
+    );
+    assert_eq!(rust_rules("d010_clean.rs"), [], "d010_clean.rs");
+    assert_eq!(rust_rules("d010_allow.rs"), [], "d010_allow.rs");
+}
+
+#[test]
+fn d011_fires_clean_and_allow() {
+    let fired = rust_rules("d011_fire.rs");
+    assert_fires(&fired, RuleId::D011, "d011_fire.rs");
+    assert_eq!(fired.len(), 2, "comparator and reduction each fire");
+    assert_eq!(rust_rules("d011_clean.rs"), [], "d011_clean.rs");
+    assert_eq!(rust_rules("d011_allow.rs"), [], "d011_allow.rs");
+}
+
+#[test]
+fn d012_fires_clean_and_allow() {
+    let fired = rust_rules("d012_fire.rs");
+    assert_fires(&fired, RuleId::D012, "d012_fire.rs");
+    assert!(
+        fired.len() >= 3,
+        "the use, the static mut and the spawn each fire: {fired:?}"
+    );
+    let findings = findings_for("d012_fire.rs");
+    assert!(
+        findings.iter().any(|f| f.message.contains("thread")),
+        "the misplaced spawn is called out: {findings:?}"
+    );
+    assert_eq!(rust_rules("d012_clean.rs"), [], "d012_clean.rs");
+    assert_eq!(rust_rules("d012_allow.rs"), [], "d012_allow.rs");
+}
+
+#[test]
+fn d012_accepts_containment_modules_verbatim() {
+    // The exact source that fires at a library path is accepted inside
+    // the approved concurrency modules.
+    let src = fixture("d012_fire.rs");
+    for approved in [
+        "crates/core/src/campaign.rs",
+        "crates/testkit/src/stress.rs",
+        "crates/obs/src/lib.rs",
+    ] {
+        assert!(
+            lint_rust_source(approved, &src)
+                .iter()
+                .all(|f| f.rule != RuleId::D012),
+            "{approved} is inside the containment boundary"
+        );
+    }
+}
+
+#[test]
+fn d013_fires_clean_and_allow() {
+    let fired = rust_rules("d013_fire.rs");
+    assert_fires(&fired, RuleId::D013, "d013_fire.rs");
+    assert_eq!(
+        fired.len(),
+        4,
+        "tag constant, embedded tag, bench unit and instrument name each fire"
+    );
+    assert_eq!(rust_rules("d013_clean.rs"), [], "d013_clean.rs");
+    assert_eq!(rust_rules("d013_allow.rs"), [], "d013_allow.rs");
+}
+
 #[test]
 fn findings_carry_clickable_spans() {
     let findings = lint_rust_source(LIB_PATH, &fixture("d001_fire.rs"));

@@ -1,0 +1,77 @@
+//! The three places that enumerate rules — `RuleId::ALL`, the module-doc
+//! table in `src/rules.rs` and the README rule table — must agree, so a
+//! new rule cannot ship half-documented.
+
+use dynawave_lint::RuleId;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts the rule IDs from the first column of a markdown table:
+/// every line shaped `| D0xx |` (optionally backticked or behind a
+/// doc-comment prefix).
+fn table_rules(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim_start().trim_start_matches("//!").trim_start();
+        let Some(rest) = line.strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim().trim_matches('`');
+        if cell.len() == 4 && cell.starts_with('D') && cell[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            out.insert(cell.to_string());
+        }
+    }
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn all_rule_names() -> BTreeSet<String> {
+    RuleId::ALL.iter().map(|r| r.name().to_string()).collect()
+}
+
+#[test]
+fn module_doc_table_matches_rule_ids() {
+    let text = read(&manifest_dir().join("src/rules.rs"));
+    let mut expected = all_rule_names();
+    // The doc table also documents the D000 meta-rule (not in ALL).
+    expected.insert("D000".to_string());
+    assert_eq!(
+        table_rules(&text),
+        expected,
+        "src/rules.rs module-doc table is out of sync with RuleId"
+    );
+}
+
+#[test]
+fn readme_table_matches_rule_ids() {
+    let text = read(&manifest_dir().join("../../README.md"));
+    let table = table_rules(&text);
+    assert_eq!(
+        table,
+        all_rule_names(),
+        "README.md rule table is out of sync with RuleId::ALL"
+    );
+}
+
+#[test]
+fn every_rule_has_an_explain_card() {
+    for rule in RuleId::ALL {
+        assert!(
+            !rule.summary().is_empty()
+                && !rule.rationale().is_empty()
+                && !rule.fix_pattern().is_empty(),
+            "{rule} is missing --explain text"
+        );
+    }
+}

@@ -52,13 +52,13 @@ pub fn cross_validate(
         for r in 0..n {
             if r < lo || r >= hi {
                 xt.extend_from_slice(x.row(r));
-                yt.push(y[r]);
+                yt.push(y[r]); // dynalint:allow(D010) -- r < n and n == y.len() is checked above
             }
         }
         let xt = Matrix::from_vec(yt.len(), x.cols(), xt)?;
         let model = RbfNetwork::fit(&xt, &yt, params)?;
         for r in lo..hi {
-            let err = model.predict(x.row(r)) - y[r];
+            let err = model.predict(x.row(r)) - y[r]; // dynalint:allow(D010) -- r < hi <= n and n == y.len() is checked above
             total += err * err;
             count += 1;
         }
@@ -103,7 +103,7 @@ pub fn grid_search(
     }
     let (idx, cv_mse) = best.ok_or(ModelError::Internal("no grid-search candidate scored"))?;
     Ok(GridSearchResult {
-        params: candidates[idx].clone(),
+        params: candidates[idx].clone(), // dynalint:allow(D010) -- idx comes from enumerate() over candidates
         cv_mse,
         all_scores,
     })

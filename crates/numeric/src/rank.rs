@@ -19,12 +19,13 @@ use crate::NumericError;
 pub fn ranks(data: &[f64]) -> Vec<f64> {
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+    order.sort_by(|&a, &b| data[a].total_cmp(&data[b])); // dynalint:allow(D010) -- `order` holds 0..n, always in range
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
         // Find the tie run [i, j).
         let mut j = i + 1;
+        // dynalint:allow(D010) -- `order` holds 0..n, always in range
         while j < n && data[order[j]] == data[order[i]] {
             j += 1;
         }

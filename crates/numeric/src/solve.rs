@@ -51,7 +51,7 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
     let (lu, perm) = a.lu()?;
     let n = b.len();
     // Apply permutation, then forward substitution (L has implicit unit diagonal).
-    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect(); // dynalint:allow(D010) -- `perm` permutes 0..n and n == b.len()
     for i in 0..n {
         for k in 0..i {
             y[i] -= lu[(i, k)] * y[k];

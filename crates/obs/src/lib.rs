@@ -35,6 +35,7 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod schema;
 pub mod validate;
 
 pub use analyze::{

@@ -21,7 +21,7 @@ impl Histogram {
     /// appended.
     pub fn with_bounds(bounds: &[f64]) -> Self {
         let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
-        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.sort_by(|a, b| a.total_cmp(b));
         bounds.dedup();
         let counts = vec![0; bounds.len() + 1];
         Histogram { bounds, counts }

@@ -1,0 +1,85 @@
+//! Canonical schema vocabulary for every dynawave byte stream.
+//!
+//! The workspace speaks three kinds of line-oriented text: the obs event
+//! stream (`{"schema":"dynawave-obs",...}`), bench JSON lines (same
+//! schema, `kind:"bench"`, versioned units) and the campaign journal
+//! (`dynawave-campaign v1` magic). Emitters and parsers used to repeat
+//! these strings as scattered literals — a typo in one producer silently
+//! diverged the fleet. This module is the single source of truth;
+//! dynalint rule D013 cross-checks every string literal in the workspace
+//! against it, so drift is a lint failure, not a runtime mystery.
+
+pub use crate::event::{BENCH_SCHEMA_VERSION, BENCH_UNIT_NS, SCHEMA_NAME, SCHEMA_VERSION};
+
+/// Magic tag on the first line of every campaign journal (main journal
+/// and per-shard sidecars alike). The version suffix is part of the
+/// fingerprint: bumping it invalidates resume against old journals.
+pub const CAMPAIGN_JOURNAL: &str = "dynawave-campaign v1";
+
+/// Magic tag on the first line of every persisted predictor model.
+pub const MODEL_MAGIC: &str = "dynawave-model v1";
+
+/// Every canonical `dynawave-*` schema tag. A string literal that looks
+/// like a schema tag (`dynawave-<word>`, optionally ` v<digits>`) but is
+/// not in this list is a D013 finding.
+pub const SCHEMA_TAGS: [&str; 3] = [SCHEMA_NAME, CAMPAIGN_JOURNAL, MODEL_MAGIC];
+
+/// Unit for derived dimensionless ratios, scaled by 1000 to stay
+/// integral-friendly (bench schema v2).
+pub const BENCH_UNIT_RATIO_X1000: &str = "ratio_x1000";
+
+/// Unit for plain counts (bench schema v2).
+pub const BENCH_UNIT_COUNT: &str = "count";
+
+/// Every canonical bench `unit` value. v1 lines carry no unit and are
+/// implicitly [`BENCH_UNIT_NS`].
+pub const BENCH_UNITS: [&str; 3] = [BENCH_UNIT_NS, BENCH_UNIT_RATIO_X1000, BENCH_UNIT_COUNT];
+
+/// Canonical pipeline stages: the segment before the first `.` in every
+/// instrument name (`sim.run_trace`, `campaign.heartbeat`, ...). The obs
+/// analyzer groups by these; `obs_validate --require-stages` and D013
+/// both key off the same list.
+pub const STAGES: [&str; 8] = [
+    "sim",
+    "wavelet",
+    "neural",
+    "predictor",
+    "experiment",
+    "campaign",
+    "bench",
+    "lint",
+];
+
+/// True when `name` starts with a canonical stage prefix followed by a
+/// `.` separator (instrument names are always `stage.rest`).
+pub fn has_canonical_stage(name: &str) -> bool {
+    match name.split_once('.') {
+        Some((stage, rest)) => !rest.is_empty() && STAGES.contains(&stage),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_include_event_schema() {
+        assert!(SCHEMA_TAGS.contains(&SCHEMA_NAME));
+        assert!(SCHEMA_TAGS.contains(&CAMPAIGN_JOURNAL));
+    }
+
+    #[test]
+    fn units_include_ns() {
+        assert!(BENCH_UNITS.contains(&BENCH_UNIT_NS));
+    }
+
+    #[test]
+    fn stage_prefix_check() {
+        assert!(has_canonical_stage("sim.run_trace"));
+        assert!(has_canonical_stage("campaign.heartbeat"));
+        assert!(!has_canonical_stage("simulator.run"));
+        assert!(!has_canonical_stage("sim."));
+        assert!(!has_canonical_stage("nodot"));
+    }
+}

@@ -67,7 +67,7 @@ impl Band {
 ///
 /// Panics if the band does not exist in `dec`.
 pub fn band_coeffs(dec: &Decomposition, band: Band) -> &[f64] {
-    &dec.as_slice()[band.range(dec.levels())]
+    &dec.as_slice()[band.range(dec.levels())] // dynalint:allow(D010) -- documented panic: the band must exist in `dec`
 }
 
 /// Synthesizes the time-domain component carried by one band: the inverse

@@ -28,16 +28,10 @@
 /// assert_eq!(idx, vec![1, 2]);
 /// ```
 pub fn top_k_by_magnitude(coeffs: &[f64], k: usize) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..coeffs.len()).collect();
-    order.sort_by(|&a, &b| {
-        coeffs[b]
-            .abs()
-            .partial_cmp(&coeffs[a].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    let mut order: Vec<(usize, f64)> = coeffs.iter().map(|c| c.abs()).enumerate().collect();
+    order.sort_by(|(ai, am), (bi, bm)| bm.total_cmp(am).then(ai.cmp(bi)));
     order.truncate(k.min(coeffs.len()));
-    order
+    order.into_iter().map(|(i, _)| i).collect()
 }
 
 /// Indices `0..k` — the order-based scheme (approximation plus the
@@ -129,8 +123,8 @@ pub fn energy_captured(coeffs: &[f64], keep: &[usize]) -> f64 {
     }
     let kept: f64 = keep
         .iter()
-        .filter(|&&i| i < coeffs.len())
-        .map(|&i| coeffs[i] * coeffs[i])
+        .filter_map(|&i| coeffs.get(i))
+        .map(|c| c * c)
         .sum();
     kept / total
 }

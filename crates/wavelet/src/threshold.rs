@@ -57,7 +57,7 @@ pub fn noise_sigma(dec: &Decomposition) -> f64 {
         return 0.0;
     }
     // The finest detail band is the last half of the coefficient vector.
-    let finest = &dec.as_slice()[n / 2..];
+    let finest = &dec.as_slice()[n / 2..]; // dynalint:allow(D010) -- n/2 <= len, the range is always valid
     let mut mags: Vec<f64> = finest.iter().map(|c| c.abs()).collect();
     mags.sort_by(|a, b| a.total_cmp(b));
     let median = mags[mags.len() / 2];

@@ -84,9 +84,8 @@ pub fn dwt(data: &[f64], wavelet: Wavelet) -> Result<(Vec<f64>, Vec<f64>), Wavel
     let mut detail = Vec::with_capacity(half);
     match wavelet {
         Wavelet::Haar => {
-            for k in 0..half {
-                let a = data[2 * k];
-                let b = data[2 * k + 1];
+            for pair in data.chunks_exact(2) {
+                let (a, b) = (pair[0], pair[1]);
                 approx.push((a + b) / 2.0);
                 detail.push((a - b) / 2.0);
             }
@@ -100,7 +99,7 @@ pub fn dwt(data: &[f64], wavelet: Wavelet) -> Result<(Vec<f64>, Vec<f64>), Wavel
                 let mut s = 0.0;
                 let mut d = 0.0;
                 for (i, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
-                    let x = data[(2 * k + i) % n];
+                    let x = data[(2 * k + i) % n]; // dynalint:allow(D010) -- % n keeps the periodic extension in range
                     s += l * x;
                     d += h * x;
                 }
@@ -135,17 +134,15 @@ pub fn idwt(approx: &[f64], detail: &[f64], wavelet: Wavelet) -> Result<Vec<f64>
     let mut out = vec![0.0; n];
     match wavelet {
         Wavelet::Haar => {
-            for k in 0..approx.len() {
-                out[2 * k] = approx[k] + detail[k];
-                out[2 * k + 1] = approx[k] - detail[k];
+            for (k, (&a, &d)) in approx.iter().zip(detail).enumerate() {
+                out[2 * k] = a + d;
+                out[2 * k + 1] = a - d;
             }
         }
         Wavelet::Daubechies4 => {
             let lo = db4_lo();
             let hi = [lo[3], -lo[2], lo[1], -lo[0]];
-            let half = approx.len();
-            for k in 0..half {
-                let (a, d) = (approx[k], detail[k]);
+            for (k, (&a, &d)) in approx.iter().zip(detail).enumerate() {
                 for i in 0..4 {
                     let pos = (2 * k + i) % n;
                     out[pos] += lo[i] * a + hi[i] * d;

@@ -6,7 +6,7 @@
 //! and for documenting workload properties in experiment reports.
 
 use crate::instruction::{Instruction, OpClass};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Timing-independent summary of an instruction stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,9 +61,9 @@ where
     let mut dead = 0u64;
     let mut dep_sum = 0u64;
     let mut dep_count = 0u64;
-    let mut data_lines = HashSet::new();
-    let mut code_lines = HashSet::new();
-    let mut data_pages = HashSet::new();
+    let mut data_lines = BTreeSet::new();
+    let mut code_lines = BTreeSet::new();
+    let mut data_pages = BTreeSet::new();
     for i in trace {
         n += 1;
         class_counts[i.class.index()] += 1;

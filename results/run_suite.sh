@@ -9,8 +9,13 @@ cd /root/repo
 # which proves reports are byte-identical across worker thread counts.
 ./ci.sh --chaos --obs --par --perf || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
-# bit-reproducible, so re-assert the lint gate explicitly.
-cargo run -q --release --offline -p dynawave-lint || { echo LINT_FAILED; exit 1; }
+# bit-reproducible, so re-assert the lint gate explicitly — in --json
+# mode, refreshing the machine-readable finding record that ci.sh also
+# archives (workspace-relative paths only, so the artifact is
+# machine-independent and committable).
+cargo run -q --release --offline -p dynawave-lint -- --json \
+  > results/lint_findings.jsonl || { echo LINT_FAILED; exit 1; }
+echo LINT_OK
 # Fresh perf snapshot: one obs-schema JSON line per microbenchmark
 # (per-stage ns/op for sim, DWT, RBF fit/predict, and the end-to-end
 # pipeline with tracing off/on). BENCH_seed.json is the *immutable*

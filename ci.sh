@@ -22,11 +22,17 @@ cd "$(dirname "$0")"
 # diffed against the committed BENCH_seed.json baseline with
 # compare_bench. Soft by default (regressions warn, like the lint
 # baseline); --strict-perf turns flagged regressions into failures.
+# --serve adds the daemon chaos gate: the serve test battery (replay
+# byte-identity, 10k-case fuzz corpus, deadline/backpressure), a
+# kill-and-replay determinism check across DYNAWAVE_THREADS 1 and 4,
+# a seeded journal-fault chaos run, and a traced daemon session whose
+# obs stream must validate with the `serve` stage present.
 CHAOS=0
 OBS=0
 PAR=0
 PERF=0
 STRICT_PERF=0
+SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
@@ -34,6 +40,7 @@ for arg in "$@"; do
     --par) PAR=1 ;;
     --perf) PERF=1 ;;
     --strict-perf) PERF=1; STRICT_PERF=1 ;;
+    --serve) SERVE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -97,6 +104,65 @@ if [ "$PAR" = 1 ]; then
   done
   cmp "$CI_TMP/par_t1.txt" "$CI_TMP/par_t4.txt"
   echo "parallel reports byte-identical across thread counts"
+fi
+
+if [ "$SERVE" = 1 ]; then
+  echo "=== serve: crash-safe daemon chaos gate ==="
+  # The dedicated battery first: kill-and-replay byte-identity, chaos
+  # determinism, the fuzz corpus (one well-formed response per request,
+  # always), deadline budgets and backpressure.
+  cargo test -q --offline -p dynawave-core --test serve
+  # End-to-end kill-and-replay at small scale. A live run journals its
+  # responses; the journal is torn mid-line (simulated kill -9) and the
+  # daemon must rebuild it byte-for-byte from the request log — and the
+  # transcript must not depend on DYNAWAVE_THREADS.
+  SERVE_SCALE="DYNAWAVE_TRAIN=12 DYNAWAVE_TEST=2 DYNAWAVE_SAMPLES=16 DYNAWAVE_INTERVAL=300"
+  {
+    P1="[2,3,4,5,6,7,8,9,10]"; P2="[3.5,4,5,6,7,8,9,10,11]"
+    echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c1\",\"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"points\":[$P1,$P2]}"
+    echo "not json at all"
+    echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c2\",\"kind\":\"sweep\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"base\":$P1,\"axis\":0,\"values\":[2,4,8]}"
+    echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c3\",\"kind\":\"predict\",\"benchmark\":\"nope\"}"
+  } > "$CI_TMP/serve_requests.jsonl"
+  for t in 1 4; do
+    env $SERVE_SCALE DYNAWAVE_THREADS=$t \
+      cargo run -q --release --offline -p dynawave-core --bin serve -- \
+      --journal "$CI_TMP/serve_t$t.journal" \
+      < "$CI_TMP/serve_requests.jsonl" > "$CI_TMP/serve_t$t.out" 2> /dev/null
+  done
+  cmp "$CI_TMP/serve_t1.out" "$CI_TMP/serve_t4.out"
+  # Tear the t1 journal inside its final line, then replay.
+  head -c "$(($(wc -c < "$CI_TMP/serve_t1.journal") - 23))" \
+    "$CI_TMP/serve_t1.journal" > "$CI_TMP/serve_torn.journal"
+  cp "$CI_TMP/serve_t1.journal" "$CI_TMP/serve_reference.journal"
+  mv "$CI_TMP/serve_torn.journal" "$CI_TMP/serve_t1.journal"
+  env $SERVE_SCALE \
+    cargo run -q --release --offline -p dynawave-core --bin serve -- \
+    --journal "$CI_TMP/serve_t1.journal" \
+    --replay "$CI_TMP/serve_requests.jsonl" > "$CI_TMP/serve_replay.out" 2> /dev/null
+  cmp "$CI_TMP/serve_t1.journal" "$CI_TMP/serve_reference.journal"
+  cmp "$CI_TMP/serve_replay.out" "$CI_TMP/serve_t1.out"
+  echo "serve replay byte-identical across kill and thread counts"
+  # Journal-fault chaos: rate-1.0 injected append faults must freeze the
+  # journal at its header while every request still gets a response.
+  env $SERVE_SCALE \
+    cargo run -q --release --offline -p dynawave-core --bin serve -- \
+    --journal "$CI_TMP/serve_chaos.journal" --chaos-seed 3 --chaos-rate 1.0 \
+    --chaos-journal < "$CI_TMP/serve_requests.jsonl" \
+    > "$CI_TMP/serve_chaos.out" 2> /dev/null
+  [ "$(wc -l < "$CI_TMP/serve_chaos.out")" = \
+    "$(wc -l < "$CI_TMP/serve_requests.jsonl")" ]
+  [ "$(wc -l < "$CI_TMP/serve_chaos.journal")" = 2 ]
+  echo "serve chaos: journal degraded, service uninterrupted"
+  # Observability: a traced daemon session's stderr is a pure obs stream
+  # that must validate with the `serve` stage present.
+  env $SERVE_SCALE DYNAWAVE_TRACE=1 \
+    cargo run -q --release --offline -p dynawave-core --bin serve -- \
+    < "$CI_TMP/serve_requests.jsonl" > /dev/null 2> "$CI_TMP/serve_trace.jsonl"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
+    --require-stages serve < "$CI_TMP/serve_trace.jsonl"
+  mkdir -p results
+  cp "$CI_TMP/serve_t1.journal" results/serve_replay.jsonl
 fi
 
 if [ "$PERF" = 1 ]; then

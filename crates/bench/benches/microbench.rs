@@ -257,6 +257,50 @@ fn bench_campaign(h: &Harness) {
     }
 }
 
+fn bench_serve(h: &Harness) {
+    use dynawave_core::experiment::ExperimentConfig;
+    use dynawave_core::serve::{ServeConfig, ServeEngine};
+    let config = ServeConfig {
+        config: ExperimentConfig {
+            train_points: 12,
+            test_points: 2,
+            samples: 16,
+            interval_instructions: 300,
+            seed: 17,
+            ..ExperimentConfig::default()
+        },
+        // Effectively unbounded: throughput, not admission control, is
+        // what these lines track.
+        queue_capacity: u64::MAX / 4,
+        drain_per_request: u64::MAX / 8,
+        ..ServeConfig::default()
+    };
+    let dims = config.config.space().dims();
+    let point = |base: f64| -> String {
+        let knobs: Vec<String> = (0..dims).map(|i| format!("{}", base + i as f64)).collect();
+        format!("[{}]", knobs.join(","))
+    };
+    let pts: Vec<String> = (0..8).map(|i| point(2.0 + i as f64)).collect();
+    let request = format!(
+        "{{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"bench\",\
+         \"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\
+         \"points\":[{}]}}",
+        pts.join(",")
+    );
+    // Warm the model cache so the lines below measure steady-state
+    // request handling, not one-off lazy training.
+    let mut engine = ServeEngine::new(config);
+    black_box(engine.handle_line(&request));
+    h.bench("serve/predict_batch/8", 8, || {
+        engine.handle_line(black_box(&request))
+    });
+    // The rejection path: full parse-validate-respond on garbage. This
+    // bounds how cheaply the daemon sheds malformed input.
+    h.bench("serve/reject_malformed", 1, || {
+        engine.handle_line(black_box("{\"not\":\"a request\",]"))
+    });
+}
+
 fn main() {
     let h = Harness::new();
     bench_wavelet(&h);
@@ -266,6 +310,7 @@ fn main() {
     bench_sampling(&h);
     bench_end_to_end(&h);
     bench_campaign(&h);
+    bench_serve(&h);
     // Benches run under `timeout` in CI; an unflushed stdout buffer there
     // would truncate the last JSON line mid-record.
     use std::io::Write as _;

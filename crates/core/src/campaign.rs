@@ -159,8 +159,9 @@ impl CampaignSpec {
 }
 
 /// 64-bit FNV-1a over a canonical spec description. Not cryptographic —
-/// it guards against configuration mix-ups, not adversaries.
-fn fnv1a64(s: &str) -> u64 {
+/// it guards against configuration mix-ups, not adversaries. Shared with
+/// the serve module, whose response journal uses the same guard.
+pub(crate) fn fnv1a64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= u64::from(b);
@@ -814,9 +815,9 @@ fn parse_shard_line(l: &str) -> Option<(usize, usize)> {
 
 /// Only newline-terminated lines of a journal are trustworthy: a kill
 /// mid-write leaves a partial final line, which must be ignored.
-fn complete_lines(journal: &str) -> &str {
+pub(crate) fn complete_lines(journal: &str) -> &str {
     match journal.rfind('\n') {
-        Some(last) => &journal[..=last],
+        Some(last) => journal.get(..=last).unwrap_or_default(),
         None => "",
     }
 }

@@ -30,6 +30,15 @@ use std::fmt;
 /// vocabulary lives in `dynawave_obs::schema`).
 const MAGIC: &str = dynawave_obs::schema::MODEL_MAGIC;
 
+/// Largest `trace_len` a snapshot may declare. Far above any real trace
+/// (the paper uses 128 samples) but small enough that a corrupt header
+/// can never drive an absurd allocation.
+const MAX_TRACE_LEN: usize = 1 << 24;
+
+/// Largest RBF unit count a snapshot may declare per coefficient model.
+/// Units are bounded by the training-point count in practice (hundreds).
+const MAX_RBF_UNITS: usize = 1 << 20;
+
 /// Errors raised while parsing a model snapshot.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -217,11 +226,27 @@ pub fn from_string(text: &str) -> Result<WaveletNeuralPredictor, PersistError> {
         .first()
         .and_then(|v| v.parse().ok())
         .ok_or(PersistError::BadNumber { line })?;
+    // Bound the header counts *before* any allocation sized by them: a
+    // corrupt `trace_len 18446744073709551615` must be a typed error, not
+    // a capacity-overflow abort (the fuzz corpus in the tests below found
+    // exactly that). The structural validity of trace_len itself
+    // (power of two, >= 2) is re-checked by `from_portable`.
+    if trace_len > MAX_TRACE_LEN {
+        return Err(PersistError::Inconsistent(format!(
+            "trace_len {trace_len} exceeds the supported maximum {MAX_TRACE_LEN}"
+        )));
+    }
     let (line, parts) = p.tagged("coefficients")?;
     let count: usize = parts
         .first()
         .and_then(|v| v.parse().ok())
         .ok_or(PersistError::BadNumber { line })?;
+    // A model can never retain more coefficients than trace samples.
+    if count > trace_len {
+        return Err(PersistError::Inconsistent(format!(
+            "coefficient count {count} exceeds trace_len {trace_len}"
+        )));
+    }
 
     let mut indices = Vec::with_capacity(count);
     let mut models = Vec::with_capacity(count);
@@ -239,6 +264,13 @@ pub fn from_string(text: &str) -> Result<WaveletNeuralPredictor, PersistError> {
                     .get(1)
                     .and_then(|v| v.parse().ok())
                     .ok_or(PersistError::BadNumber { line })?;
+                // Same discipline as the header counts: never size an
+                // allocation from an unvalidated snapshot field.
+                if units > MAX_RBF_UNITS {
+                    return Err(PersistError::Inconsistent(format!(
+                        "rbf unit count {units} exceeds the supported maximum {MAX_RBF_UNITS}"
+                    )));
+                }
                 let mins = p.tagged_floats("mins")?;
                 let spans = p.tagged_floats("spans")?;
                 let weights = p.tagged_floats("weights")?;
@@ -480,5 +512,80 @@ mod tests {
         };
         assert!(e.to_string().contains("line 7"));
         assert!(PersistError::BadMagic.to_string().contains("snapshot"));
+    }
+
+    #[test]
+    fn oversized_header_counts_are_typed_errors_not_aborts() {
+        // Before the MAX_* bounds these inputs drove
+        // `Vec::with_capacity(huge)` straight into a capacity-overflow
+        // abort — found by the fuzz corpus below, pinned here forever.
+        let model = trained(ModelKind::TreeRbf);
+        let text = to_string(&model);
+        let huge = text.replacen("trace_len 32", "trace_len 18446744073709551615", 1);
+        assert!(matches!(
+            from_string(&huge),
+            Err(PersistError::Inconsistent(_))
+        ));
+        let huge = text.replacen("coefficients 8", "coefficients 9999999999", 1);
+        assert!(matches!(
+            from_string(&huge),
+            Err(PersistError::Inconsistent(_))
+        ));
+        let rbf_line = text
+            .lines()
+            .find(|l| l.starts_with("model rbf "))
+            .unwrap()
+            .to_string();
+        let huge = text.replacen(&rbf_line, "model rbf 18446744073709551615", 1);
+        assert!(matches!(
+            from_string(&huge),
+            Err(PersistError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn fuzz_byte_soup_never_panics_the_parser() {
+        use dynawave_testkit::{check, gen};
+        // Raw soup: overwhelmingly BadMagic, but the property is total
+        // absence of panics, not any particular error.
+        check("persist: ascii soup yields typed errors")
+            .cases(2500)
+            .seed(0x5EED_50F7)
+            .run(gen::ascii_soup(0, 300), |text| {
+                let _ = from_string(text);
+                Ok(())
+            });
+        check("persist: utf8 soup yields typed errors")
+            .cases(1500)
+            .seed(0x5EED_50F8)
+            .run(gen::utf8_soup(0, 300), |text| {
+                let _ = from_string(text);
+                Ok(())
+            });
+        // Soup behind a valid magic line reaches the structural parser.
+        check("persist: magic + soup yields typed errors")
+            .cases(2500)
+            .seed(0x5EED_50F9)
+            .run(gen::ascii_soup(0, 300), |soup| {
+                let _ = from_string(&format!("{MAGIC}\n{soup}"));
+                Ok(())
+            });
+    }
+
+    #[test]
+    fn fuzz_mutated_snapshots_never_panic_the_parser() {
+        use dynawave_testkit::{check, gen};
+        // Truncations, byte flips, line duplications and deletions of a
+        // real snapshot: the closest neighbourhood of valid inputs, where
+        // count/structure mismatches live.
+        let model = trained(ModelKind::TreeRbf);
+        let text = to_string(&model);
+        check("persist: mutated snapshots yield typed errors")
+            .cases(3500)
+            .seed(0x5EED_50FA)
+            .run(gen::mutate(&text), |mutant| {
+                let _ = from_string(mutant);
+                Ok(())
+            });
     }
 }

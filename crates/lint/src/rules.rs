@@ -1026,6 +1026,24 @@ fn d013_schema_drift(sf: &SourceFile, findings: &mut Vec<Finding>) {
                     ),
                 );
             }
+            // Serve-protocol templates: the embedded `"kind"` value must
+            // come from the canonical request/response vocabulary.
+            if value == dynawave_obs::schema::SERVE_SCHEMA {
+                if let Some(kind) = embedded_kind_value(content) {
+                    if !kind.contains('{') && !dynawave_obs::schema::is_serve_kind(kind) {
+                        push(
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "embedded serve kind {kind:?} is not a canonical \
+                                 `dynawave-serve` request/response kind (see \
+                                 `dynawave_obs::schema::SERVE_REQUEST_KINDS` / \
+                                 `SERVE_RESPONSE_KINDS`)"
+                            ),
+                        );
+                    }
+                }
+            }
         }
     }
     // Tree scan: argument positions of the schema-speaking call surface.
@@ -1130,7 +1148,16 @@ fn looks_like_schema_tag(s: &str) -> bool {
 /// Extracts the value of a `"schema":"<value>"` pair embedded in a JSON
 /// template literal (handles both raw and `\"`-escaped quoting).
 fn embedded_schema_value(content: &str) -> Option<&str> {
-    for marker in ["schema\\\":\\\"", "schema\":\""] {
+    embedded_json_value(content, &["schema\\\":\\\"", "schema\":\""])
+}
+
+/// The `"kind":"<value>"` payload embedded in a JSON template literal.
+fn embedded_kind_value(content: &str) -> Option<&str> {
+    embedded_json_value(content, &["kind\\\":\\\"", "kind\":\""])
+}
+
+fn embedded_json_value<'a>(content: &'a str, markers: &[&str]) -> Option<&'a str> {
+    for marker in markers {
         if let Some(at) = content.find(marker) {
             let rest = &content[at + marker.len()..];
             let end = rest.find("\\\"").or_else(|| rest.find('"'))?;

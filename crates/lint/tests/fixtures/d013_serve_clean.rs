@@ -1,0 +1,15 @@
+//! D013 negative fixture, serve protocol: canonical serve kinds, a
+//! placeholder kind (filled at runtime), and a non-serve schema whose
+//! `kind` vocabulary D013 does not police.
+
+pub fn ok_response(seq: u64) -> String {
+    format!("{{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":{seq},\"kind\":\"ok\"}}")
+}
+
+pub fn request_template(kind: &str) -> String {
+    format!("{{\"schema\":\"dynawave-serve\",\"v\":1,\"kind\":\"{kind}\"}}")
+}
+
+pub fn obs_kind_is_not_checked_here() -> &'static str {
+    "{\"schema\":\"dynawave-obs\",\"v\":1,\"kind\":\"marker\"}"
+}

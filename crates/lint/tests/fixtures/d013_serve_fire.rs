@@ -1,0 +1,7 @@
+//! D013 positive fixture, serve protocol: a `dynawave-serve` JSON
+//! template whose embedded `"kind"` value is not in the canonical
+//! request/response vocabulary.
+
+pub fn bad_response_kind(seq: u64) -> String {
+    format!("{{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":{seq},\"kind\":\"okk\"}}")
+}

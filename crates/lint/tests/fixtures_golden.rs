@@ -239,6 +239,14 @@ fn d013_fires_clean_and_allow() {
 }
 
 #[test]
+fn d013_serve_kind_fires_and_clean() {
+    let fired = rust_rules("d013_serve_fire.rs");
+    assert_fires(&fired, RuleId::D013, "d013_serve_fire.rs");
+    assert_eq!(fired.len(), 1, "only the off-vocabulary kind fires");
+    assert_eq!(rust_rules("d013_serve_clean.rs"), [], "d013_serve_clean.rs");
+}
+
+#[test]
 fn findings_carry_clickable_spans() {
     let findings = lint_rust_source(LIB_PATH, &fixture("d001_fire.rs"));
     let first = &findings[0];

@@ -83,11 +83,28 @@ pub enum FaultSite {
     RbfWeightFit,
     /// A single RBF network prediction in `dynawave-neural`.
     RbfPredict,
+    /// An append to the serve response journal in `dynawave-core` —
+    /// exercises the daemon's degraded-durability path (keep serving,
+    /// stop journaling) rather than a numeric fallback.
+    JournalAppend,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::CholeskySolve,
+        FaultSite::LuSolve,
+        FaultSite::RidgeSolve,
+        FaultSite::RbfWeightFit,
+        FaultSite::RbfPredict,
+        FaultSite::JournalAppend,
+    ];
+
+    /// Every site that can fail a numeric model fit (the solver stack),
+    /// excluding I/O sites. Chaos runs that must stay byte-comparable
+    /// between live serving and journal replay scope their plans to this
+    /// list so the fault-RNG consultation sequence is mode-independent.
+    pub const SOLVER_SITES: [FaultSite; 5] = [
         FaultSite::CholeskySolve,
         FaultSite::LuSolve,
         FaultSite::RidgeSolve,
@@ -103,6 +120,7 @@ impl FaultSite {
             FaultSite::RidgeSolve => "ridge-solve",
             FaultSite::RbfWeightFit => "rbf-weight-fit",
             FaultSite::RbfPredict => "rbf-predict",
+            FaultSite::JournalAppend => "journal-append",
         }
     }
 
@@ -113,6 +131,7 @@ impl FaultSite {
             FaultSite::RidgeSolve => 2,
             FaultSite::RbfWeightFit => 3,
             FaultSite::RbfPredict => 4,
+            FaultSite::JournalAppend => 5,
         }
     }
 }
@@ -397,7 +416,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(FaultSite::RbfWeightFit.name(), "rbf-weight-fit");
+        assert_eq!(FaultSite::JournalAppend.name(), "journal-append");
         assert_eq!(FaultKind::EarlyStop.name(), "early-stop");
         assert_eq!(FaultSite::ALL.len(), SITE_COUNT);
+        assert!(!FaultSite::SOLVER_SITES.contains(&FaultSite::JournalAppend));
+        assert_eq!(FaultSite::SOLVER_SITES.len() + 1, SITE_COUNT);
     }
 }

@@ -51,9 +51,27 @@ fn main() {
         std::process::exit(2);
     }
 
+    // A stream that lost its trailing newline to a crash mid-write gets
+    // the journal torn-tail rule: the final partial line is validated
+    // separately and, when broken, ignored with a warning instead of
+    // failing the whole stream.
+    let torn_tail: Option<&str> = if !input.is_empty() && !input.ends_with('\n') {
+        Some(match input.rfind('\n') {
+            Some(i) => &input[i + 1..],
+            None => input.as_str(),
+        })
+    } else {
+        None
+    };
+    let body_len = input.len() - torn_tail.map_or(0, str::len);
     let mut validator = SchemaValidator::new();
-    for line in input.lines() {
+    for line in input[..body_len].lines() {
         let _ = validator.check_line(line);
+    }
+    if let Some(tail) = torn_tail {
+        if let Err(reason) = validator.check_torn_tail(tail) {
+            eprintln!("obs_validate: warning: torn final line ignored ({reason})");
+        }
     }
     let summary = validator.finish();
 

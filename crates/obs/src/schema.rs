@@ -19,10 +19,42 @@ pub const CAMPAIGN_JOURNAL: &str = "dynawave-campaign v1";
 /// Magic tag on the first line of every persisted predictor model.
 pub const MODEL_MAGIC: &str = "dynawave-model v1";
 
+/// Schema tag carried by every request and response line of the DSE
+/// prediction daemon (`dynawave-core`'s `serve` module).
+pub const SERVE_SCHEMA: &str = "dynawave-serve";
+
+/// Current version of the serve request/response line schema (the `v`
+/// field next to [`SERVE_SCHEMA`]).
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Magic tag on the first line of every serve response journal. Like the
+/// campaign journal, the version suffix is part of the crash-safety
+/// contract: bumping it invalidates replay against old journals.
+pub const SERVE_JOURNAL: &str = "dynawave-serve v1";
+
 /// Every canonical `dynawave-*` schema tag. A string literal that looks
 /// like a schema tag (`dynawave-<word>`, optionally ` v<digits>`) but is
 /// not in this list is a D013 finding.
-pub const SCHEMA_TAGS: [&str; 3] = [SCHEMA_NAME, CAMPAIGN_JOURNAL, MODEL_MAGIC];
+pub const SCHEMA_TAGS: [&str; 5] = [
+    SCHEMA_NAME,
+    CAMPAIGN_JOURNAL,
+    MODEL_MAGIC,
+    SERVE_SCHEMA,
+    SERVE_JOURNAL,
+];
+
+/// Every request `kind` the serve protocol accepts.
+pub const SERVE_REQUEST_KINDS: [&str; 4] = ["predict", "pareto", "topk", "sweep"];
+
+/// Every response `kind` the serve protocol emits. D013 checks `"kind"`
+/// values embedded in `dynawave-serve` JSON templates against the union
+/// of this list and [`SERVE_REQUEST_KINDS`].
+pub const SERVE_RESPONSE_KINDS: [&str; 4] = ["ok", "partial", "error", "overloaded"];
+
+/// True when `kind` is a canonical serve request or response kind.
+pub fn is_serve_kind(kind: &str) -> bool {
+    SERVE_REQUEST_KINDS.contains(&kind) || SERVE_RESPONSE_KINDS.contains(&kind)
+}
 
 /// Unit for derived dimensionless ratios, scaled by 1000 to stay
 /// integral-friendly (bench schema v2).
@@ -39,7 +71,7 @@ pub const BENCH_UNITS: [&str; 3] = [BENCH_UNIT_NS, BENCH_UNIT_RATIO_X1000, BENCH
 /// instrument name (`sim.run_trace`, `campaign.heartbeat`, ...). The obs
 /// analyzer groups by these; `obs_validate --require-stages` and D013
 /// both key off the same list.
-pub const STAGES: [&str; 8] = [
+pub const STAGES: [&str; 9] = [
     "sim",
     "wavelet",
     "neural",
@@ -48,6 +80,7 @@ pub const STAGES: [&str; 8] = [
     "campaign",
     "bench",
     "lint",
+    "serve",
 ];
 
 /// True when `name` starts with a canonical stage prefix followed by a
@@ -67,6 +100,18 @@ mod tests {
     fn tags_include_event_schema() {
         assert!(SCHEMA_TAGS.contains(&SCHEMA_NAME));
         assert!(SCHEMA_TAGS.contains(&CAMPAIGN_JOURNAL));
+        assert!(SCHEMA_TAGS.contains(&SERVE_SCHEMA));
+        assert!(SCHEMA_TAGS.contains(&SERVE_JOURNAL));
+    }
+
+    #[test]
+    fn serve_kinds_are_canonical() {
+        for k in SERVE_REQUEST_KINDS.iter().chain(&SERVE_RESPONSE_KINDS) {
+            assert!(is_serve_kind(k), "{k}");
+        }
+        assert!(!is_serve_kind("okk"));
+        assert!(STAGES.contains(&"serve"));
+        assert!(has_canonical_stage("serve.request"));
     }
 
     #[test]

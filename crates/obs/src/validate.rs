@@ -79,6 +79,27 @@ impl SchemaValidator {
         }
     }
 
+    /// Validates a torn final line — one that lost its trailing newline
+    /// to a crash mid-write. A line that happens to be complete and
+    /// valid is counted normally; an invalid one is *ignored* rather
+    /// than recorded as a stream error (the same torn-tail rule the
+    /// campaign and serve journals apply on resume), and the reason is
+    /// returned so callers can surface a warning.
+    pub fn check_torn_tail(&mut self, line: &str) -> Result<(), String> {
+        if line.trim().is_empty() {
+            self.line_no += 1;
+            return Ok(());
+        }
+        match self.check_inner(line) {
+            Ok(()) => {
+                self.line_no += 1;
+                self.summary.valid += 1;
+                Ok(())
+            }
+            Err(reason) => Err(reason),
+        }
+    }
+
     /// Consumes the validator and returns the stream summary.
     pub fn finish(self) -> ValidationSummary {
         self.summary
@@ -300,6 +321,27 @@ mod tests {
         assert!(summary.stages.contains("campaign"));
         assert!(summary.missing_stages(&["sim", "neural"]).is_empty());
         assert_eq!(summary.missing_stages(&["predictor"]), vec!["predictor"]);
+    }
+
+    #[test]
+    fn torn_tail_is_warned_not_counted() {
+        let complete = "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":1,\"tick\":1,\
+                        \"kind\":\"marker\",\"name\":\"serve.heartbeat\"}";
+        // A torn tail that is broken JSON: ignored, not an error.
+        let mut v = SchemaValidator::new();
+        assert!(v.check_line(complete).is_ok());
+        let torn = &complete[..complete.len() / 2];
+        assert!(v.check_torn_tail(torn).is_err());
+        let summary = v.finish();
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.valid, 1);
+        // A torn tail that happens to be a complete line: counted.
+        let mut v = SchemaValidator::new();
+        assert!(v.check_torn_tail(complete).is_ok());
+        let summary = v.finish();
+        assert!(summary.is_clean());
+        assert_eq!(summary.valid, 1);
+        assert!(summary.stages.contains("serve"));
     }
 
     #[test]

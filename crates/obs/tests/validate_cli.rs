@@ -1,0 +1,77 @@
+//! CLI tests for `obs_validate`: the torn-tail tolerance rule over the
+//! golden fixture, end-to-end through the real binary.
+//!
+//! The fixture `tests/fixtures/torn_tail.jsonl` holds two valid event
+//! lines followed by a partial third line with no trailing newline —
+//! the byte signature of a daemon killed mid-write. The validator must
+//! accept the stream (exit 0), count only the complete lines, and warn
+//! about the ignored tail on stderr.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const TORN: &str = include_str!("fixtures/torn_tail.jsonl");
+
+fn run_validate(args: &[&str], input: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_obs_validate"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn obs_validate");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write input");
+    let out = child.wait_with_output().expect("wait for obs_validate");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn fixture_actually_has_a_torn_tail() {
+    assert!(!TORN.ends_with('\n'), "fixture must not end in a newline");
+    assert_eq!(TORN.lines().count(), 3);
+}
+
+#[test]
+fn torn_tail_stream_passes_with_a_warning() {
+    let (stdout, stderr, code) = run_validate(&["--require-stages", "serve"], TORN);
+    assert_eq!(code, 0, "torn tail must not fail the stream: {stderr}");
+    assert!(
+        stdout.contains("2 valid line(s), 0 invalid"),
+        "only complete lines count: {stdout}"
+    );
+    assert!(
+        stderr.contains("torn final line ignored"),
+        "the dropped tail must be warned about: {stderr}"
+    );
+}
+
+#[test]
+fn newline_terminated_stream_stays_strict() {
+    // The same broken line WITH a trailing newline is a real stream
+    // error — torn-tail leniency applies only to a missing newline.
+    let terminated = format!("{TORN}\n");
+    let (stdout, _, code) = run_validate(&[], &terminated);
+    assert_eq!(code, 1, "a complete broken line must still fail");
+    assert!(stdout.contains("1 invalid"), "{stdout}");
+}
+
+#[test]
+fn torn_tail_that_is_complete_counts_normally() {
+    // A final line that lost only its newline but is otherwise whole is
+    // validated and counted like any other.
+    let whole = "{\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":1,\"tick\":1,\
+                 \"kind\":\"marker\",\"name\":\"serve.session_start\"}";
+    let (stdout, stderr, code) = run_validate(&[], whole);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("1 valid line(s), 0 invalid"), "{stdout}");
+    assert!(stderr.is_empty(), "no warning for a whole tail: {stderr}");
+}

@@ -90,6 +90,92 @@ pub fn pow2_vec_f64(lo: f64, hi: f64, lengths: &[usize]) -> impl Fn(&mut Rng) ->
     }
 }
 
+/// A printable-ASCII byte soup string with length in `[min_len, max_len]`
+/// — whitespace, digits, letters and punctuation in proportions that
+/// exercise line-oriented parsers (newlines and spaces are drawn often so
+/// multi-line structure actually appears).
+pub fn ascii_soup(min_len: usize, max_len: usize) -> impl Fn(&mut Rng) -> String {
+    move |rng| {
+        let len = rng.range_usize(min_len, max_len + 1);
+        (0..len)
+            .map(|_| match rng.range_usize(0, 8) {
+                0 => '\n',
+                1 => ' ',
+                2 => char::from(b'0' + rng.range_usize(0, 10) as u8),
+                3 | 4 => char::from(b'a' + rng.range_usize(0, 26) as u8),
+                5 => char::from(b'A' + rng.range_usize(0, 26) as u8),
+                6 => ['.', '-', '+', 'e', '_', '"', '{', '}'][rng.range_usize(0, 8)],
+                _ => char::from(rng.range_usize(0x21, 0x7f) as u8),
+            })
+            .collect()
+    }
+}
+
+/// An arbitrary (but valid UTF-8) string: ASCII soup plus multi-byte
+/// scalars, for parsers that must survive any text input.
+pub fn utf8_soup(min_len: usize, max_len: usize) -> impl Fn(&mut Rng) -> String {
+    move |rng| {
+        let len = rng.range_usize(min_len, max_len + 1);
+        (0..len)
+            .map(|_| match rng.range_usize(0, 10) {
+                0 => char::from_u32(rng.range_usize(0x80, 0x250) as u32).unwrap_or('¤'),
+                1 => char::from_u32(rng.range_usize(0x2190, 0x2600) as u32).unwrap_or('→'),
+                2 => '\n',
+                _ => char::from(rng.range_usize(0x20, 0x7f) as u8),
+            })
+            .collect()
+    }
+}
+
+/// A corrupted variant of `base`: one of truncation, byte replacement,
+/// line duplication or line deletion, applied at a seeded position. The
+/// result is always valid UTF-8 (corruption happens at `char`/line
+/// granularity). The workhorse generator behind "no snapshot mutation may
+/// panic the parser" fuzz corpora.
+pub fn mutate(base: &str) -> impl Fn(&mut Rng) -> String + '_ {
+    move |rng| {
+        let chars: Vec<char> = base.chars().collect();
+        if chars.is_empty() {
+            return String::new();
+        }
+        match rng.range_usize(0, 4) {
+            // Truncate at an arbitrary char boundary (kill signature).
+            0 => chars[..rng.range_usize(0, chars.len())].iter().collect(),
+            // Replace one char with printable-ASCII noise.
+            1 => {
+                let mut c = chars;
+                let at = rng.range_usize(0, c.len());
+                c[at] = char::from(rng.range_usize(0x20, 0x7f) as u8);
+                c.into_iter().collect()
+            }
+            // Duplicate one line.
+            2 => {
+                let lines: Vec<&str> = base.lines().collect();
+                if lines.is_empty() {
+                    return base.to_string();
+                }
+                let at = rng.range_usize(0, lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                out.extend_from_slice(&lines[..=at]);
+                out.extend_from_slice(&lines[at..]);
+                out.join("\n")
+            }
+            // Delete one line.
+            _ => {
+                let lines: Vec<&str> = base.lines().collect();
+                if lines.len() < 2 {
+                    return String::new();
+                }
+                let at = rng.range_usize(0, lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() - 1);
+                out.extend_from_slice(&lines[..at]);
+                out.extend_from_slice(&lines[at + 1..]);
+                out.join("\n")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +207,31 @@ mod tests {
             let v = pow2_vec_f64(-1.0, 1.0, &[8, 16])(&mut rng);
             assert!(v.len() == 8 || v.len() == 16);
         }
+    }
+
+    #[test]
+    fn soup_respects_bounds_and_is_utf8() {
+        let mut rng = Rng::new(6);
+        for _ in 0..100 {
+            let a = ascii_soup(0, 40)(&mut rng);
+            assert!(a.len() <= 40);
+            assert!(a.chars().all(|c| c.is_ascii()));
+            let u = utf8_soup(1, 40)(&mut rng);
+            assert!((1..=40).contains(&u.chars().count()));
+        }
+    }
+
+    #[test]
+    fn mutate_never_returns_the_identity_class_only() {
+        let base = "alpha\nbeta\ngamma\n";
+        let mut rng = Rng::new(7);
+        let gen = mutate(base);
+        let mut changed = false;
+        for _ in 0..50 {
+            let m = gen(&mut rng);
+            assert!(m.len() <= base.len() * 2);
+            changed |= m != base;
+        }
+        assert!(changed, "mutation must actually corrupt sometimes");
     }
 }

@@ -82,6 +82,26 @@ impl Shrink for bool {
     }
 }
 
+impl Shrink for String {
+    /// Shrinks by halving at char boundaries (front half, back half),
+    /// then by dropping the final char — enough to reduce a kilobyte of
+    /// fuzz soup to a minimal failing parser input in a few dozen steps.
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let n = chars.len();
+        if n == 0 {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        if n > 1 {
+            out.push(chars[..n / 2].iter().collect());
+            out.push(chars[n / 2..].iter().collect());
+        }
+        out.push(chars[..n - 1].iter().collect());
+        out
+    }
+}
+
 impl<T: Clone + Shrink> Shrink for Vec<T> {
     /// Shrinks by truncation first (front half, back half, drop one
     /// element), then element-wise value shrinking.
@@ -170,5 +190,18 @@ mod tests {
         let c = (4u64, 2u64).shrink();
         assert!(c.contains(&(0, 2)));
         assert!(c.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn strings_shrink_at_char_boundaries() {
+        let c = "abcd".to_string().shrink();
+        assert!(c.contains(&"ab".to_string()));
+        assert!(c.contains(&"cd".to_string()));
+        assert!(c.contains(&"abc".to_string()));
+        assert!(String::new().shrink().is_empty());
+        // Multi-byte chars must not be split mid-encoding.
+        for s in "αβγ".to_string().shrink() {
+            assert!(s.chars().count() <= 3);
+        }
     }
 }

@@ -5,9 +5,11 @@ cd /root/repo
 # formatting, plus the chaos (fault-injection + checkpoint/resume) pass —
 # a long campaign must be provably resumable and degradation-tolerant
 # before hours are spent regenerating figures — the obs pass, which
-# schema-validates a traced quickstart end to end, and the par pass,
-# which proves reports are byte-identical across worker thread counts.
-./ci.sh --chaos --obs --par --perf || { echo CI_FAILED; exit 1; }
+# schema-validates a traced quickstart end to end, the par pass, which
+# proves reports are byte-identical across worker thread counts, and the
+# serve pass, which kill-and-replays the prediction daemon (leaving the
+# verified response journal in results/serve_replay.jsonl).
+./ci.sh --chaos --obs --par --perf --serve || { echo CI_FAILED; exit 1; }
 # Belt-and-braces: the figures below are only trustworthy if the run is
 # bit-reproducible, so re-assert the lint gate explicitly — in --json
 # mode, refreshing the machine-readable finding record that ci.sh also
@@ -20,9 +22,11 @@ echo LINT_OK
 # (per-stage ns/op for sim, DWT, RBF fit/predict, and the end-to-end
 # pipeline with tracing off/on). BENCH_seed.json is the *immutable*
 # ratchet baseline and is never rewritten here — each suite run lands in
-# BENCH_7.json, and compare_bench diffs the two below.
+# BENCH_9.json (now including the serve/ daemon throughput lines:
+# steady-state batched prediction and malformed-request shedding), and
+# compare_bench diffs the two below.
 cargo bench --offline -q -p dynawave-bench --bench microbench \
-  > BENCH_7.json 2> results/bench.log && echo BENCH7_OK || echo BENCH7_FAIL
+  > BENCH_9.json 2> results/bench.log && echo BENCH9_OK || echo BENCH9_FAIL
 # Parallel-campaign baseline: full-space campaign wall clock at 1 vs 4
 # worker threads plus the derived speedup and the machine's available
 # parallelism (the speedup is only interpretable next to that number).
@@ -32,7 +36,7 @@ cargo run -q --release --offline -p dynawave-bench --bin campaign_parallel \
 # committed seed baseline. Soft by default — the markdown report is the
 # artifact; flagged regressions print to stderr for the suite log.
 cargo run -q --release --offline -p dynawave-obs --bin compare_bench -- \
-  BENCH_seed.json BENCH_7.json > results/perf_trajectory.md \
+  BENCH_seed.json BENCH_9.json > results/perf_trajectory.md \
   && echo TRAJECTORY_OK || echo TRAJECTORY_FAIL
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do

@@ -1,0 +1,407 @@
+//! Integration tests for the `dynawave-serve` daemon: crash-safe replay,
+//! chaos determinism, fuzzed request handling, deadline budgets and
+//! backpressure — the acceptance gates of the serving layer.
+
+use dynawave_core::experiment::ExperimentConfig;
+use dynawave_core::serve::{replay, ReplayError, ServeConfig, ServeEngine, ServeJournal};
+use dynawave_numeric::fault::{self, FaultKind, FaultPlan, FaultSite};
+use dynawave_obs::json;
+use dynawave_testkit::{check, gen};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// Small-but-real serving configuration: fast training, cheap ticks.
+fn tiny_config() -> ServeConfig {
+    ServeConfig {
+        config: ExperimentConfig {
+            train_points: 12,
+            test_points: 2,
+            samples: 16,
+            interval_instructions: 300,
+            seed: 11,
+            ..ExperimentConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn dims() -> usize {
+    ExperimentConfig::default().space().dims()
+}
+
+fn point_json(base: f64) -> String {
+    let knobs: Vec<String> = (0..dims())
+        .map(|i| format!("{}", base + i as f64))
+        .collect();
+    format!("[{}]", knobs.join(","))
+}
+
+fn predict_request(id: &str, points: usize) -> String {
+    let pts: Vec<String> = (0..points).map(|i| point_json(2.0 + i as f64)).collect();
+    format!(
+        "{{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"{id}\",\
+         \"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\
+         \"points\":[{}]}}",
+        pts.join(",")
+    )
+}
+
+/// A request mix that exercises every endpoint plus the error paths,
+/// cheap enough to train at most one (benchmark, metric) pair.
+fn session_requests() -> Vec<String> {
+    vec![
+        predict_request("a", 2),
+        "this is not json".to_string(),
+        format!(
+            "{{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"s\",\
+             \"kind\":\"sweep\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\
+             \"base\":{},\"axis\":1,\"values\":[2,4]}}",
+            point_json(2.0)
+        ),
+        "{\"schema\":\"dynawave-serve\",\"v\":1,\"kind\":\"predict\",\
+         \"benchmark\":\"nope\"}"
+            .to_string(),
+        predict_request("b", 1),
+    ]
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dynawave_serve_it");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn kill_and_replay_reproduces_byte_identical_journal() {
+    let cfg = tiny_config();
+    let requests = session_requests();
+    let request_log: String = requests.iter().map(|r| format!("{r}\n")).collect();
+
+    // Uninterrupted run: the reference transcript.
+    let reference = {
+        let path = tmp_path("ref.journal");
+        let mut journal = ServeJournal::create(&path, &cfg).expect("create journal");
+        let mut engine = ServeEngine::new(cfg.clone());
+        for r in &requests {
+            let resp = engine.handle_line(r);
+            journal.append(&resp);
+        }
+        std::fs::read_to_string(&path).expect("read reference journal")
+    };
+    assert!(reference.ends_with('\n'));
+    assert_eq!(reference.lines().count(), 2 + requests.len());
+
+    // Crash simulation: keep the header, two complete responses, and a
+    // torn half of the third — exactly what a kill mid-write leaves.
+    let crashed = tmp_path("crashed.journal");
+    let keep: String = reference
+        .lines()
+        .take(4)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let torn = reference.lines().nth(4).expect("a fifth line");
+    let torn_bytes = &torn[..torn.len() / 2];
+    std::fs::write(&crashed, format!("{keep}{torn_bytes}")).expect("write crashed journal");
+
+    let outcome = replay(cfg.clone(), &request_log, &crashed).expect("replay succeeds");
+    assert_eq!(outcome.responses.len(), requests.len());
+    assert_eq!(outcome.verified, 2, "two complete responses survived");
+    assert!(outcome.torn_tail, "the torn tail must be detected");
+    let rebuilt = std::fs::read_to_string(&crashed).expect("read rebuilt journal");
+    assert_eq!(
+        rebuilt, reference,
+        "replay must reproduce the journal byte-for-byte"
+    );
+
+    // A missing journal is regenerated from scratch.
+    let fresh = tmp_path("fresh.journal");
+    let _ = std::fs::remove_file(&fresh);
+    let outcome = replay(cfg.clone(), &request_log, &fresh).expect("replay from nothing");
+    assert_eq!(outcome.verified, 0);
+    assert_eq!(
+        std::fs::read_to_string(&fresh).expect("read regenerated journal"),
+        reference
+    );
+
+    // A tampered journal line is divergence, not silent repair.
+    let tampered = tmp_path("tampered.journal");
+    std::fs::write(
+        &tampered,
+        reference.replacen("\"id\":\"a\"", "\"id\":\"z\"", 1),
+    )
+    .expect("write tampered journal");
+    match replay(cfg, &request_log, &tampered) {
+        Err(ReplayError::Divergence { response }) => assert_eq!(response, 1),
+        other => panic!("tampering must be caught, got {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_solver_faults_keep_transcripts_deterministic() {
+    let plan = FaultPlan::new(0xC4A0)
+        .rate(0.5)
+        .targeting(&FaultSite::SOLVER_SITES)
+        .kinds(&[FaultKind::Singular, FaultKind::NonFinite]);
+    let run = || {
+        fault::with_plan(plan.clone(), || {
+            let mut engine = ServeEngine::new(tiny_config());
+            session_requests()
+                .iter()
+                .map(|r| engine.handle_line(r))
+                .collect::<Vec<_>>()
+        })
+    };
+    let (a, ra) = run();
+    let (b, rb) = run();
+    assert_eq!(a, b, "same plan, same requests => same bytes");
+    assert_eq!(ra.fired, rb.fired, "fault schedule must be deterministic");
+    // Every model-backed response still carries its recovery rung.
+    for line in &a {
+        let obj = json::parse(line)
+            .expect("valid JSON")
+            .as_object()
+            .cloned()
+            .unwrap();
+        let kind = obj["kind"].as_str().unwrap().to_string();
+        if kind == "ok" || kind == "partial" {
+            assert!(obj["rung"].as_str().is_some(), "rung missing: {line}");
+        }
+    }
+}
+
+#[test]
+fn fuzzed_requests_always_get_exactly_one_wellformed_response() {
+    // One long-lived engine (models_dir None, tiny scale): the 10k-case
+    // corpus below hammers it with byte soup, unicode soup, and seeded
+    // mutations of a valid request. The contract under test: every input
+    // yields exactly one newline-free, parseable response line carrying
+    // schema/v/seq/kind — no panic, no silent drop, monotonic seq.
+    let mut engine = ServeEngine::new(tiny_config());
+    let mut expected_seq = 0u64;
+    let mut property = |input: &String| -> Result<(), String> {
+        let resp = engine.handle_line(input);
+        expected_seq += 1;
+        if resp.contains('\n') {
+            return Err(format!("response spans lines: {resp:?}"));
+        }
+        let obj = json::parse(&resp)
+            .map_err(|e| format!("unparseable response {resp:?}: {e}"))?
+            .as_object()
+            .cloned()
+            .ok_or_else(|| format!("response is not an object: {resp:?}"))?;
+        if obj.get("schema").and_then(|v| v.as_str()) != Some("dynawave-serve") {
+            return Err(format!("bad schema in {resp:?}"));
+        }
+        if obj.get("v").and_then(|v| v.as_u64()) != Some(1) {
+            return Err(format!("bad version in {resp:?}"));
+        }
+        if obj.get("seq").and_then(|v| v.as_u64()) != Some(expected_seq) {
+            return Err(format!("seq skew at {expected_seq} in {resp:?}"));
+        }
+        match obj.get("kind").and_then(|v| v.as_str()) {
+            Some("ok" | "partial" | "error" | "overloaded") => Ok(()),
+            other => Err(format!("bad kind {other:?} in {resp:?}")),
+        }
+    };
+
+    check("serve: ascii soup")
+        .cases(4000)
+        .seed(0x5E12_F001)
+        .run(gen::ascii_soup(0, 200), &mut property);
+    check("serve: utf8 soup")
+        .cases(2000)
+        .seed(0x5E12_F002)
+        .run(gen::utf8_soup(0, 200), &mut property);
+    let valid = predict_request("fuzz", 1);
+    check("serve: mutated valid requests")
+        .cases(4000)
+        .seed(0x5E12_F003)
+        .run(gen::mutate(&valid), &mut property);
+}
+
+#[test]
+fn deadline_budgets_split_batches_and_refuse_starvation() {
+    let cfg = ServeConfig {
+        train_cost: 64,
+        ..tiny_config()
+    };
+    let mut engine = ServeEngine::new(cfg);
+    // 64 (train) + 3 covers 3 of 5 points.
+    let req = predict_request("d", 5).replacen("\"kind\"", "\"deadline\":67,\"kind\"", 1);
+    let obj = json::parse(&engine.handle_line(&req))
+        .unwrap()
+        .as_object()
+        .cloned()
+        .unwrap();
+    assert_eq!(obj["kind"].as_str(), Some("partial"));
+    assert_eq!(obj["completed"].as_u64(), Some(3));
+    assert_eq!(obj["total"].as_u64(), Some(5));
+    // Pareto is all-or-nothing: cpi is cached from above, so the request
+    // needs 2 trains (128 ticks) + 3 metrics x 4 points = 140 ticks; a
+    // budget of 139 is a typed refusal, not a wrong frontier.
+    let pts: Vec<String> = (0..4).map(|i| point_json(2.0 + i as f64)).collect();
+    let req = format!(
+        "{{\"schema\":\"dynawave-serve\",\"v\":1,\"deadline\":139,\
+         \"kind\":\"pareto\",\"benchmark\":\"gcc\",\"points\":[{}]}}",
+        pts.join(",")
+    );
+    let obj = json::parse(&engine.handle_line(&req))
+        .unwrap()
+        .as_object()
+        .cloned()
+        .unwrap();
+    assert_eq!(obj["kind"].as_str(), Some("error"));
+    assert_eq!(obj["error"].as_str(), Some("deadline-exceeded"));
+}
+
+#[test]
+fn backpressure_sheds_load_with_retry_hints() {
+    let cfg = ServeConfig {
+        queue_capacity: 100,
+        drain_per_request: 10,
+        train_cost: 40,
+        ..tiny_config()
+    };
+    let mut engine = ServeEngine::new(cfg);
+    let mut kinds = Vec::new();
+    for _ in 0..8 {
+        let obj = json::parse(&engine.handle_line(&predict_request("q", 30)))
+            .unwrap()
+            .as_object()
+            .cloned()
+            .unwrap();
+        let kind = obj["kind"].as_str().unwrap().to_string();
+        if kind == "overloaded" {
+            assert!(obj["retry_after"].as_u64().unwrap() >= 1);
+        }
+        kinds.push(kind);
+    }
+    assert!(kinds.contains(&"overloaded".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"ok".to_string()), "{kinds:?}");
+    // Shed requests cost nothing, so the bucket drains and service
+    // resumes: the transcript must not end in an overloaded run only.
+    let last_ok = kinds.iter().rposition(|k| k == "ok");
+    let first_over = kinds.iter().position(|k| k == "overloaded");
+    assert!(
+        last_ok > first_over,
+        "service must recover after shedding: {kinds:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Daemon binary: the same guarantees end-to-end over stdin/stdout.
+// ---------------------------------------------------------------------
+
+fn serve_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+    // Tiny deterministic scale so lazy training stays fast.
+    cmd.env("DYNAWAVE_TRAIN", "12")
+        .env("DYNAWAVE_TEST", "2")
+        .env("DYNAWAVE_SAMPLES", "16")
+        .env("DYNAWAVE_INTERVAL", "300")
+        .env_remove("DYNAWAVE_TRACE");
+    cmd
+}
+
+fn run_daemon(args: &[&str], stdin_text: &str) -> (String, String, i32) {
+    let mut child = serve_cmd()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(stdin_text.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("wait for serve");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn daemon_live_then_replay_round_trip() {
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let journal = tmp_path("daemon.journal");
+    let journal_arg = journal.to_str().expect("utf8 path");
+
+    let (stdout, stderr, code) = run_daemon(&["--journal", journal_arg], &request_log);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(stdout.lines().count(), session_requests().len());
+    let reference = std::fs::read_to_string(&journal).expect("journal exists");
+
+    // Crash: drop the final journal line plus a few torn bytes.
+    let torn_at = reference.len() - 20;
+    std::fs::write(&journal, &reference[..torn_at]).expect("tear journal");
+
+    let log_path = tmp_path("daemon.requests");
+    std::fs::write(&log_path, &request_log).expect("write request log");
+    let (replay_out, stderr, code) = run_daemon(
+        &[
+            "--journal",
+            journal_arg,
+            "--replay",
+            log_path.to_str().expect("utf8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(replay_out, stdout, "replay stdout must match the live run");
+    assert_eq!(
+        std::fs::read_to_string(&journal).expect("rebuilt journal"),
+        reference,
+        "replay must rebuild the journal byte-for-byte"
+    );
+}
+
+#[test]
+fn daemon_journal_chaos_degrades_durability_not_service() {
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let journal = tmp_path("chaos.journal");
+    let (stdout, stderr, code) = run_daemon(
+        &[
+            "--journal",
+            journal.to_str().expect("utf8 path"),
+            "--chaos-seed",
+            "3",
+            "--chaos-rate",
+            "1.0",
+            "--chaos-journal",
+        ],
+        &request_log,
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    // Every request is still answered on stdout...
+    assert_eq!(stdout.lines().count(), session_requests().len());
+    // ...but the journal froze at the header when the first append died.
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    assert_eq!(text.lines().count(), 2, "header only: {text:?}");
+    assert!(stderr.contains("journal disabled by fault"), "{stderr}");
+}
+
+#[test]
+fn daemon_solver_chaos_is_deterministic_across_runs() {
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let args = ["--chaos-seed", "77", "--chaos-rate", "0.6"];
+    let (a, _, code_a) = run_daemon(&args, &request_log);
+    let (b, _, code_b) = run_daemon(&args, &request_log);
+    assert_eq!(code_a, 0);
+    assert_eq!(code_b, 0);
+    assert_eq!(a, b, "chaos transcripts must be byte-identical");
+}

@@ -23,10 +23,13 @@ cd "$(dirname "$0")"
 # compare_bench. Soft by default (regressions warn, like the lint
 # baseline); --strict-perf turns flagged regressions into failures.
 # --serve adds the daemon chaos gate: the serve test battery (replay
-# byte-identity, 10k-case fuzz corpus, deadline/backpressure), a
-# kill-and-replay determinism check across DYNAWAVE_THREADS 1 and 4,
-# a seeded journal-fault chaos run, and a traced daemon session whose
-# obs stream must validate with the `serve` stage present.
+# byte-identity, 12k-case fuzz corpus, deadline/backpressure), a
+# kill-and-replay determinism check across DYNAWAVE_THREADS 1 and 4
+# with a `stats` introspection probe mid-battery (the transcript itself
+# must pass the dual-schema validator), a seeded journal-fault chaos
+# run, a traced daemon session whose obs stream must validate with the
+# `serve` stage present, and a chaos-forced flight-recorder dump that
+# must itself be a valid obs stream.
 CHAOS=0
 OBS=0
 PAR=0
@@ -122,6 +125,7 @@ if [ "$SERVE" = 1 ]; then
     echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c1\",\"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"points\":[$P1,$P2]}"
     echo "not json at all"
     echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c2\",\"kind\":\"sweep\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"base\":$P1,\"axis\":0,\"values\":[2,4,8]}"
+    echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c-stats\",\"kind\":\"stats\"}"
     echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"c3\",\"kind\":\"predict\",\"benchmark\":\"nope\"}"
   } > "$CI_TMP/serve_requests.jsonl"
   for t in 1 4; do
@@ -131,6 +135,11 @@ if [ "$SERVE" = 1 ]; then
       < "$CI_TMP/serve_requests.jsonl" > "$CI_TMP/serve_t$t.out" 2> /dev/null
   done
   cmp "$CI_TMP/serve_t1.out" "$CI_TMP/serve_t4.out"
+  # The transcript (including the mid-battery stats snapshot) is itself
+  # a valid dynawave-serve stream under the dual-schema validator.
+  grep -q '"kind":"stats"' "$CI_TMP/serve_t1.out"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
+    --require-stages serve < "$CI_TMP/serve_t1.out"
   # Tear the t1 journal inside its final line, then replay.
   head -c "$(($(wc -c < "$CI_TMP/serve_t1.journal") - 23))" \
     "$CI_TMP/serve_t1.journal" > "$CI_TMP/serve_torn.journal"
@@ -161,6 +170,23 @@ if [ "$SERVE" = 1 ]; then
     < "$CI_TMP/serve_requests.jsonl" > /dev/null 2> "$CI_TMP/serve_trace.jsonl"
   cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
     --require-stages serve < "$CI_TMP/serve_trace.jsonl"
+  # SLO soft gate: the traced session's predict tail latency, checked by
+  # obs_report --slo. Soft like the perf ratchet — a violation warns.
+  cargo run -q --release --offline -p dynawave-obs --bin obs_report -- \
+    --slo 'predict:p99<=65536' "$CI_TMP/serve_trace.jsonl" \
+    || echo "WARN: serve SLO violated (soft gate)"
+  # Flight recorder: solver chaos at rate 1.0 under --strict-recovery
+  # forces a train-failed internal error; the armed ring must dump once,
+  # and the dump must itself be a valid obs stream with the serve stage.
+  env $SERVE_SCALE \
+    cargo run -q --release --offline -p dynawave-core --bin serve -- \
+    --flight-recorder 64 --strict-recovery --chaos-seed 7 --chaos-rate 1.0 \
+    < "$CI_TMP/serve_requests.jsonl" \
+    > /dev/null 2> "$CI_TMP/serve_flight.jsonl"
+  grep -q 'reason=internal-error' "$CI_TMP/serve_flight.jsonl"
+  cargo run -q --release --offline -p dynawave-obs --bin obs_validate -- \
+    --require-stages serve < "$CI_TMP/serve_flight.jsonl"
+  echo "serve flight-recorder dump validates"
   mkdir -p results
   cp "$CI_TMP/serve_t1.journal" results/serve_replay.jsonl
 fi

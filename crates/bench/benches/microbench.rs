@@ -299,6 +299,13 @@ fn bench_serve(h: &Harness) {
     h.bench("serve/reject_malformed", 1, || {
         engine.handle_line(black_box("{\"not\":\"a request\",]"))
     });
+    // The introspection path: a full snapshot render per probe. This is
+    // the overhead a monitoring poller pays, and a ceiling on how much
+    // the always-on stats counters can cost the hot path.
+    let stats = "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"bench\",\"kind\":\"stats\"}";
+    h.bench("serve/stats_probe", 1, || {
+        engine.handle_line(black_box(stats))
+    });
 }
 
 fn main() {

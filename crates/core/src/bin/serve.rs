@@ -23,9 +23,18 @@
 //! `DYNAWAVE_SAMPLES` / `DYNAWAVE_INTERVAL` / `DYNAWAVE_SEED` env knobs;
 //! `DYNAWAVE_TRACE=1` records an obs trace and emits it as JSON lines on
 //! stderr at exit (stdout stays pure protocol).
+//!
+//! `--flight-recorder N` arms a bounded in-memory ring of the last N obs
+//! events (no full tracing needed): on the first `internal`-class error —
+//! or at shutdown, whichever comes first — the ring is dumped to stderr
+//! as a valid obs stream, so a crashed daemon leaves a post-mortem
+//! without the cost of always-on tracing. `--strict-recovery` disables
+//! the recovery ladder (first training fault becomes a `train-failed`
+//! internal error) — chiefly a chaos-testing aid for that dump path.
 
 use dynawave_core::experiment::ExperimentConfig;
 use dynawave_core::serve::{replay, ServeConfig, ServeEngine, ServeJournal};
+use dynawave_core::RecoveryPolicy;
 use dynawave_numeric::fault::{FaultKind, FaultPlan, FaultSite};
 use std::io::BufRead as _;
 use std::path::PathBuf;
@@ -37,6 +46,7 @@ struct Cli {
     chaos_seed: Option<u64>,
     chaos_rate: f64,
     chaos_journal: bool,
+    flight_recorder: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -44,12 +54,15 @@ fn usage() -> ! {
         "usage: serve [--journal PATH] [--models DIR] [--deadline N] \
          [--capacity N] [--drain N] [--train-cost N] [--max-bytes N] \
          [--chaos-seed S] [--chaos-rate R] [--chaos-journal] \
+         [--flight-recorder N] [--strict-recovery] \
          [--replay REQUEST_LOG]\n\
          Reads dynawave-serve v1 JSON-lines requests on stdin and writes \
          one response line per request on stdout.\n\
          --replay re-runs REQUEST_LOG against the journal at --journal, \
          verifies the surviving prefix byte-for-byte, and rewrites the \
-         journal to the full transcript."
+         journal to the full transcript.\n\
+         --flight-recorder keeps the last N obs events in memory and \
+         dumps them to stderr on the first internal error or at shutdown."
     );
     std::process::exit(2);
 }
@@ -72,6 +85,7 @@ fn parse_cli() -> Cli {
         chaos_seed: None,
         chaos_rate: 0.05,
         chaos_journal: false,
+        flight_recorder: None,
     };
     // dynalint:allow(D004) -- CLI arguments are the daemon's intended input
     let mut argv = std::env::args().skip(1);
@@ -108,6 +122,11 @@ fn parse_cli() -> Cli {
                 }
             }
             "--chaos-journal" => cli.chaos_journal = true,
+            "--flight-recorder" => {
+                cli.flight_recorder =
+                    Some(parse_u64(&value(&mut argv, "--flight-recorder")) as usize)
+            }
+            "--strict-recovery" => cli.serve.config.recovery = RecoveryPolicy::strict(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("serve: unknown argument '{other}'");
@@ -144,11 +163,37 @@ fn chaos_plan(cli: &Cli) -> Option<FaultPlan> {
     Some(plan)
 }
 
+/// Dump the armed flight-recorder ring to stderr as an obs stream.
+///
+/// Stamps a `serve.flight_recorder` marker (with the dump reason and the
+/// number of events the ring overwrote) before draining, so the dump is
+/// self-describing. No-op when no recorder is installed; draining
+/// uninstalls it, which is what makes "dump exactly once" cheap to
+/// guarantee — a second call finds nothing.
+fn dump_flight(reason: &str) {
+    let dropped = match dynawave_obs::take() {
+        Some(recorder) => {
+            let dropped = recorder.dropped();
+            dynawave_obs::install(recorder);
+            dropped
+        }
+        None => return,
+    };
+    dynawave_obs::marker_with_detail(
+        "serve.flight_recorder",
+        &format!("reason={reason} dropped={dropped}"),
+    );
+    if let Some(events) = dynawave_obs::drain() {
+        eprint!("{}", dynawave_obs::encode_lines(&events));
+    }
+}
+
 /// Live mode: stdin requests -> stdout responses (+ journal).
 ///
-/// `quiet` suppresses the human summary on stderr — set when tracing,
-/// so the stderr channel stays a pure obs JSON-lines stream.
-fn run_live(cli: &Cli, quiet: bool) -> i32 {
+/// `quiet` suppresses the human summary on stderr — set when tracing or
+/// flight-recording, so the stderr channel stays a pure obs JSON-lines
+/// stream. `flight` arms the first-internal-error dump check.
+fn run_live(cli: &Cli, quiet: bool, flight: bool) -> i32 {
     let mut journal = match &cli.journal {
         None => None,
         Some(path) => match ServeJournal::create(path, &cli.serve) {
@@ -160,6 +205,11 @@ fn run_live(cli: &Cli, quiet: bool) -> i32 {
         },
     };
     let mut engine = ServeEngine::new(cli.serve.clone());
+    if journal.is_some() {
+        engine.note_journal_attached();
+    }
+    let mut journal_broken_noted = false;
+    let mut flight_dumped = false;
     let stdin = std::io::stdin();
     use std::io::Write as _;
     let stdout = std::io::stdout();
@@ -175,11 +225,22 @@ fn run_live(cli: &Cli, quiet: bool) -> i32 {
         let response = engine.handle_line(&line);
         if let Some(j) = journal.as_mut() {
             j.append(&response);
+            if j.is_broken() && !journal_broken_noted {
+                engine.note_journal_broken();
+                journal_broken_noted = true;
+            }
+        }
+        if flight && !flight_dumped && engine.stats().internal_errors() > 0 {
+            dump_flight("internal-error");
+            flight_dumped = true;
         }
         if writeln!(out, "{response}").is_err() {
             // Reader went away; nothing left to serve.
             return 0;
         }
+    }
+    if flight && !flight_dumped {
+        dump_flight("shutdown");
     }
     if !quiet {
         eprintln!(
@@ -244,17 +305,23 @@ fn main() {
     let cli = parse_cli();
     // dynalint:allow(D004) -- opt-in tracing is part of the documented CLI
     let tracing = std::env::var("DYNAWAVE_TRACE").map(|v| v == "1") == Ok(true);
+    // Full tracing supersedes the flight recorder: the complete stream
+    // already contains everything the ring would keep.
+    let flight = !tracing && cli.flight_recorder.is_some();
     if tracing {
         dynawave_obs::install(dynawave_obs::Recorder::with_tick_clock());
+    } else if let Some(capacity) = cli.flight_recorder {
+        dynawave_obs::install(dynawave_obs::Recorder::flight_recorder(capacity));
     }
+    let quiet = tracing || flight;
     let body = || match &cli.replay_log {
-        Some(log) => run_replay(&cli, log, tracing),
-        None => run_live(&cli, tracing),
+        Some(log) => run_replay(&cli, log, quiet),
+        None => run_live(&cli, quiet, flight),
     };
     let code = match chaos_plan(&cli) {
         Some(plan) => {
             let (code, report) = dynawave_numeric::fault::with_plan(plan, body);
-            if !tracing {
+            if !quiet {
                 eprintln!(
                     "serve: chaos plan fired {} of {} armed fault(s)",
                     report.fired, report.armed
@@ -268,6 +335,11 @@ fn main() {
         if let Some(events) = dynawave_obs::drain() {
             eprint!("{}", dynawave_obs::encode_lines(&events));
         }
+    } else if flight {
+        // Replay mode (or an early live-mode exit) never reached the
+        // in-loop dump; run_live's own shutdown dump already drained the
+        // recorder, making this a no-op there.
+        dump_flight("shutdown");
     }
     std::process::exit(code);
 }

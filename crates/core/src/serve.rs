@@ -40,13 +40,27 @@
 //!    durability path: the daemon keeps serving with journaling
 //!    disabled.
 //!
+//! 6. **Introspection.** The engine keeps always-on, allocation-light
+//!    telemetry ([`ServeStats`]): per-kind request/outcome counters,
+//!    per-kind tick-latency histograms, deadline-budget spend, recovery
+//!    rung counts, model-cache traffic, the leaky-bucket level and the
+//!    journal status. The side-effect-free `stats` request kind
+//!    snapshots it as a versioned JSON object — zero work ticks, so a
+//!    `stats` probe never perturbs the transcript it reports on, and
+//!    the snapshot is byte-identical live vs [`replay`]. When obs
+//!    tracing is enabled the same pipeline also emits request-scoped
+//!    spans (`serve.parse` → `serve.admission` → `serve.model_resolve`
+//!    → `serve.solve` → `serve.journal_append`) correlated by request
+//!    id in `serve.request_id` marker details — see DESIGN.md §14.
+//!
 //! The wire format is versioned JSON lines tagged
 //! `{"schema":"dynawave-serve","v":1,...}` (vocabulary in
 //! [`dynawave_obs::schema`]; dynalint rule D013 cross-checks literals).
 //! Endpoints cover the paper's real queries: batched dynamics prediction
 //! (`predict`), Pareto frontier over CPI/power/AVF (`pareto`), top-K
-//! configs under a power budget (`topk`), and single-axis sensitivity
-//! sweeps (`sweep`). See DESIGN.md §13 for the full protocol contract.
+//! configs under a power budget (`topk`), single-axis sensitivity
+//! sweeps (`sweep`), and the `stats` introspection probe. See DESIGN.md
+//! §13 for the full protocol contract.
 //!
 //! # Examples
 //!
@@ -238,6 +252,13 @@ impl ServeError {
             ServeError::TrainFailed(_) => "train-failed",
         }
     }
+
+    /// True for `internal`-class errors: the daemon itself failed, as
+    /// opposed to the client sending something refusable. The serve
+    /// binary dumps its flight recorder on the first internal error.
+    pub fn is_internal(&self) -> bool {
+        matches!(self, ServeError::TrainFailed(_))
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -415,6 +436,211 @@ enum Request {
         axis: usize,
         values: Vec<f64>,
     },
+    /// The introspection probe: no benchmark, no model, no work ticks.
+    Stats,
+}
+
+impl Request {
+    /// The canonical request-kind name (see
+    /// [`schema::SERVE_REQUEST_KINDS`]).
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Predict { .. } => "predict",
+            Request::Pareto { .. } => "pareto",
+            Request::TopK { .. } => "topk",
+            Request::Sweep { .. } => "sweep",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// Journal attachment state as the `stats` snapshot reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum JournalStatus {
+    /// No journal attached to this session.
+    #[default]
+    None,
+    /// Journal attached and appending.
+    Active,
+    /// Journal attached but disabled by a fault (degraded durability).
+    Broken,
+}
+
+impl JournalStatus {
+    fn name(self) -> &'static str {
+        match self {
+            JournalStatus::None => "none",
+            JournalStatus::Active => "active",
+            JournalStatus::Broken => "broken",
+        }
+    }
+}
+
+/// Index of `kind` in [`schema::SERVE_REQUEST_KINDS`].
+fn request_kind_index(kind: &str) -> Option<usize> {
+    schema::SERVE_REQUEST_KINDS.iter().position(|k| *k == kind)
+}
+
+/// Always-on engine telemetry, snapshotted by the `stats` request kind.
+///
+/// This is deliberately *not* the obs recorder: tracing is optional and
+/// per-thread, while these counters are part of the engine's
+/// deterministic state — the same request log yields the same snapshot
+/// bytes live, under `--replay`, and at any `DYNAWAVE_THREADS` setting
+/// (the engine is single-threaded by construction). Everything here is
+/// plain integer arithmetic on the tick clock; the cost on the hot path
+/// is a handful of array increments (budgeted <2% on
+/// `serve/predict_batch/8`, enforced by the BENCH ratchet).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests per canonical kind, indexed like
+    /// [`schema::SERVE_REQUEST_KINDS`].
+    requests: [u64; 5],
+    /// Requests whose `kind` never classified (byte soup, wrong schema,
+    /// unknown kind, oversized lines...).
+    requests_invalid: u64,
+    /// Responses per outcome: ok, partial, error, overloaded, stats.
+    outcomes: [u64; 5],
+    /// `error` outcomes that were internal-class ([`ServeError::is_internal`]).
+    internal_errors: u64,
+    /// Tick-latency histogram per *workload* kind (predict, pareto,
+    /// topk, sweep — `stats` is always zero-tick and has none), on the
+    /// shared [`schema::SERVE_LATENCY_BOUNDS`] bounds plus an overflow
+    /// bucket.
+    latency: [[u64; 10]; 4],
+    /// Sum of tick budgets granted to requests that were admitted.
+    deadline_granted: u64,
+    /// Ticks actually consumed by admitted requests.
+    deadline_used: u64,
+    /// Requests refused outright because the budget could not cover the
+    /// first unit of work.
+    deadline_refused: u64,
+    /// Model-backed responses per worst recovery rung, indexed by
+    /// [`RecoveryRung::level`] (primary .. mean-fallback).
+    rungs: [u64; 4],
+    /// Model-cache lookups that hit.
+    model_hits: u64,
+    /// Model-cache lookups that missed (and went to snapshot/training).
+    model_misses: u64,
+    /// Cache misses filled from a persisted snapshot.
+    models_loaded: u64,
+    /// Cache misses filled by lazy training.
+    models_trained: u64,
+    /// Cache misses where training failed beyond the recovery ladder.
+    models_failed: u64,
+    /// Journal attachment state (set by the session owner).
+    journal: JournalStatus,
+    /// Kind index of the request currently in flight, for latency
+    /// attribution in `handle_line`.
+    in_flight: Option<usize>,
+}
+
+impl ServeStats {
+    /// Classifies one request by its raw `kind` field (None = the line
+    /// never produced one) and remembers it for latency attribution.
+    fn classify(&mut self, kind: Option<&str>) {
+        match kind.and_then(request_kind_index) {
+            Some(idx) => {
+                self.requests[idx] += 1;
+                self.in_flight = Some(idx);
+            }
+            None => self.requests_invalid += 1,
+        }
+    }
+
+    fn observe_latency(&mut self, kind_idx: usize, ticks: u64) {
+        if let Some(hist) = self.latency.get_mut(kind_idx) {
+            let bucket = schema::SERVE_LATENCY_BOUNDS
+                .iter()
+                .position(|&b| ticks <= b)
+                .unwrap_or(schema::SERVE_LATENCY_BOUNDS.len());
+            hist[bucket] += 1;
+        }
+    }
+
+    /// Total internal-class errors so far (the serve binary's flight-
+    /// recorder trigger).
+    pub fn internal_errors(&self) -> u64 {
+        self.internal_errors
+    }
+
+    /// Requests classified so far (canonical kinds plus invalid).
+    fn classified_total(&self) -> u64 {
+        self.requests.iter().sum::<u64>() + self.requests_invalid
+    }
+
+    /// Renders the versioned snapshot object. Field order is fixed —
+    /// the snapshot is a byte-level contract (`obs_validate` checks the
+    /// shape; determinism tests diff the bytes).
+    fn render(&self, out: &mut String, load: u64, capacity: u64) {
+        out.push_str(&format!("{{\"v\":{}", schema::SERVE_STATS_VERSION));
+        out.push_str(",\"requests\":{");
+        for (i, kind) in schema::SERVE_REQUEST_KINDS.iter().enumerate() {
+            out.push_str(&format!("\"{kind}\":{},", self.requests[i]));
+        }
+        out.push_str(&format!("\"invalid\":{}}}", self.requests_invalid));
+        out.push_str(",\"outcomes\":{");
+        let outcome_names = ["ok", "partial", "error", "overloaded", "stats"];
+        for (i, name) in outcome_names.iter().enumerate() {
+            out.push_str(&format!("\"{name}\":{},", self.outcomes[i]));
+        }
+        out.push_str(&format!("\"internal\":{}}}", self.internal_errors));
+        out.push_str(",\"latency\":{");
+        for (i, hist) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"bounds\":[",
+                schema::SERVE_REQUEST_KINDS[i]
+            ));
+            for (j, b) in schema::SERVE_LATENCY_BOUNDS.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{b}"));
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in hist.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{c}"));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ",\"deadline\":{{\"granted\":{},\"used\":{},\"refused\":{}}}",
+            self.deadline_granted, self.deadline_used, self.deadline_refused
+        ));
+        out.push_str(",\"rungs\":{");
+        let rung_names = [
+            "primary",
+            "ridge-escalated",
+            "linear-fallback",
+            "mean-fallback",
+        ];
+        for (i, name) in rung_names.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", self.rungs[i]));
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ",\"models\":{{\"hits\":{},\"misses\":{},\"loaded\":{},\"trained\":{},\"failed\":{}}}",
+            self.model_hits,
+            self.model_misses,
+            self.models_loaded,
+            self.models_trained,
+            self.models_failed
+        ));
+        out.push_str(&format!(
+            ",\"load\":{{\"level\":{load},\"capacity\":{capacity}}}"
+        ));
+        out.push_str(&format!(",\"journal\":\"{}\"}}", self.journal.name()));
+    }
 }
 
 /// The serving engine: a pure, deterministic function from a sequence of
@@ -431,7 +657,19 @@ pub struct ServeEngine {
     seq: u64,
     tick: u64,
     load: u64,
+    stats: ServeStats,
 }
+
+/// Outcome indices into [`ServeStats::outcomes`].
+const OUT_OK: usize = 0;
+const OUT_PARTIAL: usize = 1;
+const OUT_ERROR: usize = 2;
+const OUT_OVERLOADED: usize = 3;
+const OUT_STATS: usize = 4;
+
+/// Kind index of the `stats` probe in [`schema::SERVE_REQUEST_KINDS`]
+/// (the only kind without a latency histogram).
+const KIND_STATS: usize = 4;
 
 impl ServeEngine {
     /// A fresh engine with an empty model cache and zeroed clocks.
@@ -444,6 +682,7 @@ impl ServeEngine {
             seq: 0,
             tick: 0,
             load: 0,
+            stats: ServeStats::default(),
         }
     }
 
@@ -462,6 +701,24 @@ impl ServeEngine {
         self.tick
     }
 
+    /// The always-on telemetry the `stats` request kind snapshots.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Marks a response journal as attached to this session. Journal
+    /// state lives with the session owner (the serve binary, [`replay`]);
+    /// the engine only mirrors it so `stats` snapshots can report it
+    /// deterministically.
+    pub fn note_journal_attached(&mut self) {
+        self.stats.journal = JournalStatus::Active;
+    }
+
+    /// Marks the attached journal as broken (degraded durability).
+    pub fn note_journal_broken(&mut self) {
+        self.stats.journal = JournalStatus::Broken;
+    }
+
     /// Handles one request line and returns exactly one response line
     /// (no trailing newline). Total: every input, including byte soup
     /// and the empty string, maps to a well-formed JSON response.
@@ -469,10 +726,43 @@ impl ServeEngine {
         let _span = dynawave_obs::span("serve.request");
         self.seq += 1;
         self.load = self.load.saturating_sub(self.config.drain_per_request);
+        let tick_before = self.tick;
+        let classified_before = self.stats.classified_total();
         let response = match self.process(line) {
             Ok(ok) => ok,
-            Err((id, e)) => self.error_response(&id, &e),
+            Err((id, e)) => {
+                if e.is_internal() {
+                    self.stats.internal_errors += 1;
+                }
+                self.error_response(&id, &e)
+            }
         };
+        // Lines that failed before their `kind` could classify (byte
+        // soup, wrong schema, oversize...) tally as invalid, keeping
+        // sum(requests) + invalid == seq.
+        if self.stats.classified_total() == classified_before {
+            self.stats.requests_invalid += 1;
+        }
+        // Latency attribution: the ticks this request consumed, into its
+        // kind's histogram. Refused/errored requests count as zero-tick —
+        // a shed request is latency the client *didn't* pay.
+        if let Some(kind_idx) = self.stats.in_flight.take() {
+            if kind_idx != KIND_STATS {
+                let delta = self.tick - tick_before;
+                self.stats.observe_latency(kind_idx, delta);
+                if dynawave_obs::is_enabled() {
+                    if let Some(hist) =
+                        schema::serve_latency_histogram(schema::SERVE_REQUEST_KINDS[kind_idx])
+                    {
+                        let bounds: Vec<f64> = schema::SERVE_LATENCY_BOUNDS
+                            .iter()
+                            .map(|&b| b as f64)
+                            .collect();
+                        dynawave_obs::histogram_observe(hist, &bounds, delta as f64);
+                    }
+                }
+            }
+        }
         if dynawave_obs::is_enabled() {
             dynawave_obs::gauge_set("serve.load", self.load as f64);
         }
@@ -482,60 +772,74 @@ impl ServeEngine {
     /// Everything that can fail, with the request id recovered as early
     /// as possible so even deep failures echo it back.
     fn process(&mut self, line: &str) -> Result<String, (String, ServeError)> {
-        if line.len() > self.config.max_request_bytes {
-            return Err((
-                String::new(),
-                ServeError::TooLarge {
-                    found: line.len(),
-                    limit: self.config.max_request_bytes,
-                },
-            ));
-        }
-        let value =
-            json::parse(line).map_err(|e| (String::new(), ServeError::BadJson(e.to_string())))?;
-        let obj = value
-            .as_object()
-            .ok_or((String::new(), ServeError::NotAnObject))?;
-        // Recover the id before any further validation.
-        let id = match obj.get("id") {
-            None => String::new(),
-            Some(v) => v.as_str().map(str::to_string).ok_or((
-                String::new(),
-                ServeError::BadField {
-                    field: "id",
-                    expected: "a string",
-                },
-            ))?,
-        };
-        let fail = |e: ServeError| (id.clone(), e);
-        if obj.get("schema").and_then(Value::as_str) != Some(schema::SERVE_SCHEMA) {
-            return Err(fail(ServeError::UnknownSchema));
-        }
-        match obj.get("v") {
-            Some(v) if v.as_u64() == Some(schema::SERVE_SCHEMA_VERSION) => {}
-            Some(v) => {
-                let found = match v.as_f64() {
-                    Some(n) => format!("{n}"),
-                    None => "non-numeric".to_string(),
-                };
-                return Err(fail(ServeError::UnsupportedVersion(found)));
+        let (id, request, deadline) = {
+            let _span = dynawave_obs::span("serve.parse");
+            if line.len() > self.config.max_request_bytes {
+                return Err((
+                    String::new(),
+                    ServeError::TooLarge {
+                        found: line.len(),
+                        limit: self.config.max_request_bytes,
+                    },
+                ));
             }
-            None => return Err(fail(ServeError::MissingField("v"))),
-        }
-        let request = self.validate(obj).map_err(&fail)?;
-        let deadline = match obj.get("deadline") {
-            None => self.config.default_deadline,
-            Some(v) => match v.as_u64() {
-                Some(d) if d > 0 => d,
-                _ => {
-                    return Err(fail(ServeError::BadField {
-                        field: "deadline",
-                        expected: "a positive integer tick budget",
-                    }))
+            let value = json::parse(line)
+                .map_err(|e| (String::new(), ServeError::BadJson(e.to_string())))?;
+            let obj = value
+                .as_object()
+                .ok_or((String::new(), ServeError::NotAnObject))?;
+            // Recover the id before any further validation.
+            let id = match obj.get("id") {
+                None => String::new(),
+                Some(v) => v.as_str().map(str::to_string).ok_or((
+                    String::new(),
+                    ServeError::BadField {
+                        field: "id",
+                        expected: "a string",
+                    },
+                ))?,
+            };
+            let fail = |e: ServeError| (id.clone(), e);
+            if obj.get("schema").and_then(Value::as_str) != Some(schema::SERVE_SCHEMA) {
+                return Err(fail(ServeError::UnknownSchema));
+            }
+            match obj.get("v") {
+                Some(v) if v.as_u64() == Some(schema::SERVE_SCHEMA_VERSION) => {}
+                Some(v) => {
+                    let found = match v.as_f64() {
+                        Some(n) => format!("{n}"),
+                        None => "non-numeric".to_string(),
+                    };
+                    return Err(fail(ServeError::UnsupportedVersion(found)));
                 }
-            },
+                None => return Err(fail(ServeError::MissingField("v"))),
+            }
+            // The line has a classifiable kind from here on: tally it
+            // (even if deeper validation rejects the payload).
+            self.stats.classify(obj.get("kind").and_then(Value::as_str));
+            let request = self.validate(obj).map_err(&fail)?;
+            let deadline = match obj.get("deadline") {
+                None => self.config.default_deadline,
+                Some(v) => match v.as_u64() {
+                    Some(d) if d > 0 => d,
+                    _ => {
+                        return Err(fail(ServeError::BadField {
+                            field: "deadline",
+                            expected: "a positive integer tick budget",
+                        }))
+                    }
+                },
+            };
+            (id, request, deadline)
         };
-        self.execute(&id, request, deadline).map_err(&fail)
+        if dynawave_obs::is_enabled() {
+            dynawave_obs::marker_with_detail(
+                "serve.request_id",
+                &format!("id={id} kind={}", request.kind_name()),
+            );
+        }
+        let fail = |e: ServeError| (id.clone(), e);
+        self.execute(&id, &request, deadline).map_err(fail)
     }
 
     /// Pure structural validation: no budget, no models, no state.
@@ -548,6 +852,11 @@ impl ServeEngine {
                 field: "kind",
                 expected: "a string",
             })?;
+        // The introspection probe carries no benchmark or payload, so it
+        // dispatches before the benchmark requirement below.
+        if kind == "stats" {
+            return Ok(Request::Stats);
+        }
         let benchmark = {
             let name = obj
                 .get("benchmark")
@@ -705,20 +1014,33 @@ impl ServeEngine {
     }
 
     /// Cost model, admission control and dispatch for a valid request.
-    fn execute(&mut self, id: &str, request: Request, deadline: u64) -> Result<String, ServeError> {
-        let (metrics, items): (Vec<Metric>, u64) = match &request {
+    fn execute(
+        &mut self,
+        id: &str,
+        request: &Request,
+        deadline: u64,
+    ) -> Result<String, ServeError> {
+        // The stats probe is side-effect free: no admission, no models,
+        // no ticks — just a snapshot of the telemetry as it stands.
+        if let Request::Stats = request {
+            return Ok(self.stats_response(id));
+        }
+        let (metrics, items): (Vec<Metric>, u64) = match request {
             Request::Predict { metric, points, .. } => (vec![*metric], points.len() as u64),
             Request::Pareto { points, .. } => (Metric::DOMAINS.to_vec(), 3 * points.len() as u64),
             Request::TopK { points, .. } => {
                 (vec![Metric::Cpi, Metric::Power], 2 * points.len() as u64)
             }
             Request::Sweep { metric, values, .. } => (vec![*metric], values.len() as u64),
+            Request::Stats => (Vec::new(), 0),
         };
-        let benchmark = match &request {
+        let benchmark = match request {
             Request::Predict { benchmark, .. }
             | Request::Pareto { benchmark, .. }
             | Request::TopK { benchmark, .. }
             | Request::Sweep { benchmark, .. } => *benchmark,
+            // Answered above; a benign default keeps the match total.
+            Request::Stats => Benchmark::Gcc,
         };
         let uncached = metrics
             .iter()
@@ -730,35 +1052,49 @@ impl ServeEngine {
             .count() as u64;
         let upfront = uncached * self.config.train_cost;
         let total_cost = upfront + items;
+        {
+            let _span = dynawave_obs::span("serve.admission");
+            // Backpressure before any work: the leaky bucket was drained
+            // on entry; if this request's full cost would overflow it,
+            // refuse with a deterministic retry hint.
+            if self.load + total_cost > self.config.queue_capacity {
+                let drain = self.config.drain_per_request.max(1);
+                let excess = self.load + total_cost - self.config.queue_capacity;
+                let retry_after = excess.div_ceil(drain);
+                dynawave_obs::counter_add("serve.responses.overloaded", 1);
+                if dynawave_obs::is_enabled() {
+                    dynawave_obs::marker_with_detail(
+                        "serve.overloaded",
+                        &format!("id={id} retry_after={retry_after}"),
+                    );
+                }
+                return Err(ServeError::Overloaded { retry_after });
+            }
 
-        // Backpressure before any work: the leaky bucket was drained on
-        // entry; if this request's full cost would overflow it, refuse
-        // with a deterministic retry hint.
-        if self.load + total_cost > self.config.queue_capacity {
-            let drain = self.config.drain_per_request.max(1);
-            let excess = self.load + total_cost - self.config.queue_capacity;
-            let retry_after = excess.div_ceil(drain);
-            dynawave_obs::counter_add("serve.responses.overloaded", 1);
-            return Err(ServeError::Overloaded { retry_after });
-        }
-
-        // Deadline: the batch-splittable endpoints (predict, sweep) need
-        // budget for training plus one item; the rank/frontier endpoints
-        // need the whole batch, because a frontier over half the
-        // candidates is not a partial answer, it is a wrong one.
-        let splittable = matches!(request, Request::Predict { .. } | Request::Sweep { .. });
-        let needed = if splittable { upfront + 1 } else { total_cost };
-        if deadline < needed {
-            dynawave_obs::counter_add("serve.responses.deadline_exceeded", 1);
-            return Err(ServeError::DeadlineExceeded {
-                budget: deadline,
-                needed,
-            });
+            // Deadline: the batch-splittable endpoints (predict, sweep)
+            // need budget for training plus one item; the rank/frontier
+            // endpoints need the whole batch, because a frontier over
+            // half the candidates is not a partial answer, it is a wrong
+            // one.
+            let splittable = matches!(request, Request::Predict { .. } | Request::Sweep { .. });
+            let needed = if splittable { upfront + 1 } else { total_cost };
+            if deadline < needed {
+                dynawave_obs::counter_add("serve.responses.deadline_exceeded", 1);
+                self.stats.deadline_refused += 1;
+                return Err(ServeError::DeadlineExceeded {
+                    budget: deadline,
+                    needed,
+                });
+            }
+            self.stats.deadline_granted += deadline;
         }
 
         // Acquire the models (cache hit, snapshot load, or lazy train).
-        for m in &metrics {
-            self.ensure_model(benchmark, *m)?;
+        {
+            let _span = dynawave_obs::span("serve.model_resolve");
+            for m in &metrics {
+                self.ensure_model(benchmark, *m)?;
+            }
         }
         let rung = metrics
             .iter()
@@ -770,19 +1106,31 @@ impl ServeEngine {
             })
             .max_by_key(|r| r.level())
             .unwrap_or(RecoveryRung::Primary);
+        self.stats.rungs[(rung.level() as usize).min(3)] += 1;
         if rung.level() > 0 {
             dynawave_obs::counter_add("serve.responses.degraded", 1);
+            if dynawave_obs::is_enabled() {
+                dynawave_obs::marker_with_detail(
+                    "serve.degraded",
+                    &format!("id={id} rung={}", rung.name()),
+                );
+            }
         }
 
         // Execute within the remaining item budget.
         let item_budget = deadline - upfront;
-        let (results, completed, total) = self.run(&request, item_budget)?;
+        let (results, completed, total) = {
+            let _span = dynawave_obs::span("serve.solve");
+            self.run(request, item_budget)?
+        };
         let consumed = upfront + completed.min(items);
         self.tick += consumed;
         self.load += consumed;
+        self.stats.deadline_used += consumed;
 
         let partial = completed < total;
         let kind = if partial { "partial" } else { "ok" };
+        self.stats.outcomes[if partial { OUT_PARTIAL } else { OUT_OK }] += 1;
         dynawave_obs::counter_add(
             if partial {
                 "serve.responses.partial"
@@ -944,7 +1292,24 @@ impl ServeEngine {
                 out.push(']');
                 Ok((out, take as u64, total))
             }
+            // Dispatched in `execute` before any budget work; this arm
+            // only keeps the match total.
+            Request::Stats => Ok((String::from("[]"), 0, 0)),
         }
+    }
+
+    /// Answers the `stats` probe: the versioned telemetry snapshot,
+    /// including this very response in its own outcome counters (so
+    /// `sum(outcomes) == seq` holds for every snapshot).
+    fn stats_response(&mut self, id: &str) -> String {
+        self.stats.outcomes[OUT_STATS] += 1;
+        dynawave_obs::counter_add("serve.responses.stats", 1);
+        let mut out = self.response_head(id, "stats");
+        out.push_str(",\"stats\":");
+        self.stats
+            .render(&mut out, self.load, self.config.queue_capacity);
+        out.push('}');
+        out
     }
 
     /// Mean CPI/power/AVF per point (order of [`Metric::DOMAINS`]).
@@ -995,8 +1360,10 @@ impl ServeEngine {
     fn ensure_model(&mut self, benchmark: Benchmark, metric: Metric) -> Result<(), ServeError> {
         let key = (benchmark.name().to_string(), metric.name().to_string());
         if self.cache.contains_key(&key) {
+            self.stats.model_hits += 1;
             return Ok(());
         }
+        self.stats.model_misses += 1;
         let _span = dynawave_obs::span("serve.model_acquire");
         if let Some(dir) = self.config.models_dir.clone() {
             let path = dir.join(format!("{}_{}.dynawave", benchmark.name(), metric.name()));
@@ -1006,6 +1373,7 @@ impl ServeEngine {
             {
                 Ok(model) => {
                     let rung = rung_of_snapshot(&model);
+                    self.stats.models_loaded += 1;
                     dynawave_obs::counter_add("serve.models.loaded", 1);
                     self.cache.insert(key, Ok(CachedModel { model, rung }));
                     return Ok(());
@@ -1027,10 +1395,12 @@ impl ServeEngine {
                         .map(|r| r.rung)
                         .max_by_key(|r| r.level())
                         .unwrap_or(RecoveryRung::Primary);
+                    self.stats.models_trained += 1;
                     dynawave_obs::counter_add("serve.models.trained", 1);
                     Ok(CachedModel { model, rung })
                 }
                 Err(e) => {
+                    self.stats.models_failed += 1;
                     dynawave_obs::counter_add("serve.models.failed", 1);
                     Err(e.to_string())
                 }
@@ -1062,13 +1432,16 @@ impl ServeEngine {
     /// Encodes a [`ServeError`] as its response line. `overloaded` gets
     /// its own response kind (clients treat it as "try again", not
     /// "request was wrong"); everything else is kind `error`.
-    fn error_response(&self, id: &str, e: &ServeError) -> String {
+    fn error_response(&mut self, id: &str, e: &ServeError) -> String {
         let kind = match e {
             ServeError::Overloaded { .. } => "overloaded",
             _ => "error",
         };
         if kind == "error" {
+            self.stats.outcomes[OUT_ERROR] += 1;
             dynawave_obs::counter_add("serve.responses.error", 1);
+        } else {
+            self.stats.outcomes[OUT_OVERLOADED] += 1;
         }
         let mut out = self.response_head(id, kind);
         out.push_str(",\"error\":");
@@ -1119,6 +1492,7 @@ impl ServeJournal {
         if self.broken {
             return;
         }
+        let _span = dynawave_obs::span("serve.journal_append");
         if fault::inject(FaultSite::JournalAppend).is_some() {
             self.mark_broken("injected journal fault");
             return;
@@ -1213,6 +1587,9 @@ pub fn replay(
     }
 
     let mut engine = ServeEngine::new(config);
+    // Replay always runs against a journal, so `stats` snapshots report
+    // the same "active" journal state the live journaled session saw.
+    engine.note_journal_attached();
     let responses: Vec<String> = request_log
         .lines()
         .map(|line| engine.handle_line(line))
@@ -1694,6 +2071,136 @@ mod tests {
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), cases.len());
+    }
+
+    fn stats_request(id: &str) -> String {
+        format!(
+            "{{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"{id}\",\
+             \"kind\":\"stats\"}}"
+        )
+    }
+
+    #[test]
+    fn stats_probe_is_side_effect_free_and_counts_everything() {
+        let mut engine = ServeEngine::new(tiny_config());
+        engine.handle_line(&predict_request("a", 2));
+        engine.handle_line("garbage");
+        engine.handle_line(&predict_request("b", 3));
+        let tick_before = engine.tick();
+        let load_before = engine.load;
+        let resp = engine.handle_line(&stats_request("s1"));
+        assert_eq!(engine.tick(), tick_before, "stats must cost zero ticks");
+        let obj = parse_resp(&resp);
+        assert_eq!(obj["kind"].as_str(), Some("stats"));
+        assert_eq!(obj["id"].as_str(), Some("s1"));
+        assert_eq!(obj["seq"].as_u64(), Some(4));
+        assert!(!obj.contains_key("rung"), "stats is not model-backed");
+        assert!(!obj.contains_key("results"));
+        let stats = obj["stats"].as_object().unwrap();
+        assert_eq!(stats["v"].as_u64(), Some(1));
+        let requests = stats["requests"].as_object().unwrap();
+        assert_eq!(requests["predict"].as_u64(), Some(2));
+        assert_eq!(requests["stats"].as_u64(), Some(1), "probe counts itself");
+        assert_eq!(requests["invalid"].as_u64(), Some(1));
+        let outcomes = stats["outcomes"].as_object().unwrap();
+        assert_eq!(outcomes["ok"].as_u64(), Some(2));
+        assert_eq!(outcomes["error"].as_u64(), Some(1));
+        assert_eq!(
+            outcomes["stats"].as_u64(),
+            Some(1),
+            "includes this response"
+        );
+        // sum(requests)+invalid == sum(outcomes) == seq for every snapshot.
+        let req_total: u64 = requests.values().map(|v| v.as_u64().unwrap()).sum();
+        let out_total: u64 = outcomes
+            .iter()
+            .filter(|(k, _)| k.as_str() != "internal")
+            .map(|(_, v)| v.as_u64().unwrap())
+            .sum();
+        assert_eq!(req_total, 4);
+        assert_eq!(out_total, 4);
+        // Latency: both predict requests trained or predicted under the
+        // histogram's top bound, and errors tally as zero-tick.
+        let latency = stats["latency"].as_object().unwrap();
+        let predict = latency["predict"].as_object().unwrap();
+        let counts: u64 = predict["counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .sum();
+        assert_eq!(counts, 2);
+        assert!(!latency.contains_key("stats"), "stats has no histogram");
+        // Model traffic: one miss (train), one hit on the second predict.
+        let models = stats["models"].as_object().unwrap();
+        assert_eq!(models["misses"].as_u64(), Some(1));
+        assert_eq!(models["hits"].as_u64(), Some(1));
+        assert_eq!(models["trained"].as_u64(), Some(1));
+        // Deadline ledger: both predicts granted the default budget.
+        let deadline = stats["deadline"].as_object().unwrap();
+        assert_eq!(deadline["granted"].as_u64(), Some(2 * 4096));
+        assert_eq!(deadline["used"].as_u64(), Some(engine.tick()));
+        // Load/journal echo engine state. The probe itself drained the
+        // bucket on entry, like every request.
+        let load = stats["load"].as_object().unwrap();
+        assert_eq!(load["level"].as_u64(), Some(load_before.saturating_sub(32)));
+        assert_eq!(load["capacity"].as_u64(), Some(1 << 14));
+        assert_eq!(stats["journal"].as_str(), Some("none"));
+        // The line passes the shared stream validator.
+        let summary = dynawave_obs::validate_stream(&resp);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.kinds.get("serve:stats"), Some(&1));
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_journal_state_and_rungs() {
+        use dynawave_numeric::fault::{FaultKind, FaultPlan};
+        let mut engine = ServeEngine::new(tiny_config());
+        engine.note_journal_attached();
+        let obj = parse_resp(&engine.handle_line(&stats_request("j1")));
+        assert_eq!(
+            obj["stats"].as_object().unwrap()["journal"].as_str(),
+            Some("active")
+        );
+        engine.note_journal_broken();
+        let obj = parse_resp(&engine.handle_line(&stats_request("j2")));
+        assert_eq!(
+            obj["stats"].as_object().unwrap()["journal"].as_str(),
+            Some("broken")
+        );
+        // Solver chaos shows up in the rung counters.
+        let plan = FaultPlan::new(0x5E12)
+            .rate(0.6)
+            .targeting(&FaultSite::SOLVER_SITES)
+            .kinds(&[FaultKind::Singular, FaultKind::NonFinite]);
+        let (line, report) = fault::with_plan(plan, || {
+            let mut engine = ServeEngine::new(tiny_config());
+            engine.handle_line(&predict_request("c", 2));
+            engine.handle_line(&stats_request("s"))
+        });
+        assert!(report.fired > 0);
+        let obj = parse_resp(&line);
+        let rungs = obj["stats"].as_object().unwrap()["rungs"]
+            .as_object()
+            .unwrap();
+        let total: u64 = rungs.values().map(|v| v.as_u64().unwrap()).sum();
+        assert_eq!(total, 1, "one model-backed response");
+        assert_eq!(
+            rungs["primary"].as_u64(),
+            Some(0),
+            "60% fault rate must degrade the one response: {rungs:?}"
+        );
+    }
+
+    #[test]
+    fn stats_snapshots_are_deterministic_across_identical_sessions() {
+        let run = || {
+            let mut engine = ServeEngine::new(tiny_config());
+            engine.handle_line(&predict_request("a", 2));
+            engine.handle_line("junk");
+            engine.handle_line(&stats_request("s"))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1089,6 +1089,21 @@ fn d013_schema_drift(sf: &SourceFile, findings: &mut Vec<Finding>) {
                                  prefix (see `dynawave_obs::schema::STAGES`)"
                             ),
                         );
+                    } else if instr.starts_with("serve.")
+                        && !dynawave_obs::schema::is_serve_metric(instr)
+                    {
+                        // The serve stage's instruments are a closed
+                        // vocabulary: the stats snapshot, the validator
+                        // and the SLO analyzer all key off these exact
+                        // names, so an uncatalogued one is drift.
+                        push(
+                            span.line,
+                            span.col,
+                            format!(
+                                "serve instrument {instr:?} is not in \
+                                 `dynawave_obs::schema::SERVE_METRICS`"
+                            ),
+                        );
                     }
                 }
             };

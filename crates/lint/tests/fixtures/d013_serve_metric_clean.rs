@@ -1,0 +1,18 @@
+//! D013 negative fixture, serve instruments: catalogued serve metric
+//! names, the `stats` request/response kind in a serve template, and a
+//! non-emitter call whose serve-shaped literal D013 does not police.
+
+pub fn record_catalogued_instruments(ticks: u64) {
+    dynawave_obs::counter_add("serve.responses.ok", 1);
+    dynawave_obs::gauge_set("serve.load", 0.5);
+    dynawave_obs::marker_with_detail("serve.flight_recorder", "reason=shutdown");
+    dynawave_obs::histogram_observe("serve.latency.predict", &[1.0, 4.0], ticks as f64);
+}
+
+pub fn stats_request_template(seq: u64) -> String {
+    format!("{{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":{seq},\"kind\":\"stats\"}}")
+}
+
+pub fn not_an_emitter(lookup: &dyn Fn(&str) -> u64) -> u64 {
+    lookup("serve.responses.renamed_elsewhere")
+}

@@ -1,0 +1,8 @@
+//! D013 positive fixture, serve instruments: a `serve.`-prefixed
+//! instrument name passed to an obs emitter that is not in the closed
+//! `SERVE_METRICS` vocabulary (stage prefix alone is not enough for the
+//! serve stage).
+
+pub fn record_renamed_counter() {
+    dynawave_obs::counter_add("serve.responses.okay", 1);
+}

@@ -247,6 +247,28 @@ fn d013_serve_kind_fires_and_clean() {
 }
 
 #[test]
+fn d013_serve_metric_fires_and_clean() {
+    let fired = rust_rules("d013_serve_metric_fire.rs");
+    assert_fires(&fired, RuleId::D013, "d013_serve_metric_fire.rs");
+    assert_eq!(
+        fired.len(),
+        1,
+        "only the uncatalogued serve instrument fires"
+    );
+    let findings = lint_rust_source(LIB_PATH, &fixture("d013_serve_metric_fire.rs"));
+    assert!(
+        findings[0].message.contains("SERVE_METRICS"),
+        "{}",
+        findings[0].message
+    );
+    assert_eq!(
+        rust_rules("d013_serve_metric_clean.rs"),
+        [],
+        "d013_serve_metric_clean.rs"
+    );
+}
+
+#[test]
 fn findings_carry_clickable_spans() {
     let findings = lint_rust_source(LIB_PATH, &fixture("d001_fire.rs"));
     let first = &findings[0];

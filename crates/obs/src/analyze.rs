@@ -565,10 +565,107 @@ pub struct StreamAnalysis {
     /// Span exits whose name did not match the innermost open span;
     /// their self time falls back to their inclusive time.
     pub unmatched_exits: u64,
+    /// Serve degradation timeline: `(tick, detail)` per
+    /// [`SERVE_DEGRADED_MARKER`], in stream order.
+    pub serve_degraded: Vec<(u64, String)>,
+    /// Serve backpressure timeline: `(tick, detail)` per
+    /// [`SERVE_OVERLOADED_MARKER`], in stream order.
+    pub serve_overloaded: Vec<(u64, String)>,
 }
 
 /// Marker name campaign executors emit once per completed work unit.
 pub const HEARTBEAT_MARKER: &str = "campaign.heartbeat";
+
+/// Marker the serve engine emits when a model trained degraded (any
+/// recovery rung above primary).
+pub const SERVE_DEGRADED_MARKER: &str = "serve.degraded";
+
+/// Marker the serve engine emits when admission sheds a request.
+pub const SERVE_OVERLOADED_MARKER: &str = "serve.overloaded";
+
+// ---------------------------------------------------------------------
+// Serve SLOs
+// ---------------------------------------------------------------------
+
+/// One parsed `--slo` assertion: "this request kind's latency
+/// percentile must not exceed this many ticks".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Serve request kind the assertion targets (`predict`, `pareto`,
+    /// `topk` or `sweep`).
+    pub kind: String,
+    /// Percentile in `1..=99` (50 = median, 99 = tail).
+    pub percentile: u8,
+    /// Maximum acceptable latency, in ticks.
+    pub limit: u64,
+}
+
+impl SloSpec {
+    /// Parses `kind:pNN<=LIMIT`, e.g. `predict:p99<=64`.
+    ///
+    /// The kind must be a serve request kind with a latency histogram
+    /// (`stats` has none — it is always zero-tick by contract).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed component.
+    pub fn parse(spec: &str) -> Result<SloSpec, String> {
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("slo '{spec}': expected kind:pNN<=LIMIT"))?;
+        if crate::schema::serve_latency_histogram(kind).is_none() {
+            return Err(format!(
+                "slo '{spec}': '{kind}' is not a serve request kind with a latency histogram"
+            ));
+        }
+        let (pct_raw, limit_raw) = rest
+            .split_once("<=")
+            .ok_or_else(|| format!("slo '{spec}': expected pNN<=LIMIT after ':'"))?;
+        let pct = pct_raw
+            .strip_prefix('p')
+            .and_then(|d| d.parse::<u8>().ok())
+            .filter(|p| (1..=99).contains(p))
+            .ok_or_else(|| format!("slo '{spec}': percentile must be p1..p99"))?;
+        let limit = limit_raw
+            .trim_end_matches(" ticks")
+            .parse::<u64>()
+            .map_err(|_| format!("slo '{spec}': limit must be an integer tick count"))?;
+        Ok(SloSpec {
+            kind: kind.to_string(),
+            percentile: pct,
+            limit,
+        })
+    }
+
+    /// The histogram name this spec reads (`serve.latency.<kind>`).
+    pub fn histogram(&self) -> &'static str {
+        // Parse guaranteed the kind has a histogram.
+        crate::schema::serve_latency_histogram(&self.kind).unwrap_or("serve.latency.predict")
+    }
+}
+
+/// The verdict of one [`SloSpec`] against one stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloOutcome {
+    /// Percentile landed in a bucket whose upper bound meets the limit.
+    Pass(f64),
+    /// Percentile bucket's upper bound exceeds the limit.
+    Fail(f64),
+    /// Percentile landed in the overflow bucket — beyond every bound,
+    /// so beyond any finite limit.
+    Overflow,
+    /// The stream carries no samples (or no histogram) for the kind;
+    /// asserting an SLO on absent traffic is reported as a failure, not
+    /// silently ignored.
+    NoData,
+}
+
+impl SloOutcome {
+    /// True only for [`SloOutcome::Pass`].
+    pub fn passed(self) -> bool {
+        matches!(self, SloOutcome::Pass(_))
+    }
+}
 
 impl StreamAnalysis {
     /// Analyzes a recorded event stream.
@@ -625,6 +722,14 @@ impl StreamAnalysis {
                             ticks: event.tick.saturating_sub(last_heartbeat),
                         });
                         last_heartbeat = event.tick;
+                    } else if event.name == SERVE_DEGRADED_MARKER {
+                        analysis
+                            .serve_degraded
+                            .push((event.tick, event.detail.clone().unwrap_or_default()));
+                    } else if event.name == SERVE_OVERLOADED_MARKER {
+                        analysis
+                            .serve_overloaded
+                            .push((event.tick, event.detail.clone().unwrap_or_default()));
                     }
                 }
                 EventKind::Counter => {
@@ -668,6 +773,80 @@ impl StreamAnalysis {
         let mut ticks: Vec<u64> = self.unit_latencies.iter().map(|u| u.ticks).collect();
         ticks.sort_unstable();
         Some((ticks[0], ticks[ticks.len() / 2], ticks[ticks.len() - 1]))
+    }
+
+    /// The `pct`-th percentile of histogram `name` as the upper bound
+    /// of the bucket the percentile rank lands in (histograms are
+    /// pre-bucketed, so bucket resolution is all the stream retains).
+    ///
+    /// Returns `None` when the histogram is absent or empty and
+    /// `Some(None)` when the rank lands in the overflow bucket.
+    pub fn histogram_percentile(&self, name: &str, pct: u8) -> Option<Option<f64>> {
+        let (bounds, counts) = self.histograms.get(name)?;
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Upper-rounded rank: p50 of 3 samples is the 2nd, p99 of
+        // anything under 100 samples is the last.
+        let rank = (total * u64::from(pct)).div_ceil(100).max(1);
+        let mut cumulative = 0;
+        for (i, count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(bounds.get(i).copied());
+            }
+        }
+        Some(None)
+    }
+
+    /// Evaluates one SLO assertion against this stream.
+    pub fn check_slo(&self, spec: &SloSpec) -> SloOutcome {
+        match self.histogram_percentile(spec.histogram(), spec.percentile) {
+            None => SloOutcome::NoData,
+            Some(None) => SloOutcome::Overflow,
+            Some(Some(bound)) => {
+                if bound <= spec.limit as f64 {
+                    SloOutcome::Pass(bound)
+                } else {
+                    SloOutcome::Fail(bound)
+                }
+            }
+        }
+    }
+
+    /// Renders one SLO verdict as a deterministic single line, plus
+    /// whether it passed — the `obs_report --slo` output format.
+    pub fn render_slo(&self, spec: &SloSpec) -> (String, bool) {
+        let label = format!("slo {}:p{}<={}", spec.kind, spec.percentile, spec.limit);
+        let pct = spec.percentile;
+        match self.check_slo(spec) {
+            SloOutcome::Pass(bound) => (
+                format!("{label}: PASS (p{pct} <= {} ticks)", fmt_num(bound)),
+                true,
+            ),
+            SloOutcome::Fail(bound) => (
+                format!("{label}: FAIL (p{pct} <= {} ticks)", fmt_num(bound)),
+                false,
+            ),
+            SloOutcome::Overflow => (format!("{label}: FAIL (p{pct} in overflow bucket)"), false),
+            SloOutcome::NoData => (
+                format!("{label}: FAIL (no '{}' samples in stream)", spec.kind),
+                false,
+            ),
+        }
+    }
+
+    /// True when the stream carries any serve-layer telemetry (spans,
+    /// latency histograms or degradation/backpressure markers).
+    pub fn has_serve_data(&self) -> bool {
+        !self.serve_degraded.is_empty()
+            || !self.serve_overloaded.is_empty()
+            || self.spans.keys().any(|n| n.starts_with("serve."))
+            || self
+                .histograms
+                .keys()
+                .any(|n| n.starts_with("serve.latency."))
     }
 
     /// Renders the analysis as deterministic markdown. `top_k` bounds
@@ -748,6 +927,9 @@ impl StreamAnalysis {
                 out.push('\n');
             }
         }
+        if self.has_serve_data() {
+            self.render_serve_section(&mut out);
+        }
         if !self.histograms.is_empty() {
             let _ = writeln!(out, "## Histograms\n");
             for (name, (bounds, counts)) in &self.histograms {
@@ -780,6 +962,79 @@ impl StreamAnalysis {
             out.push('\n');
         }
         out
+    }
+
+    /// The "Serve SLO attribution" report section: per-kind latency
+    /// quantiles, per-stage self time inside the request pipeline, and
+    /// the degradation / backpressure timelines.
+    fn render_serve_section(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "## Serve SLO attribution\n\n\
+             Latency quantiles are bucket upper bounds from the \
+             `serve.latency.*` tick histograms (ticks, not wall time).\n"
+        );
+        let _ = writeln!(out, "| kind | requests | p50 | p99 |\n|---|---|---|---|");
+        for kind in ["predict", "pareto", "topk", "sweep"] {
+            let name = match crate::schema::serve_latency_histogram(kind) {
+                Some(n) => n,
+                None => continue,
+            };
+            let requests: u64 = self
+                .histograms
+                .get(name)
+                .map(|(_, counts)| counts.iter().sum())
+                .unwrap_or(0);
+            let quantile = |pct: u8| match self.histogram_percentile(name, pct) {
+                None => "n/a".to_string(),
+                Some(None) => "overflow".to_string(),
+                Some(Some(bound)) => format!("<= {}", fmt_num(bound)),
+            };
+            let _ = writeln!(
+                out,
+                "| {kind} | {requests} | {} | {} |",
+                quantile(50),
+                quantile(99)
+            );
+        }
+        let pipeline: Vec<(&String, &SpanStats)> = self
+            .spans
+            .iter()
+            .filter(|(name, _)| name.starts_with("serve."))
+            .collect();
+        if !pipeline.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nPer-stage pipeline self time:\n\n\
+                 | span | count | inclusive ticks | self ticks |\n|---|---|---|---|"
+            );
+            for (name, s) in pipeline {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    name, s.count, s.inclusive_ticks, s.self_ticks
+                );
+            }
+        }
+        let _ = writeln!(out, "\nDegradation timeline:\n");
+        if self.serve_degraded.is_empty() {
+            let _ = writeln!(out, "No degraded model trainings.");
+        } else {
+            let _ = writeln!(out, "| tick | detail |\n|---|---|");
+            for (tick, detail) in &self.serve_degraded {
+                let _ = writeln!(out, "| {tick} | {detail} |");
+            }
+        }
+        let _ = writeln!(out, "\nBackpressure events:\n");
+        if self.serve_overloaded.is_empty() {
+            let _ = writeln!(out, "No requests shed by admission.");
+        } else {
+            let _ = writeln!(out, "| tick | detail |\n|---|---|");
+            for (tick, detail) in &self.serve_overloaded {
+                let _ = writeln!(out, "| {tick} | {detail} |");
+            }
+        }
+        out.push('\n');
     }
 }
 
@@ -1061,5 +1316,100 @@ mod tests {
         let analysis = StreamAnalysis::from_events(&[]);
         let text = analysis.render_markdown(5);
         assert!(text.contains("No events in stream."));
+        assert!(
+            !text.contains("Serve SLO"),
+            "no serve section without serve data"
+        );
+    }
+
+    #[test]
+    fn slo_spec_parses_and_rejects() {
+        let spec = SloSpec::parse("predict:p99<=64").unwrap();
+        assert_eq!(spec.kind, "predict");
+        assert_eq!(spec.percentile, 99);
+        assert_eq!(spec.limit, 64);
+        assert_eq!(spec.histogram(), "serve.latency.predict");
+        assert_eq!(SloSpec::parse("sweep:p50<=16 ticks").unwrap().limit, 16);
+        assert!(
+            SloSpec::parse("stats:p99<=1").is_err(),
+            "stats has no histogram"
+        );
+        assert!(SloSpec::parse("predict:p0<=1").is_err());
+        assert!(SloSpec::parse("predict:p100<=1").is_err());
+        assert!(SloSpec::parse("predict p99<=1").is_err());
+        assert!(SloSpec::parse("predict:p99<=lots").is_err());
+    }
+
+    fn serve_latency_events() -> Vec<Event> {
+        // 10 predict samples: 9 land in the <=16 bucket, 1 in <=256.
+        let mut hist = Event::new(0, 1, EventKind::Histogram, "serve.latency.predict");
+        hist.bounds = Some(vec![1.0, 4.0, 16.0, 64.0, 256.0]);
+        hist.counts = Some(vec![0, 0, 9, 0, 1, 0]);
+        let mut degraded = Event::new(1, 2, EventKind::Marker, SERVE_DEGRADED_MARKER);
+        degraded.detail = Some("id=a rung=linear-fallback".to_string());
+        let mut shed = Event::new(2, 3, EventKind::Marker, SERVE_OVERLOADED_MARKER);
+        shed.detail = Some("id=b load=900".to_string());
+        vec![hist, degraded, shed]
+    }
+
+    #[test]
+    fn slo_percentiles_use_bucket_upper_bounds() {
+        let analysis = StreamAnalysis::from_events(&serve_latency_events());
+        assert_eq!(
+            analysis.histogram_percentile("serve.latency.predict", 50),
+            Some(Some(16.0))
+        );
+        assert_eq!(
+            analysis.histogram_percentile("serve.latency.predict", 99),
+            Some(Some(256.0)),
+            "p99 of 10 samples is the last sample"
+        );
+        assert_eq!(
+            analysis.histogram_percentile("serve.latency.topk", 50),
+            None
+        );
+        let pass = SloSpec::parse("predict:p50<=16").unwrap();
+        assert_eq!(analysis.check_slo(&pass), SloOutcome::Pass(16.0));
+        assert!(analysis.check_slo(&pass).passed());
+        let fail = SloSpec::parse("predict:p99<=64").unwrap();
+        assert_eq!(analysis.check_slo(&fail), SloOutcome::Fail(256.0));
+        let nodata = SloSpec::parse("topk:p50<=16").unwrap();
+        assert_eq!(analysis.check_slo(&nodata), SloOutcome::NoData);
+        let (line, ok) = analysis.render_slo(&pass);
+        assert_eq!(line, "slo predict:p50<=16: PASS (p50 <= 16 ticks)");
+        assert!(ok);
+        let (line, ok) = analysis.render_slo(&nodata);
+        assert_eq!(line, "slo topk:p50<=16: FAIL (no 'topk' samples in stream)");
+        assert!(!ok);
+    }
+
+    #[test]
+    fn slo_overflow_bucket_always_fails() {
+        let mut hist = Event::new(0, 1, EventKind::Histogram, "serve.latency.sweep");
+        hist.bounds = Some(vec![1.0, 4.0]);
+        hist.counts = Some(vec![0, 0, 3]);
+        let analysis = StreamAnalysis::from_events(&[hist]);
+        assert_eq!(
+            analysis.histogram_percentile("serve.latency.sweep", 50),
+            Some(None)
+        );
+        let spec = SloSpec::parse("sweep:p50<=1000000").unwrap();
+        assert_eq!(analysis.check_slo(&spec), SloOutcome::Overflow);
+        let (line, ok) = analysis.render_slo(&spec);
+        assert!(line.ends_with("FAIL (p50 in overflow bucket)"), "{line}");
+        assert!(!ok);
+    }
+
+    #[test]
+    fn serve_section_renders_quantiles_and_timelines() {
+        let analysis = StreamAnalysis::from_events(&serve_latency_events());
+        assert!(analysis.has_serve_data());
+        let text = analysis.render_markdown(5);
+        assert!(text.contains("## Serve SLO attribution"), "{text}");
+        assert!(text.contains("| predict | 10 | <= 16 | <= 256 |"), "{text}");
+        assert!(text.contains("| pareto | 0 | n/a | n/a |"), "{text}");
+        assert!(text.contains("| 2 | id=a rung=linear-fallback |"), "{text}");
+        assert!(text.contains("| 3 | id=b load=900 |"), "{text}");
+        assert_eq!(text, analysis.render_markdown(5), "byte-stable");
     }
 }

@@ -13,14 +13,20 @@
 //!   | cargo run -p dynawave-obs --bin obs_report
 //! ```
 //!
-//! Exit status: `0` on success, `2` on usage, read, or parse errors.
+//! `--slo kind:pNN<=TICKS` (repeatable) switches to SLO check mode: one
+//! deterministic verdict line per spec instead of the report, exit `1`
+//! when any assertion fails — a soft CI gate over serve latency.
+//!
+//! Exit status: `0` on success, `1` on SLO violation, `2` on usage,
+//! read, or parse errors.
 
-use dynawave_obs::{parse_events, StreamAnalysis};
+use dynawave_obs::{parse_events, SloSpec, StreamAnalysis};
 use std::io::Read as _;
 
 fn main() {
     let mut top_k = 5usize;
     let mut path: Option<String> = None;
+    let mut slos: Vec<SloSpec> = Vec::new();
     // dynalint:allow(D004) -- CLI arguments are the tool's intended input
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -38,11 +44,26 @@ fn main() {
                     }
                 }
             }
+            "--slo" => {
+                let Some(value) = argv.next() else {
+                    eprintln!("obs_report: --slo needs a spec (kind:pNN<=TICKS)");
+                    std::process::exit(2);
+                };
+                match SloSpec::parse(&value) {
+                    Ok(spec) => slos.push(spec),
+                    Err(reason) => {
+                        eprintln!("obs_report: {reason}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: obs_report [--top K] [events.jsonl]\n\
+                    "usage: obs_report [--top K] [--slo kind:pNN<=TICKS]... [events.jsonl]\n\
                      Renders a dynawave-obs event stream (stdin by default) \
-                     as a deterministic markdown report."
+                     as a deterministic markdown report.\n\
+                     With --slo, prints one verdict line per assertion \
+                     instead and exits 1 on any violation."
                 );
                 return;
             }
@@ -84,8 +105,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print!(
-        "{}",
-        StreamAnalysis::from_events(&events).render_markdown(top_k)
-    );
+    let analysis = StreamAnalysis::from_events(&events);
+    if slos.is_empty() {
+        print!("{}", analysis.render_markdown(top_k));
+        return;
+    }
+    let mut failed = false;
+    for spec in &slos {
+        let (line, passed) = analysis.render_slo(spec);
+        println!("{line}");
+        failed |= !passed;
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -40,7 +40,8 @@ pub mod validate;
 
 pub use analyze::{
     parse_events, BenchComparison, BenchDelta, BenchRecord, BenchSnapshot, CompareOptions,
-    DeltaFlag, SpanStats, StreamAnalysis, UnitLatency, HEARTBEAT_MARKER,
+    DeltaFlag, SloOutcome, SloSpec, SpanStats, StreamAnalysis, UnitLatency, HEARTBEAT_MARKER,
+    SERVE_DEGRADED_MARKER, SERVE_OVERLOADED_MARKER,
 };
 pub use clock::{Clock, TickClock};
 pub use event::{
@@ -75,6 +76,15 @@ pub struct Recorder {
     /// deltas. Deliberately *not* carried through [`Recorder::absorb_workers`]:
     /// latencies are a per-worker-stream notion.
     marker_ticks: BTreeMap<String, u64>,
+    /// Flight-recorder capacity: when set, only the last `n` events are
+    /// retained (oldest overwritten in place). Metrics still accumulate
+    /// normally — their memory is bounded by instrument-name count, not
+    /// event count.
+    ring: Option<usize>,
+    /// Index of the chronologically oldest event while the ring is full.
+    ring_start: usize,
+    /// Events overwritten by ring wrap-around since installation.
+    dropped: u64,
 }
 
 impl Recorder {
@@ -94,6 +104,38 @@ impl Recorder {
             seq: 0,
             depth: 0,
             marker_ticks: BTreeMap::new(),
+            ring: None,
+            ring_start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A flight recorder: a tick-clock recorder that retains only the
+    /// last `capacity` events, overwriting the oldest in place. Dumping
+    /// it ([`Recorder::finish`] / [`drain`]) yields the surviving window
+    /// in chronological order with its *original* `seq`/`tick` numbers —
+    /// still a valid obs stream (`seq` strictly increasing, `tick`
+    /// non-decreasing), just one that starts mid-flight. Metric
+    /// snapshots are appended as usual and are never evicted.
+    pub fn flight_recorder(capacity: usize) -> Self {
+        let mut rec = Recorder::with_tick_clock();
+        rec.ring = Some(capacity.max(1));
+        rec
+    }
+
+    /// Events lost to ring wrap-around so far (always 0 outside
+    /// flight-recorder mode).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Restores chronological event order after ring wrap-around and
+    /// leaves ring mode, so subsequent pushes (metric snapshots, a final
+    /// dump marker) append normally.
+    fn unwrap_ring(&mut self) {
+        if self.ring.take().is_some() {
+            self.events.rotate_left(self.ring_start);
+            self.ring_start = 0;
         }
     }
 
@@ -121,10 +163,23 @@ impl Recorder {
         let tick = self.clock.now();
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Event::new(seq, tick, kind, name));
-        // Just pushed, so the vector is non-empty.
-        let idx = self.events.len() - 1;
-        &mut self.events[idx]
+        let event = Event::new(seq, tick, kind, name);
+        match self.ring {
+            Some(capacity) if self.events.len() >= capacity => {
+                // Ring full: overwrite the oldest slot in place.
+                let idx = self.ring_start;
+                self.ring_start = (self.ring_start + 1) % capacity;
+                self.dropped += 1;
+                self.events[idx] = event;
+                &mut self.events[idx]
+            }
+            _ => {
+                self.events.push(event);
+                // Just pushed, so the vector is non-empty.
+                let idx = self.events.len() - 1;
+                &mut self.events[idx]
+            }
+        }
     }
 
     fn span_enter(&mut self, name: &str) -> (u64, u64) {
@@ -229,6 +284,7 @@ impl Recorder {
     /// (counters, then gauges, then histograms, each in sorted name
     /// order) and returning the full ordered stream.
     pub fn finish(mut self) -> Vec<Event> {
+        self.unwrap_ring();
         let metrics = std::mem::take(&mut self.metrics);
         for (name, count) in metrics.counters() {
             let name = name.to_string();
@@ -598,6 +654,50 @@ mod tests {
                 .unwrap();
             assert_eq!(hist.bounds, Some(vec![2.0, 4.0]));
             assert_eq!(hist.counts, Some(vec![2, 0, 0]), "deltas 1 and 2");
+        });
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n_events_in_order() {
+        with_clean_slot(|| {
+            install(Recorder::flight_recorder(3));
+            for i in 0..7 {
+                marker_with_detail("serve.request", &format!("r{i}"));
+                counter_add("serve.responses.ok", 1);
+            }
+            let rec = take().unwrap();
+            assert_eq!(rec.dropped(), 4);
+            let events = rec.finish();
+            // Last 3 markers survive, chronological, original seq/tick,
+            // then the (never-evicted) counter snapshot.
+            let details: Vec<&str> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Marker)
+                .filter_map(|e| e.detail.as_deref())
+                .collect();
+            assert_eq!(details, vec!["r4", "r5", "r6"]);
+            assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+            assert!(events.windows(2).all(|w| w[0].tick <= w[1].tick));
+            let counter = events.iter().find(|e| e.kind == EventKind::Counter);
+            assert_eq!(counter.unwrap().count, Some(7), "metrics never evicted");
+            let stream = encode_lines(&events);
+            assert!(validate_stream(&stream).is_clean());
+        });
+    }
+
+    #[test]
+    fn flight_recorder_under_capacity_behaves_like_plain_recorder() {
+        with_clean_slot(|| {
+            install(Recorder::flight_recorder(64));
+            {
+                let _g = span("serve.request");
+                marker("serve.parse");
+            }
+            let rec = take().unwrap();
+            assert_eq!(rec.dropped(), 0);
+            let events = rec.finish();
+            assert_eq!(events.len(), 3);
+            assert_eq!(events[0].seq, 0);
         });
     }
 

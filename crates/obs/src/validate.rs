@@ -9,6 +9,9 @@
 
 use crate::event::{EventKind, BENCH_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION};
 use crate::json::{self, Value};
+use crate::schema::{
+    SERVE_RESPONSE_KINDS, SERVE_SCHEMA, SERVE_SCHEMA_VERSION, SERVE_STATS_VERSION,
+};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -45,11 +48,18 @@ impl ValidationSummary {
 }
 
 /// Line-by-line validator with cross-line state.
+///
+/// Two schemas are understood: `dynawave-obs` event/bench lines and
+/// `dynawave-serve` response lines (a traced serve session interleaves
+/// both on one stream). Each schema keeps its *own* `seq`/`tick` track —
+/// the serve engine and the obs recorder number independently.
 #[derive(Debug, Default)]
 pub struct SchemaValidator {
     line_no: u64,
     last_seq: Option<u64>,
     last_tick: Option<u64>,
+    serve_last_seq: Option<u64>,
+    serve_last_tick: Option<u64>,
     summary: ValidationSummary,
 }
 
@@ -111,6 +121,7 @@ impl SchemaValidator {
 
         match obj.get("schema").and_then(Value::as_str) {
             Some(SCHEMA_NAME) => {}
+            Some(SERVE_SCHEMA) => return self.check_serve(obj),
             Some(other) => return Err(format!("unknown schema '{other}'")),
             None => return Err("missing 'schema' field".to_string()),
         }
@@ -170,6 +181,64 @@ impl SchemaValidator {
             .summary
             .stage_counts
             .entry(stage.to_string())
+            .or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Validates a `dynawave-serve` response line: the fixed head
+    /// (`v`/`seq`/`tick`/`id`/`kind`), the canonical response-kind
+    /// vocabulary, and — for `kind:"stats"` — the versioned snapshot
+    /// payload. Serve lines tally under the `serve` stage and a
+    /// `serve:<kind>` key in the kind counts.
+    fn check_serve(&mut self, obj: &BTreeMap<String, Value>) -> Result<(), String> {
+        match obj.get("v").and_then(Value::as_u64) {
+            Some(SERVE_SCHEMA_VERSION) => {}
+            Some(other) => return Err(format!("unsupported serve schema version {other}")),
+            None => return Err("missing or non-integer 'v' field".to_string()),
+        }
+        let kind = obj
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing 'kind' field")?
+            .to_string();
+        if !SERVE_RESPONSE_KINDS.contains(&kind.as_str()) {
+            return Err(format!("unknown serve response kind '{kind}'"));
+        }
+        *self
+            .summary
+            .kinds
+            .entry(format!("serve:{kind}"))
+            .or_insert(0) += 1;
+
+        let seq = require_u64(obj, "seq")?;
+        if let Some(last) = self.serve_last_seq {
+            if seq <= last {
+                return Err(format!("serve seq {seq} not greater than previous {last}"));
+            }
+        }
+        self.serve_last_seq = Some(seq);
+        let tick = require_u64(obj, "tick")?;
+        if let Some(last) = self.serve_last_tick {
+            if tick < last {
+                return Err(format!(
+                    "serve tick {tick} went backwards (previous {last})"
+                ));
+            }
+        }
+        self.serve_last_tick = Some(tick);
+        match obj.get("id") {
+            Some(Value::String(_)) | Some(Value::Null) => {}
+            Some(_) => return Err("serve 'id' must be a string or null".to_string()),
+            None => return Err("missing serve 'id' field".to_string()),
+        }
+        if kind == "stats" {
+            check_serve_stats(obj)?;
+        }
+        self.summary.stages.insert("serve".to_string());
+        *self
+            .summary
+            .stage_counts
+            .entry("serve".to_string())
             .or_insert(0) += 1;
         Ok(())
     }
@@ -278,6 +347,73 @@ fn check_bench(obj: &BTreeMap<String, Value>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Validates the `stats` snapshot payload of a serve `stats` response:
+/// version, the fixed set of counter sections, per-kind latency
+/// histograms (counts one longer than bounds), and the journal status
+/// enum. Section *presence and shape* is the contract; individual
+/// counter names inside each section may grow without a version bump.
+fn check_serve_stats(obj: &BTreeMap<String, Value>) -> Result<(), String> {
+    let stats = obj
+        .get("stats")
+        .and_then(Value::as_object)
+        .ok_or("stats response missing 'stats' object")?;
+    match stats.get("v").and_then(Value::as_u64) {
+        Some(SERVE_STATS_VERSION) => {}
+        Some(other) => return Err(format!("unsupported stats snapshot version {other}")),
+        None => return Err("stats snapshot missing integer 'v'".to_string()),
+    }
+    for section in [
+        "requests", "outcomes", "deadline", "rungs", "models", "load",
+    ] {
+        let sec = stats
+            .get(section)
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("stats snapshot missing '{section}' object"))?;
+        for (name, value) in sec {
+            value
+                .as_u64()
+                .ok_or_else(|| format!("non-integer stats field '{section}.{name}'"))?;
+        }
+    }
+    let latency = stats
+        .get("latency")
+        .and_then(Value::as_object)
+        .ok_or("stats snapshot missing 'latency' object")?;
+    for (kind, hist) in latency {
+        let hist = hist
+            .as_object()
+            .ok_or_else(|| format!("stats latency '{kind}' is not an object"))?;
+        let bounds = hist
+            .get("bounds")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("stats latency '{kind}' missing 'bounds'"))?;
+        for b in bounds {
+            b.as_u64()
+                .ok_or_else(|| format!("non-integer bound in stats latency '{kind}'"))?;
+        }
+        let counts = hist
+            .get("counts")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("stats latency '{kind}' missing 'counts'"))?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "stats latency '{kind}' counts length {} != bounds length {} + 1",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        for c in counts {
+            c.as_u64()
+                .ok_or_else(|| format!("non-integer count in stats latency '{kind}'"))?;
+        }
+    }
+    match stats.get("journal").and_then(Value::as_str) {
+        Some("none") | Some("active") | Some("broken") => Ok(()),
+        Some(other) => Err(format!("unknown stats journal status '{other}'")),
+        None => Err("stats snapshot missing 'journal' status".to_string()),
+    }
 }
 
 /// Validates a whole multi-line stream in one call.
@@ -436,6 +572,105 @@ mod tests {
                        \"kind\":\"marker\",\"name\":\"a.b\"}";
         let summary = validate_stream(regress);
         assert!(summary.errors[0].1.contains("tick"));
+    }
+
+    #[test]
+    fn serve_response_lines_validate_on_their_own_track() {
+        // Obs seq restarts below serve seq: the two tracks are
+        // independent, so this stream is clean.
+        let text = "{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":5,\"tick\":9,\
+                    \"id\":\"a\",\"kind\":\"ok\",\"rung\":\"primary\",\"results\":[]}\n\
+                    {\"schema\":\"dynawave-obs\",\"v\":1,\"seq\":0,\"tick\":1,\
+                    \"kind\":\"marker\",\"name\":\"serve.parse\"}\n\
+                    {\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":6,\"tick\":9,\
+                    \"id\":null,\"kind\":\"error\",\"code\":\"bad-request\"}";
+        let summary = validate_stream(text);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.kinds.get("serve:ok"), Some(&1));
+        assert_eq!(summary.kinds.get("serve:error"), Some(&1));
+        assert_eq!(summary.stage_counts.get("serve"), Some(&3));
+        assert!(summary.stages.contains("serve"));
+    }
+
+    #[test]
+    fn serve_lines_reject_bad_head_and_kinds() {
+        for (line, why) in [
+            (
+                "{\"schema\":\"dynawave-serve\",\"v\":2,\"seq\":0,\"tick\":0,\
+                 \"id\":\"a\",\"kind\":\"ok\"}",
+                "wrong serve version",
+            ),
+            (
+                "{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":0,\"tick\":0,\
+                 \"id\":\"a\",\"kind\":\"predict\"}",
+                "request kind on a response stream",
+            ),
+            (
+                "{\"schema\":\"dynawave-serve\",\"v\":1,\"tick\":0,\
+                 \"id\":\"a\",\"kind\":\"ok\"}",
+                "missing seq",
+            ),
+            (
+                "{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":0,\"tick\":0,\
+                 \"id\":7,\"kind\":\"ok\"}",
+                "non-string id",
+            ),
+        ] {
+            assert!(!validate_stream(line).is_clean(), "should reject: {why}");
+        }
+        // Serve seq must strictly increase on the serve track.
+        let dup = "{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":1,\"tick\":0,\
+                   \"id\":\"a\",\"kind\":\"ok\"}\n\
+                   {\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":1,\"tick\":0,\
+                   \"id\":\"b\",\"kind\":\"ok\"}";
+        let summary = validate_stream(dup);
+        assert_eq!(summary.errors.len(), 1);
+        assert!(summary.errors[0].1.contains("serve seq"));
+    }
+
+    #[test]
+    fn stats_snapshot_lines_validate_payload_shape() {
+        let good = "{\"schema\":\"dynawave-serve\",\"v\":1,\"seq\":3,\"tick\":7,\
+            \"id\":\"s\",\"kind\":\"stats\",\"stats\":{\"v\":1,\
+            \"requests\":{\"predict\":2,\"stats\":1,\"invalid\":0},\
+            \"outcomes\":{\"ok\":2,\"stats\":1},\
+            \"latency\":{\"predict\":{\"bounds\":[1,4],\"counts\":[0,2,0]}},\
+            \"deadline\":{\"granted\":8192,\"used\":34,\"refused\":0},\
+            \"rungs\":{\"primary\":2},\
+            \"models\":{\"hits\":1,\"misses\":1},\
+            \"load\":{\"level\":0,\"capacity\":16384},\
+            \"journal\":\"none\"}}";
+        let summary = validate_stream(good);
+        assert!(summary.is_clean(), "{:?}", summary.errors);
+        assert_eq!(summary.kinds.get("serve:stats"), Some(&1));
+
+        for (mutation, why) in [
+            (
+                good.replace("\"v\":1,\"requests\"", "\"v\":9,\"requests\""),
+                "bad stats version",
+            ),
+            (
+                good.replace("\"journal\":\"none\"", "\"journal\":\"maybe\""),
+                "bad journal status",
+            ),
+            (
+                good.replace("\"counts\":[0,2,0]", "\"counts\":[0,2]"),
+                "short counts",
+            ),
+            (
+                good.replace(",\"rungs\":{\"primary\":2}", ""),
+                "missing section",
+            ),
+            (
+                good.replace("\"predict\":2", "\"predict\":2.5"),
+                "non-integer counter",
+            ),
+        ] {
+            assert!(
+                !validate_stream(&mutation).is_clean(),
+                "should reject: {why}"
+            );
+        }
     }
 
     #[test]

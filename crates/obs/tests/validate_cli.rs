@@ -1,16 +1,25 @@
-//! CLI tests for `obs_validate`: the torn-tail tolerance rule over the
-//! golden fixture, end-to-end through the real binary.
+//! CLI tests for `obs_validate`: the torn-tail tolerance rule and the
+//! serve dual-schema path over golden fixtures, end-to-end through the
+//! real binary.
 //!
 //! The fixture `tests/fixtures/torn_tail.jsonl` holds two valid event
 //! lines followed by a partial third line with no trailing newline —
 //! the byte signature of a daemon killed mid-write. The validator must
 //! accept the stream (exit 0), count only the complete lines, and warn
 //! about the ignored tail on stderr.
+//!
+//! The fixture `tests/fixtures/serve_session.jsonl` is a captured
+//! `dynawave-serve --flight-recorder` session under chaos with strict
+//! recovery: the flight-recorder dump (an obs stream whose ring evicted
+//! its oldest events) concatenated with the daemon's serve response
+//! lines, including a `stats` snapshot. It pins the contract that a
+//! post-mortem dump plus the protocol transcript is one valid stream.
 
 use std::io::Write as _;
 use std::process::{Command, Stdio};
 
 const TORN: &str = include_str!("fixtures/torn_tail.jsonl");
+const SERVE_SESSION: &str = include_str!("fixtures/serve_session.jsonl");
 
 fn run_validate(args: &[&str], input: &str) -> (String, String, i32) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_obs_validate"))
@@ -61,6 +70,34 @@ fn newline_terminated_stream_stays_strict() {
     let terminated = format!("{TORN}\n");
     let (stdout, _, code) = run_validate(&[], &terminated);
     assert_eq!(code, 1, "a complete broken line must still fail");
+    assert!(stdout.contains("1 invalid"), "{stdout}");
+}
+
+#[test]
+fn serve_session_fixture_validates_with_required_stage() {
+    let (stdout, stderr, code) =
+        run_validate(&["--require-stages", "serve", "--stats"], SERVE_SESSION);
+    assert_eq!(code, 0, "golden serve session must validate: {stderr}");
+    assert!(stdout.contains("0 invalid"), "{stdout}");
+    assert!(stdout.contains("kind serve:stats: 1"), "{stdout}");
+    assert!(stdout.contains("stage serve:"), "{stdout}");
+    assert!(
+        SERVE_SESSION.contains("serve.flight_recorder"),
+        "fixture must include the flight-recorder dump marker"
+    );
+    assert!(
+        SERVE_SESSION.contains("\"kind\":\"stats\""),
+        "fixture must include a stats snapshot response"
+    );
+}
+
+#[test]
+fn serve_session_fixture_rejects_a_tampered_stats_snapshot() {
+    // Corrupting the snapshot version must flip the stats line invalid.
+    let tampered = SERVE_SESSION.replace("\"stats\":{\"v\":1,", "\"stats\":{\"v\":2,");
+    assert_ne!(tampered, SERVE_SESSION, "replacement must hit");
+    let (stdout, _, code) = run_validate(&[], &tampered);
+    assert_eq!(code, 1, "tampered snapshot must fail: {stdout}");
     assert!(stdout.contains("1 invalid"), "{stdout}");
 }
 

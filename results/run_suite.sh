@@ -22,11 +22,11 @@ echo LINT_OK
 # (per-stage ns/op for sim, DWT, RBF fit/predict, and the end-to-end
 # pipeline with tracing off/on). BENCH_seed.json is the *immutable*
 # ratchet baseline and is never rewritten here — each suite run lands in
-# BENCH_9.json (now including the serve/ daemon throughput lines:
-# steady-state batched prediction and malformed-request shedding), and
-# compare_bench diffs the two below.
+# BENCH_10.json (now including the serve/ daemon telemetry lines:
+# steady-state batched prediction, malformed-request shedding, and the
+# stats introspection probe), and compare_bench diffs the two below.
 cargo bench --offline -q -p dynawave-bench --bench microbench \
-  > BENCH_9.json 2> results/bench.log && echo BENCH9_OK || echo BENCH9_FAIL
+  > BENCH_10.json 2> results/bench.log && echo BENCH10_OK || echo BENCH10_FAIL
 # Parallel-campaign baseline: full-space campaign wall clock at 1 vs 4
 # worker threads plus the derived speedup and the machine's available
 # parallelism (the speedup is only interpretable next to that number).
@@ -36,8 +36,35 @@ cargo run -q --release --offline -p dynawave-bench --bin campaign_parallel \
 # committed seed baseline. Soft by default — the markdown report is the
 # artifact; flagged regressions print to stderr for the suite log.
 cargo run -q --release --offline -p dynawave-obs --bin compare_bench -- \
-  BENCH_seed.json BENCH_9.json > results/perf_trajectory.md \
+  BENCH_seed.json BENCH_10.json > results/perf_trajectory.md \
   && echo TRAJECTORY_OK || echo TRAJECTORY_FAIL
+# Serve SLO report: trace a canonical daemon session, render the SLO
+# attribution section plus explicit p99 verdicts into a committed
+# artifact. The session mirrors the ci.sh --serve battery (predict,
+# sweep, a stats probe, an error path) at deterministic tiny scale.
+{
+  P1="[2,3,4,5,6,7,8,9,10]"; P2="[3.5,4,5,6,7,8,9,10,11]"
+  echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"s1\",\"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"points\":[$P1,$P2]}"
+  echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"s2\",\"kind\":\"sweep\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"base\":$P1,\"axis\":0,\"values\":[2,4,8]}"
+  echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"s3\",\"kind\":\"predict\",\"benchmark\":\"gcc\",\"metric\":\"cpi\",\"points\":[$P2]}"
+  echo "{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"s4\",\"kind\":\"stats\"}"
+} > results/serve_slo_requests.jsonl
+{
+  DYNAWAVE_TRAIN=12 DYNAWAVE_TEST=2 DYNAWAVE_SAMPLES=16 \
+    DYNAWAVE_INTERVAL=300 DYNAWAVE_TRACE=1 \
+    cargo run -q --release --offline -p dynawave-core --bin serve \
+    < results/serve_slo_requests.jsonl \
+    > results/serve_slo_transcript.jsonl 2> results/serve_slo_trace.jsonl \
+    && cargo run -q --release --offline -p dynawave-obs --bin obs_report -- \
+      results/serve_slo_trace.jsonl \
+    && echo \
+    && echo '## SLO verdicts' \
+    && echo \
+    && { cargo run -q --release --offline -p dynawave-obs --bin obs_report -- \
+           --slo 'predict:p99<=65536' --slo 'sweep:p99<=65536' \
+           results/serve_slo_trace.jsonl || true; }
+} > results/serve_slo.md && echo SERVE_SLO_OK || echo SERVE_SLO_FAIL
+rm -f results/serve_slo_requests.jsonl results/serve_slo_trace.jsonl
 export DYNAWAVE_TRAIN=200 DYNAWAVE_TEST=50 DYNAWAVE_SAMPLES=128 DYNAWAVE_INTERVAL=2048
 for fig in fig07_rank_consistency fig08_accuracy fig09_coeff_sweep fig11_star_plots fig13_threshold_classification fig14_bzip2_traces; do
   echo "=== $fig ==="

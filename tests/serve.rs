@@ -47,8 +47,14 @@ fn predict_request(id: &str, points: usize) -> String {
     )
 }
 
+fn stats_request(id: &str) -> String {
+    format!("{{\"schema\":\"dynawave-serve\",\"v\":1,\"id\":\"{id}\",\"kind\":\"stats\"}}")
+}
+
 /// A request mix that exercises every endpoint plus the error paths,
-/// cheap enough to train at most one (benchmark, metric) pair.
+/// cheap enough to train at most one (benchmark, metric) pair. Ends
+/// with a `stats` probe so every transcript-equality test also pins
+/// the snapshot bytes.
 fn session_requests() -> Vec<String> {
     vec![
         predict_request("a", 2),
@@ -63,6 +69,7 @@ fn session_requests() -> Vec<String> {
          \"benchmark\":\"nope\"}"
             .to_string(),
         predict_request("b", 1),
+        stats_request("st"),
     ]
 }
 
@@ -78,11 +85,14 @@ fn kill_and_replay_reproduces_byte_identical_journal() {
     let requests = session_requests();
     let request_log: String = requests.iter().map(|r| format!("{r}\n")).collect();
 
-    // Uninterrupted run: the reference transcript.
+    // Uninterrupted run: the reference transcript. The engine is told
+    // about its journal (as the daemon does) so the final stats
+    // snapshot reports the same journal status replay will.
     let reference = {
         let path = tmp_path("ref.journal");
         let mut journal = ServeJournal::create(&path, &cfg).expect("create journal");
         let mut engine = ServeEngine::new(cfg.clone());
+        engine.note_journal_attached();
         for r in &requests {
             let resp = engine.handle_line(r);
             journal.append(&resp);
@@ -200,7 +210,7 @@ fn fuzzed_requests_always_get_exactly_one_wellformed_response() {
             return Err(format!("seq skew at {expected_seq} in {resp:?}"));
         }
         match obj.get("kind").and_then(|v| v.as_str()) {
-            Some("ok" | "partial" | "error" | "overloaded") => Ok(()),
+            Some("ok" | "partial" | "error" | "overloaded" | "stats") => Ok(()),
             other => Err(format!("bad kind {other:?} in {resp:?}")),
         }
     };
@@ -218,6 +228,13 @@ fn fuzzed_requests_always_get_exactly_one_wellformed_response() {
         .cases(4000)
         .seed(0x5E12_F003)
         .run(gen::mutate(&valid), &mut property);
+    // The introspection kind gets the same treatment: mutations of a
+    // stats probe must never panic the engine or skip a response.
+    let valid_stats = stats_request("fuzz");
+    check("serve: mutated stats requests")
+        .cases(2000)
+        .seed(0x5E12_F004)
+        .run(gen::mutate(&valid_stats), &mut property);
 }
 
 #[test]
@@ -404,4 +421,168 @@ fn daemon_solver_chaos_is_deterministic_across_runs() {
     assert_eq!(code_a, 0);
     assert_eq!(code_b, 0);
     assert_eq!(a, b, "chaos transcripts must be byte-identical");
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: stats snapshots, SLO verdicts and the flight recorder.
+// ---------------------------------------------------------------------
+
+fn run_daemon_env(args: &[&str], envs: &[(&str, &str)], stdin_text: &str) -> (String, String, i32) {
+    let mut cmd = serve_cmd();
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(stdin_text.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("wait for serve");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn daemon_stats_snapshot_is_byte_identical_across_thread_counts() {
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let (t1, stderr, code) = run_daemon_env(&[], &[("DYNAWAVE_THREADS", "1")], &request_log);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let (t4, stderr, code) = run_daemon_env(&[], &[("DYNAWAVE_THREADS", "4")], &request_log);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(
+        t1, t4,
+        "stats snapshots must not depend on DYNAWAVE_THREADS"
+    );
+    let stats_line = t1
+        .lines()
+        .find(|l| l.contains("\"kind\":\"stats\""))
+        .expect("a stats response");
+    // The snapshot accounts for every request, itself included.
+    assert!(stats_line.contains("\"invalid\":1"), "{stats_line}");
+    assert!(stats_line.contains("\"stats\":1"), "{stats_line}");
+}
+
+#[test]
+fn daemon_stats_and_slo_verdicts_match_between_live_and_replay() {
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let journal = tmp_path("stats.journal");
+    let journal_arg = journal.to_str().expect("utf8 path");
+    let _ = std::fs::remove_file(&journal);
+    let (live, stderr, code) = run_daemon(&["--journal", journal_arg], &request_log);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let log_path = tmp_path("stats.requests");
+    std::fs::write(&log_path, &request_log).expect("write request log");
+    let (replayed, stderr, code) = run_daemon(
+        &[
+            "--journal",
+            journal_arg,
+            "--replay",
+            log_path.to_str().expect("utf8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(replayed, live, "replay transcript must match live bytes");
+    let stats_line = live
+        .lines()
+        .find(|l| l.contains("\"kind\":\"stats\""))
+        .expect("a stats response");
+    assert!(
+        stats_line.contains("\"journal\":\"active\""),
+        "both runs see an attached journal: {stats_line}"
+    );
+
+    // SLO verdicts are derived from the traced stream; tracing the same
+    // session under different worker counts must yield the same verdict
+    // line (the soft CI gate's determinism contract).
+    let verdict = |threads: &str| {
+        let (_, trace, code) = run_daemon_env(
+            &[],
+            &[("DYNAWAVE_TRACE", "1"), ("DYNAWAVE_THREADS", threads)],
+            &request_log,
+        );
+        assert_eq!(code, 0);
+        let events = dynawave_obs::parse_events(&trace).expect("parseable trace");
+        let analysis = dynawave_obs::StreamAnalysis::from_events(&events);
+        let spec = dynawave_obs::SloSpec::parse("predict:p99<=65536").expect("spec");
+        analysis.render_slo(&spec)
+    };
+    let (line_t1, pass_t1) = verdict("1");
+    let (line_t4, pass_t4) = verdict("4");
+    assert_eq!(line_t1, line_t4, "SLO verdict must not depend on threads");
+    assert!(pass_t1 && pass_t4, "{line_t1}");
+}
+
+#[test]
+fn daemon_flight_recorder_dumps_valid_stream_on_internal_error() {
+    // Chaos at rate 1.0 with strict recovery turns the first training
+    // fault into a train-failed internal error; the armed flight
+    // recorder must dump its ring exactly once, as a valid obs stream.
+    let request_log: String = session_requests()
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    let (stdout, dump, code) = run_daemon(
+        &[
+            "--flight-recorder",
+            "48",
+            "--strict-recovery",
+            "--chaos-seed",
+            "7",
+            "--chaos-rate",
+            "1.0",
+        ],
+        &request_log,
+    );
+    assert_eq!(code, 0, "dump: {dump}");
+    let stats_line = stdout
+        .lines()
+        .find(|l| l.contains("\"kind\":\"stats\""))
+        .expect("a stats response");
+    assert!(stats_line.contains("\"internal\":"), "{stats_line}");
+    assert!(
+        !stats_line.contains("\"internal\":0"),
+        "chaos must surface internal errors: {stats_line}"
+    );
+    assert_eq!(
+        dump.matches("serve.flight_recorder").count(),
+        1,
+        "exactly one dump marker: {dump}"
+    );
+    assert!(dump.contains("reason=internal-error"), "{dump}");
+    let summary = dynawave_obs::validate_stream(&dump);
+    assert!(
+        summary.is_clean(),
+        "flight dump must be schema-valid: {:?}",
+        summary.errors
+    );
+    assert!(summary.stages.contains("serve"), "{:?}", summary.stages);
+
+    // Without an internal error the one dump happens at shutdown.
+    let (_, dump, code) = run_daemon(&["--flight-recorder", "8"], &request_log);
+    assert_eq!(code, 0);
+    assert_eq!(dump.matches("serve.flight_recorder").count(), 1, "{dump}");
+    assert!(dump.contains("reason=shutdown"), "{dump}");
+    assert!(
+        dump.contains("dropped="),
+        "dump must report ring evictions: {dump}"
+    );
+    assert!(dynawave_obs::validate_stream(&dump).is_clean());
 }
